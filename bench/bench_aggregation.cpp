@@ -1,0 +1,104 @@
+// E8 (extension; DESIGN.md section 5): exact aggregation by Markov
+// bisimulation -- the PEPA-workbench answer to state-space explosion.
+//
+// Report: for N replicated Tomcat clients, the full chain vs the bisimilar
+// quotient (size, lumping time, solve times, and the agreement of the
+// aggregated steady states).  The quotient grows with the *population
+// vector* (polynomial) while the full chain grows with the interleaving
+// (exponential-ish), so aggregation extends the reach of exact solution.
+#include "bench_common.hpp"
+
+#include "choreographer/extract_statechart.hpp"
+#include "choreographer/paper_models.hpp"
+#include "ctmc/lumping.hpp"
+#include "ctmc/steady_state.hpp"
+#include "pepa/semantics.hpp"
+#include "pepa/statespace.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace choreo;
+
+pepa::Model tomcat_pepa(std::size_t clients, bool cached) {
+  chor::TomcatParams params;
+  params.clients = clients;
+  const uml::Model model = chor::tomcat_model(cached, params);
+  return std::move(chor::extract_state_machines(model).model);
+}
+
+void report() {
+  util::TextTable table({"clients", "full states", "blocks", "lump ms",
+                         "solve full ms", "solve quotient ms", "max |err|"});
+  for (std::size_t clients : {2u, 3u, 4u, 5u, 6u, 7u}) {
+    pepa::Model model = tomcat_pepa(clients, false);
+    pepa::Semantics semantics(model.arena());
+    const auto space = pepa::StateSpace::derive(semantics, model.system());
+    const auto generator = space.generator();
+
+    util::Stopwatch lump_timer;
+    const auto lumping = ctmc::compute_lumping(generator);
+    const double lump_ms = lump_timer.milliseconds();
+
+    util::Stopwatch full_timer;
+    const auto pi_full = ctmc::steady_state(generator).distribution;
+    const double full_ms = full_timer.milliseconds();
+
+    util::Stopwatch quotient_timer;
+    const auto quotient = lumping.quotient(generator);
+    const auto pi_quotient = ctmc::steady_state(quotient).distribution;
+    const double quotient_ms = quotient_timer.milliseconds();
+
+    const auto aggregated = lumping.aggregate(pi_full);
+    double max_error = 0.0;
+    for (std::size_t b = 0; b < lumping.block_count; ++b) {
+      max_error = std::max(max_error, std::abs(aggregated[b] - pi_quotient[b]));
+    }
+    table.add_row_values(std::to_string(clients),
+                         {static_cast<double>(generator.state_count()),
+                          static_cast<double>(lumping.block_count), lump_ms,
+                          full_ms, quotient_ms, max_error});
+  }
+  std::cout << table
+            << "shape: blocks grow polynomially (population vector) while"
+               " full states grow\ncombinatorially; the quotient steady"
+               " state is exact to rounding\n\n";
+}
+
+void BM_ComputeLumping(benchmark::State& state) {
+  pepa::Model model = tomcat_pepa(static_cast<std::size_t>(state.range(0)), false);
+  pepa::Semantics semantics(model.arena());
+  const auto space = pepa::StateSpace::derive(semantics, model.system());
+  const auto generator = space.generator();
+  for (auto _ : state) {
+    const auto lumping = ctmc::compute_lumping(generator);
+    benchmark::DoNotOptimize(lumping.block_count);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ComputeLumping)->DenseRange(2, 6, 2)->Complexity();
+
+void BM_SolveFullVsQuotient(benchmark::State& state) {
+  pepa::Model model = tomcat_pepa(6, false);
+  pepa::Semantics semantics(model.arena());
+  const auto space = pepa::StateSpace::derive(semantics, model.system());
+  const auto generator = space.generator();
+  const bool use_quotient = state.range(0) != 0;
+  const auto lumping = ctmc::compute_lumping(generator);
+  const auto quotient = lumping.quotient(generator);
+  for (auto _ : state) {
+    const auto pi =
+        ctmc::steady_state(use_quotient ? quotient : generator).distribution;
+    benchmark::DoNotOptimize(pi[0]);
+  }
+  state.SetLabel(use_quotient ? "quotient" : "full");
+}
+BENCHMARK(BM_SolveFullVsQuotient)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return choreo::bench::run(argc, argv,
+                            "E8: exact aggregation (Markov bisimulation)",
+                            report);
+}

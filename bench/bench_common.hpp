@@ -1,0 +1,32 @@
+// Shared plumbing for the experiment benches.
+//
+// Every bench binary reproduces one of the paper's evaluation artefacts
+// (see DESIGN.md section 4): it first prints the paper-style report table,
+// then runs its google-benchmark timings.  `for b in build/bench/*; do $b;
+// done` therefore regenerates every table and figure of EXPERIMENTS.md.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+namespace choreo::bench {
+
+/// Prints the experiment banner, runs `report`, then google-benchmark.
+inline int run(int argc, char** argv, const std::string& experiment,
+               const std::function<void()>& report) {
+  std::cout << "==================================================\n"
+            << "  " << experiment << '\n'
+            << "==================================================\n";
+  report();
+  std::cout.flush();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace choreo::bench

@@ -1,0 +1,82 @@
+// E1 (paper Figure 1): the file activity diagram without mobility.
+//
+// Report: per-activity throughput of the open/read/write/close protocol
+// and the protocol invariants (opens balance closes).  Benchmarks: the
+// PEPA parse -> derive -> solve chain on the File model.
+#include "bench_common.hpp"
+
+#include "choreographer/extract_activity.hpp"
+#include "choreographer/paper_models.hpp"
+#include "ctmc/steady_state.hpp"
+#include "pepa/parser.hpp"
+#include "pepa/semantics.hpp"
+#include "pepa/statespace.hpp"
+#include "pepanet/netsemantics.hpp"
+#include "pepanet/netstatespace.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace choreo;
+
+void report() {
+  util::TextTable table({"activity", "throughput (1/s)"});
+  uml::Model model = chor::file_activity_model();
+  auto extraction = chor::extract_activity_graph(model.activity_graphs()[0]);
+  pepanet::NetSemantics semantics(extraction.net);
+  const auto space = pepanet::NetStateSpace::derive(semantics);
+  const auto solved = ctmc::steady_state(space.generator());
+  double opens = 0.0, closes = 0.0;
+  for (const auto& name : extraction.action_names) {
+    if (!name) continue;
+    const double value = pepanet::action_throughput(
+        space, solved.distribution, *extraction.net.arena().find_action(*name));
+    table.add_row_values(*name, {value});
+    if (name->rfind("open", 0) == 0) opens += value;
+    if (name->rfind("close", 0) == 0) closes += value;
+  }
+  std::cout << "single place (no mobility), " << space.marking_count()
+            << " markings\n"
+            << table << "invariant: opens (" << opens << ") == closes ("
+            << closes << ")\n\n";
+}
+
+const char* kFilePepa = R"(
+  File      = (openread, 2.0).InStream + (openwrite, 2.0).OutStream;
+  InStream  = (read, 1.8).InStream + (close, 3.0).File;
+  OutStream = (write, 1.2).OutStream + (close, 3.0).File;
+  @system File;
+)";
+
+void BM_ParseFileModel(benchmark::State& state) {
+  for (auto _ : state) {
+    auto model = pepa::parse_model(kFilePepa);
+    benchmark::DoNotOptimize(model.definitions().size());
+  }
+}
+BENCHMARK(BM_ParseFileModel);
+
+void BM_DeriveAndSolveFileModel(benchmark::State& state) {
+  for (auto _ : state) {
+    auto model = pepa::parse_model(kFilePepa);
+    pepa::Semantics semantics(model.arena());
+    const auto space = pepa::StateSpace::derive(semantics, model.system());
+    const auto solved = ctmc::steady_state(space.generator());
+    benchmark::DoNotOptimize(solved.distribution[0]);
+  }
+}
+BENCHMARK(BM_DeriveAndSolveFileModel);
+
+void BM_ExtractFileDiagram(benchmark::State& state) {
+  const uml::Model model = chor::file_activity_model();
+  for (auto _ : state) {
+    auto extraction = chor::extract_activity_graph(model.activity_graphs()[0]);
+    benchmark::DoNotOptimize(extraction.net.place_count());
+  }
+}
+BENCHMARK(BM_ExtractFileDiagram);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return choreo::bench::run(argc, argv, "E1: file protocol (Figure 1)", report);
+}

@@ -1,0 +1,96 @@
+// E2 (paper Figure 2 and Section 2.2): the instant-message PEPA net.
+//
+// Report: the extracted net structure (2 places, transmit firing), the
+// equivalence of the extracted net with a hand-written .pepanet model, and
+// the transmit-throughput series as the transmit rate sweeps (the message
+// passing "figure" of Section 2.2).  Benchmarks: extraction and marking-
+// graph derivation.
+#include "bench_common.hpp"
+
+#include "choreographer/extract_activity.hpp"
+#include "choreographer/paper_models.hpp"
+#include "ctmc/steady_state.hpp"
+#include "pepanet/net_parser.hpp"
+#include "pepanet/net_printer.hpp"
+#include "pepanet/netsemantics.hpp"
+#include "pepanet/netstatespace.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace choreo;
+
+double transmit_throughput(double transmit_rate) {
+  chor::InstantMessageParams params;
+  params.transmit_rate = transmit_rate;
+  uml::Model model = chor::instant_message_model(params);
+  auto extraction = chor::extract_activity_graph(model.activity_graphs()[0]);
+  pepanet::NetSemantics semantics(extraction.net);
+  const auto space = pepanet::NetStateSpace::derive(semantics);
+  const auto solved = ctmc::steady_state(space.generator());
+  return pepanet::action_throughput(
+      space, solved.distribution,
+      *extraction.net.arena().find_action("transmit"));
+}
+
+void report() {
+  uml::Model model = chor::instant_message_model();
+  auto extraction = chor::extract_activity_graph(model.activity_graphs()[0]);
+  std::cout << "extracted net:\n" << pepanet::to_string(extraction.net) << '\n';
+
+  util::TextTable series({"transmit rate", "transmit throughput (1/s)"});
+  for (double rate : {0.1, 0.2, 0.35, 0.7, 1.4, 2.8, 5.6}) {
+    series.add_row_values(util::format_double(rate),
+                          {transmit_throughput(rate)});
+  }
+  std::cout << series
+            << "shape: saturates as transmit stops being the bottleneck\n\n";
+}
+
+void BM_ExtractInstantMessage(benchmark::State& state) {
+  const uml::Model model = chor::instant_message_model();
+  for (auto _ : state) {
+    auto extraction = chor::extract_activity_graph(model.activity_graphs()[0]);
+    benchmark::DoNotOptimize(extraction.net.transition_count());
+  }
+}
+BENCHMARK(BM_ExtractInstantMessage);
+
+void BM_DeriveMarkingGraph(benchmark::State& state) {
+  const uml::Model model = chor::instant_message_model();
+  for (auto _ : state) {
+    auto extraction = chor::extract_activity_graph(model.activity_graphs()[0]);
+    pepanet::NetSemantics semantics(extraction.net);
+    const auto space = pepanet::NetStateSpace::derive(semantics);
+    benchmark::DoNotOptimize(space.marking_count());
+  }
+}
+BENCHMARK(BM_DeriveMarkingGraph);
+
+void BM_ParsePepanetText(benchmark::State& state) {
+  const char* source = R"(
+    InstantMessage = (write, 1.2).Written;
+    Written        = (transmit, 0.7).File;
+    File           = (openread, 2.0).InStream;
+    InStream       = (read, 1.8).InStream + (close, 3.0).Done;
+    Done           = (archive, 5.0).InstantMessage;
+    FileReader     = (openread, infty).(read, infty).(close, infty).FileReader;
+    @token InstantMessage;
+    @place p1 { cell InstantMessage = InstantMessage; }
+    @place p2 { cell InstantMessage; static FileReader; }
+    @transition transmit (rate infty) from p1 to p2;
+    @transition archive (rate infty) from p2 to p1;
+  )";
+  for (auto _ : state) {
+    auto parsed = pepanet::parse_net(source);
+    benchmark::DoNotOptimize(parsed.net.place_count());
+  }
+}
+BENCHMARK(BM_ParsePepanetText);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return choreo::bench::run(argc, argv,
+                            "E2: instant message net (Figure 2)", report);
+}

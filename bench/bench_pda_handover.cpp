@@ -1,0 +1,105 @@
+// E3 (paper Figures 5-7): the PDA-on-a-train handover case study.
+//
+// Report: the Figure-7 throughput annotations (per-activity throughput of
+// the extracted PEPA net) at the paper's 50/50 handover outcome, plus the
+// sweeps over handover rate and success probability that characterise the
+// scenario.  Benchmarks: the full extract+derive+solve pipeline.
+#include "bench_common.hpp"
+
+#include "choreographer/paper_models.hpp"
+#include "choreographer/pipeline.hpp"
+#include "uml/xmi.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace choreo;
+
+chor::AnalysisReport analyse_pda(const chor::PdaParams& params) {
+  uml::Model model = chor::pda_handover_model(params);
+  return chor::analyse(model);
+}
+
+double throughput_of(const chor::AnalysisReport& report, const char* name) {
+  for (const auto& [action, value] : report.activity_graphs[0].throughputs) {
+    if (action == name) return value;
+  }
+  return 0.0;
+}
+
+void report() {
+  // Figure 7: the annotated activity diagram (one hop shown; the second hop
+  // is symmetric).
+  const auto base = analyse_pda({});
+  util::TextTable annotations({"activity", "throughput (1/s)"});
+  for (const auto& [action, value] : base.activity_graphs[0].throughputs) {
+    if (util::ends_with(action, "_1")) annotations.add_row_values(action, {value});
+  }
+  std::cout << "markings: " << base.activity_graphs[0].marking_count << '\n'
+            << annotations
+            << "paper's 50/50 outcome: continue == abort throughput\n\n";
+
+  // Sweep 1: the handover rate throttles everything downstream.
+  util::TextTable rate_sweep({"handover rate", "download tput",
+                              "handover tput", "abort tput"});
+  for (double rate : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    chor::PdaParams params;
+    params.handover_rate = rate;
+    const auto swept = analyse_pda(params);
+    rate_sweep.add_row_values(
+        util::format_double(rate),
+        {throughput_of(swept, "download_file_1"),
+         throughput_of(swept, "handover_1"),
+         throughput_of(swept, "abort_download_1")});
+  }
+  std::cout << rate_sweep << '\n';
+
+  // Sweep 2: the success probability (continue vs abort rates) moves the
+  // outcome split without changing the handover throughput.
+  util::TextTable outcome_sweep({"P[success]", "continue tput", "abort tput",
+                                 "handover tput"});
+  for (double success : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    chor::PdaParams params;
+    const double total = params.continue_rate + params.abort_rate;
+    params.continue_rate = total * success;
+    params.abort_rate = total * (1.0 - success);
+    const auto swept = analyse_pda(params);
+    outcome_sweep.add_row_values(
+        util::format_double(success),
+        {throughput_of(swept, "continue_download_1"),
+         throughput_of(swept, "abort_download_1"),
+         throughput_of(swept, "handover_1")});
+  }
+  std::cout << outcome_sweep << '\n';
+}
+
+void BM_FullPipeline(benchmark::State& state) {
+  chor::PdaParams params;
+  params.transmitters = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto report = analyse_pda(params);
+    benchmark::DoNotOptimize(report.activity_graphs[0].marking_count);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullPipeline)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Complexity();
+
+void BM_ProjectFilePipeline(benchmark::State& state) {
+  // The Figure-4 file-level pipeline: XMI in, annotated XMI out.
+  uml::Model model = chor::pda_handover_model();
+  const std::string input = "bench_pda_in.xmi";
+  const std::string output = "bench_pda_out.xmi";
+  uml::write_xmi_file(model, input);
+  for (auto _ : state) {
+    const auto report = chor::analyse_project_file(input, output);
+    benchmark::DoNotOptimize(report.activity_graphs.size());
+  }
+}
+BENCHMARK(BM_ProjectFilePipeline);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return choreo::bench::run(argc, argv,
+                            "E3: PDA handover case study (Figures 5-7)", report);
+}

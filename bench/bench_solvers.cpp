@@ -1,0 +1,143 @@
+// E6b (paper Section 1.1): solver characteristics -- exact numerical
+// solution vs stochastic simulation.
+//
+// Report: for growing instances of the Tomcat model, the time and accuracy
+// of the direct and iterative steady-state solvers, and of simulation with
+// confidence intervals (whose cost is ~flat in state-space size but whose
+// answer is approximate).  Benchmarks: each solver on a fixed chain.
+#include "bench_common.hpp"
+
+#include <memory>
+
+#include "choreographer/extract_statechart.hpp"
+#include "choreographer/paper_models.hpp"
+#include "ctmc/steady_state.hpp"
+#include "pepa/measures.hpp"
+#include "pepa/semantics.hpp"
+#include "pepa/statespace.hpp"
+#include "sim/replicate.hpp"
+#include "sim/system.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace choreo;
+
+pepa::Model tomcat_pepa(std::size_t clients) {
+  chor::TomcatParams params;
+  params.clients = clients;
+  const uml::Model model = chor::tomcat_model(false, params);
+  return std::move(chor::extract_state_machines(model).model);
+}
+
+void report() {
+  // Exact solvers across sizes: time and residual.
+  util::TextTable table({"clients", "states", "method", "solve ms",
+                         "iterations", "residual"});
+  for (std::size_t clients : {2u, 4u, 6u, 8u}) {
+    pepa::Model model = tomcat_pepa(clients);
+    pepa::Semantics semantics(model.arena());
+    const auto space = pepa::StateSpace::derive(semantics, model.system());
+    const auto generator = space.generator();
+    for (ctmc::Method method :
+         {ctmc::Method::kDenseLU, ctmc::Method::kJacobi,
+          ctmc::Method::kGaussSeidel, ctmc::Method::kSor, ctmc::Method::kPower}) {
+      if (method == ctmc::Method::kDenseLU && generator.state_count() > 4000) {
+        continue;  // O(n^3) dense solve is the point being made
+      }
+      ctmc::SolveOptions options;
+      options.method = method;
+      options.tolerance = 1e-10;
+      util::Stopwatch timer;
+      try {
+        const auto solved = ctmc::steady_state(generator, options);
+        table.add_row({std::to_string(clients),
+                       std::to_string(generator.state_count()),
+                       ctmc::method_name(method),
+                       util::format_double(timer.milliseconds()),
+                       std::to_string(solved.iterations),
+                       util::format_double(solved.residual)});
+      } catch (const util::NumericError&) {
+        // A method failing to converge is itself a data point.
+        table.add_row({std::to_string(clients),
+                       std::to_string(generator.state_count()),
+                       ctmc::method_name(method),
+                       util::format_double(timer.milliseconds()),
+                       "no convergence", "-"});
+      }
+    }
+  }
+  std::cout << table << '\n';
+
+  // Simulation vs exact: approximate answers, CI widths, flat cost.
+  util::TextTable sim_table({"clients", "exact resp tput", "simulated (95% CI)",
+                             "CI width", "sim ms"});
+  for (std::size_t clients : {2u, 4u, 6u}) {
+    pepa::Model model = tomcat_pepa(clients);
+    pepa::Semantics semantics(model.arena());
+    const auto space = pepa::StateSpace::derive(semantics, model.system());
+    const auto solved = ctmc::steady_state(space.generator());
+    const auto response = *model.arena().find_action("response");
+    const double exact =
+        pepa::action_throughput(space, solved.distribution, response);
+
+    sim::ReplicateOptions options;
+    options.replications = 8;
+    options.run.warmup_time = 100.0;
+    options.run.horizon = 4000.0;
+    options.seed = 31337;
+    util::Stopwatch timer;
+    const auto simulated = sim::replicate(
+        [&] { return std::make_unique<sim::PepaSystem>(tomcat_pepa(clients)); },
+        options);
+    const auto interval = simulated.throughput(response);
+    sim_table.add_row(
+        {std::to_string(clients), util::format_double(exact),
+         util::format_double(interval.low()) + " .. " +
+             util::format_double(interval.high()),
+         util::format_double(2 * interval.half_width),
+         util::format_double(timer.milliseconds())});
+  }
+  std::cout << sim_table << '\n';
+}
+
+void BM_Solver(benchmark::State& state) {
+  pepa::Model model = tomcat_pepa(6);
+  pepa::Semantics semantics(model.arena());
+  const auto space = pepa::StateSpace::derive(semantics, model.system());
+  const auto generator = space.generator();
+  ctmc::SolveOptions options;
+  options.method = static_cast<ctmc::Method>(state.range(0));
+  for (auto _ : state) {
+    const auto solved = ctmc::steady_state(generator, options);
+    benchmark::DoNotOptimize(solved.distribution[0]);
+  }
+  state.SetLabel(ctmc::method_name(options.method));
+}
+BENCHMARK(BM_Solver)
+    ->Arg(static_cast<int>(ctmc::Method::kDenseLU))
+    ->Arg(static_cast<int>(ctmc::Method::kJacobi))
+    ->Arg(static_cast<int>(ctmc::Method::kGaussSeidel))
+    ->Arg(static_cast<int>(ctmc::Method::kSor))
+    ->Arg(static_cast<int>(ctmc::Method::kPower));
+
+void BM_SimulationTrajectory(benchmark::State& state) {
+  sim::PepaSystem system(tomcat_pepa(6));
+  util::Xoshiro256 rng(5);
+  sim::RunOptions options;
+  options.horizon = 1000.0;
+  for (auto _ : state) {
+    const auto result = sim::run_trajectory(system, rng, options);
+    benchmark::DoNotOptimize(result.steps);
+  }
+}
+BENCHMARK(BM_SimulationTrajectory);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return choreo::bench::run(
+      argc, argv, "E6b: solver characteristics (Section 1.1)", report);
+}

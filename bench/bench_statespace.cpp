@@ -1,0 +1,133 @@
+// E6a (paper Section 1.1): state-space explosion.
+//
+// Report: how the CTMC size grows with the model -- transmitters in the
+// handover ring, tokens in a multi-message net, and clients against the
+// Tomcat server -- demonstrating the "susceptibility to state-space
+// explosion" the paper names as the cost of exact numerical solution.
+// Benchmarks: marking-graph derivation throughput.
+#include "bench_common.hpp"
+
+#include "choreographer/extract_activity.hpp"
+#include "choreographer/extract_statechart.hpp"
+#include "choreographer/paper_models.hpp"
+#include "pepa/parser.hpp"
+#include "pepa/semantics.hpp"
+#include "pepa/statespace.hpp"
+#include "pepanet/net_parser.hpp"
+#include "pepanet/netsemantics.hpp"
+#include "pepanet/netstatespace.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace choreo;
+
+/// A ring of `places` places with `tokens` messages hopping around it; each
+/// extra token multiplies the marking count.
+std::string ring_net(std::size_t places, std::size_t tokens) {
+  std::string source =
+      "Msg = (work, 1.0).Ready;\n"
+      "Ready = (hop, 2.0).Msg;\n"
+      "@token Msg;\n";
+  for (std::size_t p = 0; p < places; ++p) {
+    source += "@place ring" + std::to_string(p) + " {";
+    for (std::size_t c = 0; c < tokens; ++c) {
+      source += " cell Msg";
+      if (p == 0) source += " = Msg";  // all tokens start at ring0
+      source += ";";
+    }
+    source += " }\n";
+  }
+  for (std::size_t p = 0; p < places; ++p) {
+    source += "@transition hop (rate infty) from ring" + std::to_string(p) +
+              " to ring" + std::to_string((p + 1) % places) + ";\n";
+  }
+  return source;
+}
+
+void report() {
+  // 1. Handover ring: linear growth (one token).
+  util::TextTable ring({"transmitters", "markings", "transitions",
+                        "derive ms"});
+  for (std::size_t n : {2u, 8u, 32u, 128u}) {
+    chor::PdaParams params;
+    params.transmitters = n;
+    uml::Model model = chor::pda_handover_model(params);
+    auto extraction = chor::extract_activity_graph(model.activity_graphs()[0]);
+    pepanet::NetSemantics semantics(extraction.net);
+    util::Stopwatch timer;
+    const auto space = pepanet::NetStateSpace::derive(semantics);
+    ring.add_row_values(std::to_string(n),
+                        {static_cast<double>(space.marking_count()),
+                         static_cast<double>(space.transitions().size()),
+                         timer.milliseconds()});
+  }
+  std::cout << "one mobile token (linear):\n" << ring << '\n';
+
+  // 2. Token population: combinatorial growth.
+  util::TextTable tokens({"tokens", "markings", "transitions", "derive ms"});
+  for (std::size_t t : {1u, 2u, 3u, 4u, 5u}) {
+    auto parsed = pepanet::parse_net(ring_net(3, t));
+    pepanet::NetSemantics semantics(parsed.net);
+    util::Stopwatch timer;
+    const auto space = pepanet::NetStateSpace::derive(semantics);
+    tokens.add_row_values(std::to_string(t),
+                          {static_cast<double>(space.marking_count()),
+                           static_cast<double>(space.transitions().size()),
+                           timer.milliseconds()});
+  }
+  std::cout << "token population on a 3-place ring (combinatorial):\n"
+            << tokens << '\n';
+
+  // 3. Client population against the Tomcat server.
+  util::TextTable clients({"clients", "states", "transitions", "derive ms"});
+  for (std::size_t c : {1u, 2u, 4u, 6u, 8u}) {
+    chor::TomcatParams params;
+    params.clients = c;
+    const uml::Model model = chor::tomcat_model(false, params);
+    auto extraction = chor::extract_state_machines(model);
+    pepa::Semantics semantics(extraction.model.arena());
+    util::Stopwatch timer;
+    const auto space =
+        pepa::StateSpace::derive(semantics, extraction.model.system());
+    clients.add_row_values(std::to_string(c),
+                           {static_cast<double>(space.state_count()),
+                            static_cast<double>(space.transitions().size()),
+                            timer.milliseconds()});
+  }
+  std::cout << "Tomcat client population:\n" << clients << '\n';
+}
+
+void BM_DeriveRing(benchmark::State& state) {
+  const std::string source =
+      ring_net(3, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto parsed = pepanet::parse_net(source);
+    pepanet::NetSemantics semantics(parsed.net);
+    const auto space = pepanet::NetStateSpace::derive(semantics);
+    benchmark::DoNotOptimize(space.marking_count());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DeriveRing)->DenseRange(1, 4)->Complexity();
+
+void BM_DeriveInterleavedClients(benchmark::State& state) {
+  std::string source = "C = (req, 1.0).(wait, 2.0).(think, 3.0).C;\nS = C";
+  for (int i = 1; i < state.range(0); ++i) source += " || C";
+  source += ";\n@system S;";
+  for (auto _ : state) {
+    auto model = pepa::parse_model(source);
+    pepa::Semantics semantics(model.arena());
+    const auto space = pepa::StateSpace::derive(semantics, model.system());
+    benchmark::DoNotOptimize(space.state_count());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DeriveInterleavedClients)->DenseRange(2, 8, 2)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return choreo::bench::run(argc, argv,
+                            "E6a: state-space explosion (Section 1.1)", report);
+}

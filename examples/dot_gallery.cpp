@@ -1,0 +1,63 @@
+// Writes GraphViz renderings of the paper's models: the annotated activity
+// diagram and state machines, the extracted PEPA net, its marking graph,
+// and the client/server derivation graph.  Render with e.g.
+//
+//   dot -Tsvg pda_activity.dot -o pda_activity.svg
+//
+// Build & run:  ./examples/dot_gallery [output-dir]
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "choreographer/extract_activity.hpp"
+#include "choreographer/extract_statechart.hpp"
+#include "choreographer/paper_models.hpp"
+#include "choreographer/pipeline.hpp"
+#include "pepa/dot.hpp"
+#include "pepa/semantics.hpp"
+#include "pepa/statespace.hpp"
+#include "pepanet/net_dot.hpp"
+#include "pepanet/netsemantics.hpp"
+#include "pepanet/netstatespace.hpp"
+#include "uml/dot.hpp"
+
+namespace {
+void write(const std::string& path, const std::string& contents) {
+  std::ofstream stream(path, std::ios::binary);
+  stream << contents;
+  std::cout << "wrote " << path << '\n';
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace choreo;
+  const std::string dir = argc > 1 ? std::string(argv[1]) + "/" : "";
+
+  // The PDA activity diagram, analysed so throughput tags show up.
+  uml::Model pda = chor::pda_handover_model();
+  chor::analyse(pda);
+  write(dir + "pda_activity.dot", uml::to_dot(pda.activity_graphs()[0]));
+
+  // Its extracted PEPA net and marking graph.
+  auto extraction = chor::extract_activity_graph(
+      chor::pda_handover_model().activity_graphs()[0]);
+  write(dir + "pda_net.dot", pepanet::structure_to_dot(extraction.net));
+  pepanet::NetSemantics net_semantics(extraction.net);
+  const auto markings = pepanet::NetStateSpace::derive(net_semantics);
+  write(dir + "pda_markings.dot",
+        pepanet::marking_graph_to_dot(extraction.net, markings));
+
+  // The Tomcat state machines (with reflected probabilities) and the
+  // derivation graph of their composition.
+  uml::Model tomcat = chor::tomcat_model(false);
+  chor::analyse(tomcat);
+  write(dir + "tomcat_client.dot", uml::to_dot(tomcat.state_machines()[0]));
+  write(dir + "tomcat_server.dot", uml::to_dot(tomcat.state_machines()[1]));
+  auto statechart = chor::extract_state_machines(chor::tomcat_model(false));
+  pepa::Semantics semantics(statechart.model.arena());
+  const auto space =
+      pepa::StateSpace::derive(semantics, statechart.model.system());
+  write(dir + "tomcat_derivation.dot",
+        pepa::to_dot(statechart.model.arena(), space));
+  return 0;
+}

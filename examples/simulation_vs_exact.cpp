@@ -1,0 +1,62 @@
+// Exact numerical solution vs stochastic simulation (the trade-off the
+// paper's Section 1.1 discusses: exact answers and state-space explosion on
+// one side, confidence intervals and scalability on the other).
+//
+// Analyses the PDA handover net both ways and prints the agreement.
+//
+// Build & run:  ./examples/simulation_vs_exact
+#include <iostream>
+#include <memory>
+
+#include "choreographer/extract_activity.hpp"
+#include "choreographer/paper_models.hpp"
+#include "ctmc/steady_state.hpp"
+#include "pepanet/netsemantics.hpp"
+#include "pepanet/netstatespace.hpp"
+#include "sim/replicate.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace choreo;
+
+  const auto build_net = [] {
+    uml::Model model = chor::pda_handover_model();
+    return chor::extract_activity_graph(model.activity_graphs()[0]).net;
+  };
+
+  // Exact: derive the marking graph and solve the CTMC.
+  pepanet::PepaNet net = build_net();
+  pepanet::NetSemantics semantics(net);
+  const auto space = pepanet::NetStateSpace::derive(semantics);
+  const auto solved = ctmc::steady_state(space.generator());
+
+  // Simulated: 16 independent replications with 95% confidence intervals.
+  sim::ReplicateOptions options;
+  options.replications = 16;
+  options.run.warmup_time = 200.0;
+  options.run.horizon = 20000.0;
+  options.seed = 2024;
+  const auto simulated = sim::replicate(
+      [&] { return std::make_unique<sim::NetSystem>(build_net()); }, options);
+
+  util::TextTable table({"activity", "exact throughput", "simulated (95% CI)",
+                         "CI covers exact"});
+  for (const char* name : {"download_file_1", "handover_1",
+                           "continue_download_1", "abort_download_1"}) {
+    const auto action = *net.arena().find_action(name);
+    const double exact =
+        pepanet::action_throughput(space, solved.distribution, action);
+    const auto interval = simulated.throughput(action);
+    table.add_row({name, util::format_double(exact),
+                   util::format_double(interval.low()) + " .. " +
+                       util::format_double(interval.high()),
+                   interval.contains(exact) ? "yes" : "NO"});
+  }
+  std::cout << "exact solution: " << space.marking_count() << " markings, "
+            << ctmc::method_name(solved.method_used) << "\n"
+            << "simulation: " << options.replications << " replications x "
+            << options.run.horizon << " time units\n\n"
+            << table;
+  return 0;
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Rebuilds everything, runs the full test suite and every experiment bench,
+# and records the transcripts EXPERIMENTS.md refers to.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

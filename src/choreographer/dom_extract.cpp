@@ -1,0 +1,86 @@
+#include "choreographer/dom_extract.hpp"
+
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "xml/query.hpp"
+
+namespace choreo::chor {
+
+namespace {
+
+std::string need(const xml::Node& node, const char* attribute) {
+  const auto value = node.attr(attribute);
+  if (!value) {
+    throw util::ModelError(util::msg("<", node.name(), "> lacks '", attribute,
+                                     "' (DOM extractor)"));
+  }
+  return *value;
+}
+
+void copy_tags(const xml::Node& element, uml::TaggedValues& tags) {
+  for (const xml::Node* child : element.find_children("UML:TaggedValue")) {
+    tags.set(need(*child, "tag"), need(*child, "value"));
+  }
+}
+
+}  // namespace
+
+ActivityExtraction extract_activity_graph_dom(const xml::Document& document,
+                                              const ExtractOptions& options) {
+  const xml::Node* element = xml::select_first(
+      document.root(), "XMI.content/UML:Model/UML:ActivityGraph");
+  if (element == nullptr) {
+    throw util::ModelError("document has no UML:ActivityGraph");
+  }
+
+  // Hand-rolled DOM walk (deliberately independent of uml::from_xmi).
+  uml::ActivityGraph graph(element->attr_or("name", ""));
+  std::unordered_map<std::string, uml::NodeId> nodes;
+  std::unordered_map<std::string, uml::ObjectNodeId> objects;
+
+  for (const xml::Node& child : element->children()) {
+    if (!child.is_element()) continue;
+    if (child.name() == "UML:PseudoState") {
+      const std::string kind = child.attr_or("kind", "initial");
+      nodes[need(child, "xmi.id")] =
+          kind == "initial" ? graph.add_initial()
+                            : graph.add_decision(child.attr_or("name", ""));
+    } else if (child.name() == "UML:FinalState") {
+      nodes[need(child, "xmi.id")] = graph.add_final();
+    } else if (child.name() == "UML:ActionState") {
+      uml::ActivityNode node;
+      node.kind = uml::ActivityNode::Kind::kAction;
+      node.name = need(child, "name");
+      copy_tags(child, node.tags);
+      for (const xml::Node* stereotype : child.find_children("UML:Stereotype")) {
+        node.is_move |= stereotype->attr_or("name", "") == "move";
+      }
+      nodes[need(child, "xmi.id")] = graph.add_node(std::move(node));
+    } else if (child.name() == "UML:ObjectFlowState") {
+      const uml::ObjectNodeId id =
+          graph.add_object(need(child, "name"), child.attr_or("classifier", ""),
+                           "", child.attr_or("state", ""));
+      copy_tags(child, graph.objects()[id].tags);
+      objects[need(child, "xmi.id")] = id;
+    }
+  }
+  for (const xml::Node& child : element->children()) {
+    if (!child.is_element()) continue;
+    if (child.name() == "UML:Transition") {
+      graph.add_control_flow(nodes.at(need(child, "source")),
+                             nodes.at(need(child, "target")));
+    } else if (child.name() == "UML:ObjectFlow") {
+      const std::string source = need(child, "source");
+      const std::string target = need(child, "target");
+      if (objects.count(source)) {
+        graph.add_object_flow(nodes.at(target), objects.at(source), true);
+      } else {
+        graph.add_object_flow(nodes.at(source), objects.at(target), false);
+      }
+    }
+  }
+  return extract_activity_graph(graph, options);
+}
+
+}  // namespace choreo::chor

@@ -1,0 +1,21 @@
+// The DOM extractor path.
+//
+// The paper's Choreographer has two ways of accessing UML models: the PEPA
+// and LySa extractors walk a DOM tree directly, while the PEPA-net
+// extractor goes through the typed NetBeans MDR metamodel.  This module is
+// the DOM analogue: it navigates raw xml::Node trees (no uml::from_xmi, no
+// typed metamodel reader) to recover the activity graph, then applies the
+// same Section-3 mapping.  A test asserts both paths derive identical nets.
+#pragma once
+
+#include "choreographer/extract_activity.hpp"
+#include "xml/dom.hpp"
+
+namespace choreo::chor {
+
+/// Extracts the first UML:ActivityGraph of an XMI document by direct DOM
+/// navigation.  Throws util::ModelError when none exists.
+ActivityExtraction extract_activity_graph_dom(const xml::Document& document,
+                                              const ExtractOptions& options = {});
+
+}  // namespace choreo::chor

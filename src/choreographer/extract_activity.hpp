@@ -1,0 +1,60 @@
+// The Choreographer activity-diagram extractor: realises the Section 3
+// mapping from mobility-annotated UML activity diagrams to PEPA nets.
+//
+//   UML activity diagram                PEPA net
+//   -------------------------------    -------------------------------
+//   location (atloc value)             net-level place
+//   <<move>> activity                  net-level transition (firing)
+//   object                             PEPA token (one type per object)
+//   activity with associated object    activity of that token
+//   activity without object            activity of the static component
+//                                      of the activity's location
+//   first recorded object location     place of the token in M0
+//   location of object-less activity   place of the static component
+//
+// Control structure: sequential flows become PEPA prefix, decision diamonds
+// and multiple outgoing flows become choice.  Final nodes (and dead ends)
+// restart the token at its initial behaviour when `cyclic` is set — the
+// recurrent interpretation steady-state analysis requires.
+//
+// Restrictions (mirroring the paper's Section 6 list): fork/join/merge
+// nodes are not supported, and a single <<move>> may not relocate two
+// objects away from the same place (the net-level transition would need
+// arc multiplicities).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pepanet/net.hpp"
+#include "uml/model.hpp"
+
+namespace choreo::chor {
+
+struct ExtractOptions {
+  /// Rate used for action states without a "rate" tagged value.
+  double default_rate = 1.0;
+  /// Final nodes / dead ends restart the token (recurrent interpretation).
+  bool cyclic = true;
+};
+
+struct ActivityExtraction {
+  pepanet::PepaNet net;
+  /// Place names indexed by PlaceId (sanitised location names).
+  std::vector<std::string> place_names;
+  /// For each activity-graph node: the PEPA action name it was mapped to
+  /// (actions only; nullopt for pseudo states).  Used by the reflector.
+  std::vector<std::optional<std::string>> action_names;
+  /// (object name, token type name) in extraction order.
+  std::vector<std::pair<std::string, std::string>> tokens;
+  /// Locations that received a static component.
+  std::vector<std::string> static_locations;
+};
+
+/// Extracts a PEPA net from an activity graph.  Throws util::ModelError on
+/// diagrams outside the supported subset.
+ActivityExtraction extract_activity_graph(const uml::ActivityGraph& graph,
+                                          const ExtractOptions& options = {});
+
+}  // namespace choreo::chor

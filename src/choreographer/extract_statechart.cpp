@@ -1,0 +1,130 @@
+#include "choreographer/extract_statechart.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "choreographer/names.hpp"
+#include "util/error.hpp"
+
+namespace choreo::chor {
+
+namespace uml = choreo::uml;
+namespace pepa = choreo::pepa;
+
+StatechartExtraction extract_state_machines(const uml::Model& model) {
+  if (model.state_machines().empty()) {
+    throw util::ModelError(
+        util::msg("model '", model.name(), "' has no state machines"));
+  }
+
+  StatechartExtraction extraction;
+  pepa::ProcessArena& arena = extraction.model.arena();
+  NamePool pool;
+
+  // Declare every state constant first (transitions may go forward).
+  std::vector<std::vector<pepa::ConstantId>> constants;
+  for (const uml::StateMachine& machine : model.state_machines()) {
+    machine.validate();
+    std::vector<pepa::ConstantId> ids;
+    std::vector<std::string> names;
+    for (const uml::SimpleState& state : machine.states()) {
+      const std::string name = pool.unique(state.name);
+      ids.push_back(arena.declare(name));
+      names.push_back(name);
+    }
+    constants.push_back(std::move(ids));
+    extraction.state_constants.push_back(std::move(names));
+  }
+
+  // One choice-of-prefixes body per state.
+  for (std::size_t m = 0; m < model.state_machines().size(); ++m) {
+    const uml::StateMachine& machine = model.state_machines()[m];
+    for (uml::StateId s = 0; s < machine.states().size(); ++s) {
+      pepa::ProcessId body = pepa::kInvalidProcess;
+      for (const uml::MachineTransition& t : machine.transitions()) {
+        if (t.source != s) continue;
+        const pepa::Rate rate =
+            t.passive ? pepa::Rate::passive(t.rate) : pepa::Rate::active(t.rate);
+        const pepa::ProcessId branch =
+            arena.prefix(arena.action(sanitise_identifier(t.action)), rate,
+                         arena.constant(constants[m][t.target]));
+        body = body == pepa::kInvalidProcess ? branch : arena.choice(body, branch);
+      }
+      if (body == pepa::kInvalidProcess) body = arena.stop();
+      arena.define(constants[m][s], body);
+      extraction.model.add_definition(constants[m][s]);
+    }
+  }
+
+  // System equation.  Machines describing the same class (same non-empty
+  // `context`) are replicas and interleave (empty cooperation set: three
+  // clients race independently); distinct classes cooperate on their shared
+  // action types (the request/response synchronisation of Figures 8-9).
+  const std::size_t machine_count = model.state_machines().size();
+  std::vector<pepa::ProcessId> group_terms;
+  std::vector<std::vector<pepa::ActionId>> group_alphabets;
+  std::vector<std::string> group_contexts;
+  for (std::size_t m = 0; m < machine_count; ++m) {
+    const pepa::ProcessId component = arena.constant(
+        constants[m][model.state_machines()[m].initial_state()]);
+    const std::string& context = model.state_machines()[m].context();
+    if (!context.empty() && !group_contexts.empty() &&
+        group_contexts.back() == context) {
+      group_terms.back() = arena.cooperation(group_terms.back(), {}, component);
+      continue;
+    }
+    group_terms.push_back(component);
+    group_alphabets.push_back(pepa::alphabet(arena, component));
+    group_contexts.push_back(context);
+  }
+
+  // Interaction diagrams (the paper's Section 6 refinement) override the
+  // shared-alphabet default: when some diagram lists both contexts as
+  // lifelines, the pair synchronises only on the actions messaged between
+  // them.  Pairs no diagram covers keep the default.
+  auto messaged_actions = [&](const std::string& a, const std::string& b)
+      -> std::optional<std::vector<pepa::ActionId>> {
+    if (a.empty() || b.empty()) return std::nullopt;
+    bool covered = false;
+    std::vector<pepa::ActionId> allowed;
+    for (const uml::InteractionDiagram& diagram : model.interactions()) {
+      if (!diagram.has_lifeline(a) || !diagram.has_lifeline(b)) continue;
+      covered = true;
+      for (const uml::Message& message : diagram.messages()) {
+        const bool between = (message.sender == a && message.receiver == b) ||
+                             (message.sender == b && message.receiver == a);
+        if (!between) continue;
+        if (auto action =
+                arena.find_action(sanitise_identifier(message.action))) {
+          allowed.push_back(*action);
+        }
+      }
+    }
+    if (!covered) return std::nullopt;
+    std::sort(allowed.begin(), allowed.end());
+    allowed.erase(std::unique(allowed.begin(), allowed.end()), allowed.end());
+    return allowed;
+  };
+
+  pepa::ProcessId system = group_terms.back();
+  for (std::size_t g = group_terms.size() - 1; g-- > 0;) {
+    std::vector<pepa::ActionId> coop_set;
+    for (std::size_t h = g + 1; h < group_terms.size(); ++h) {
+      std::vector<pepa::ActionId> pairwise =
+          pepa::set_intersection(group_alphabets[g], group_alphabets[h]);
+      if (const auto allowed =
+              messaged_actions(group_contexts[g], group_contexts[h])) {
+        pairwise = pepa::set_intersection(pairwise, *allowed);
+      }
+      coop_set = pepa::set_union(coop_set, pairwise);
+    }
+    system = arena.cooperation(group_terms[g], coop_set, system);
+  }
+  const pepa::ConstantId system_constant = arena.declare(pool.unique("System"));
+  arena.define(system_constant, system);
+  extraction.model.add_definition(system_constant);
+  extraction.model.set_system(arena.constant(system_constant));
+  return extraction;
+}
+
+}  // namespace choreo::chor

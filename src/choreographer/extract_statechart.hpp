@@ -1,0 +1,27 @@
+// Extraction of plain PEPA models from UML state diagrams (the paper's
+// Section 5 client/server analysis): each state machine becomes one
+// sequential PEPA component with one named constant per state, and the
+// system equation is the cooperation of all machines over their shared
+// action types (the request/response synchronisation of Figures 8-9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pepa/model.hpp"
+#include "uml/model.hpp"
+
+namespace choreo::chor {
+
+struct StatechartExtraction {
+  pepa::Model model;
+  /// For machine m and state s of the source model: the PEPA constant name
+  /// generated for it (used by the reflector and the measures).
+  std::vector<std::vector<std::string>> state_constants;
+};
+
+/// Extracts one PEPA model from all state machines of `model`.
+/// Throws util::ModelError when there are none.
+StatechartExtraction extract_state_machines(const uml::Model& model);
+
+}  // namespace choreo::chor

@@ -1,0 +1,178 @@
+#include "choreographer/measures_spec.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "pepa/measures.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace choreo::chor {
+
+namespace {
+
+const char* kind_word(MeasureSpec::Kind kind) {
+  switch (kind) {
+    case MeasureSpec::Kind::kThroughput: return "throughput";
+    case MeasureSpec::Kind::kProbability: return "probability";
+    case MeasureSpec::Kind::kPopulation: return "population";
+    case MeasureSpec::Kind::kOccupancy: return "occupancy";
+    case MeasureSpec::Kind::kMeanTokens: return "mean_tokens";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string MeasureSpec::to_string() const {
+  return std::string(kind_word(kind)) + " " + name;
+}
+
+std::vector<MeasureSpec> parse_measures(std::string_view source,
+                                        const std::string& source_name) {
+  std::vector<MeasureSpec> out;
+  std::size_t line_number = 0;
+  for (const std::string& raw_line : util::split(source, '\n')) {
+    ++line_number;
+    std::string_view line = util::trim(raw_line);
+    if (const auto comment = line.find("//"); comment != std::string_view::npos) {
+      line = util::trim(line.substr(0, comment));
+    }
+    if (line.empty() || line.front() == '#' || line.front() == '%') continue;
+    if (line.back() == ';') line = util::trim(line.substr(0, line.size() - 1));
+    const auto words = util::split_ws(line);
+    if (words.size() != 2) {
+      throw util::ParseError(source_name, line_number, 1,
+                             "expected '<kind> <name>;'");
+    }
+    MeasureSpec spec;
+    if (words[0] == "throughput") {
+      spec.kind = MeasureSpec::Kind::kThroughput;
+    } else if (words[0] == "probability") {
+      spec.kind = MeasureSpec::Kind::kProbability;
+    } else if (words[0] == "population") {
+      spec.kind = MeasureSpec::Kind::kPopulation;
+    } else if (words[0] == "occupancy") {
+      spec.kind = MeasureSpec::Kind::kOccupancy;
+    } else if (words[0] == "mean_tokens") {
+      spec.kind = MeasureSpec::Kind::kMeanTokens;
+    } else {
+      throw util::ParseError(source_name, line_number, 1,
+                             util::msg("unknown measure kind '", words[0], "'"));
+    }
+    if (!util::is_identifier(words[1])) {
+      throw util::ParseError(source_name, line_number, 1,
+                             util::msg("malformed name '", words[1], "'"));
+    }
+    spec.name = words[1];
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::vector<MeasureSpec> parse_measures_file(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) throw util::Error(util::msg("cannot open '", path, "'"));
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  const std::string contents = buffer.str();
+  return parse_measures(contents, path);
+}
+
+std::vector<MeasureValue> evaluate_measures(
+    const std::vector<MeasureSpec>& specs, const pepa::ProcessArena& arena,
+    const pepa::StateSpace& space, const std::vector<double>& distribution) {
+  std::vector<MeasureValue> out;
+  for (const MeasureSpec& spec : specs) {
+    MeasureValue value;
+    value.spec = spec;
+    switch (spec.kind) {
+      case MeasureSpec::Kind::kThroughput: {
+        const auto action = arena.find_action(spec.name);
+        if (!action) {
+          value.note = "unknown action";
+          break;
+        }
+        value.value = pepa::action_throughput(space, distribution, *action);
+        value.supported = true;
+        break;
+      }
+      case MeasureSpec::Kind::kProbability:
+      case MeasureSpec::Kind::kPopulation: {
+        const auto constant = arena.find_constant(spec.name);
+        if (!constant) {
+          value.note = "unknown derivative";
+          break;
+        }
+        value.value =
+            spec.kind == MeasureSpec::Kind::kProbability
+                ? pepa::state_probability(space, distribution, arena, *constant)
+                : pepa::mean_population(space, distribution, arena, *constant);
+        value.supported = true;
+        break;
+      }
+      case MeasureSpec::Kind::kOccupancy:
+      case MeasureSpec::Kind::kMeanTokens:
+        value.note = "place measures need a PEPA net";
+        break;
+    }
+    out.push_back(std::move(value));
+  }
+  return out;
+}
+
+std::vector<MeasureValue> evaluate_measures(
+    const std::vector<MeasureSpec>& specs, const pepanet::PepaNet& net,
+    const pepanet::NetStateSpace& space, const std::vector<double>& distribution) {
+  std::vector<MeasureValue> out;
+  for (const MeasureSpec& spec : specs) {
+    MeasureValue value;
+    value.spec = spec;
+    switch (spec.kind) {
+      case MeasureSpec::Kind::kThroughput: {
+        const auto action = net.arena().find_action(spec.name);
+        if (!action) {
+          value.note = "unknown action";
+          break;
+        }
+        value.value = pepanet::action_throughput(space, distribution, *action);
+        value.supported = true;
+        break;
+      }
+      case MeasureSpec::Kind::kProbability: {
+        const auto constant = net.arena().find_constant(spec.name);
+        if (!constant) {
+          value.note = "unknown derivative";
+          break;
+        }
+        // Probability that some cell holds a token in this derivative.
+        value.value = pepanet::derivative_probability_by_constant(
+            net, space, distribution, *constant);
+        value.supported = true;
+        break;
+      }
+      case MeasureSpec::Kind::kPopulation:
+        value.note = "population measures apply to plain PEPA models";
+        break;
+      case MeasureSpec::Kind::kOccupancy:
+      case MeasureSpec::Kind::kMeanTokens: {
+        const auto place = net.find_place(spec.name);
+        if (!place) {
+          value.note = "unknown place";
+          break;
+        }
+        value.value = spec.kind == MeasureSpec::Kind::kOccupancy
+                          ? pepanet::occupancy_probability(net, space,
+                                                           distribution, *place)
+                          : pepanet::mean_tokens_at(net, space, distribution,
+                                                    *place);
+        value.supported = true;
+        break;
+      }
+    }
+    out.push_back(std::move(value));
+  }
+  return out;
+}
+
+}  // namespace choreo::chor

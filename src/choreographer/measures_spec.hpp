@@ -1,0 +1,66 @@
+// Measure specification files (.measures): a small declarative language
+// naming the performance measures to evaluate on a solved model, in the
+// spirit of the PEPA Workbench's measurement specifications.
+//
+//   // comments allowed
+//   throughput  transmit;        // completions per time unit of an action
+//   probability InStream;        // P[some component is in this derivative]
+//   population  Busy;            // mean number of components in it
+//   occupancy   p2;              // nets: P[some token resident at place]
+//   mean_tokens p2;              // nets: mean token count at place
+//
+// Evaluators exist for both plain PEPA state spaces and PEPA-net marking
+// graphs; measures that do not apply to the analysed artefact (e.g. place
+// occupancy on a plain PEPA model) are reported as unsupported rather than
+// silently dropped.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pepa/statespace.hpp"
+#include "pepanet/netstatespace.hpp"
+
+namespace choreo::chor {
+
+struct MeasureSpec {
+  enum class Kind {
+    kThroughput,
+    kProbability,
+    kPopulation,
+    kOccupancy,
+    kMeanTokens,
+  };
+  Kind kind = Kind::kThroughput;
+  /// The action / derivative / place name the measure refers to.
+  std::string name;
+
+  std::string to_string() const;
+};
+
+/// Parses the .measures format; throws util::ParseError on bad input.
+std::vector<MeasureSpec> parse_measures(std::string_view source,
+                                        const std::string& source_name = "<measures>");
+std::vector<MeasureSpec> parse_measures_file(const std::string& path);
+
+struct MeasureValue {
+  MeasureSpec spec;
+  double value = 0.0;
+  /// False when the measure does not apply (wrong artefact kind or an
+  /// unknown name); `note` explains why.
+  bool supported = false;
+  std::string note;
+};
+
+/// Evaluates against a solved PEPA state space.
+std::vector<MeasureValue> evaluate_measures(
+    const std::vector<MeasureSpec>& specs, const pepa::ProcessArena& arena,
+    const pepa::StateSpace& space, const std::vector<double>& distribution);
+
+/// Evaluates against a solved PEPA-net marking graph.
+std::vector<MeasureValue> evaluate_measures(
+    const std::vector<MeasureSpec>& specs, const pepanet::PepaNet& net,
+    const pepanet::NetStateSpace& space, const std::vector<double>& distribution);
+
+}  // namespace choreo::chor

@@ -1,0 +1,29 @@
+#include "choreographer/names.hpp"
+
+#include <cctype>
+
+namespace choreo::chor {
+
+std::string sanitise_identifier(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const auto uc = static_cast<unsigned char>(c);
+    out.push_back(std::isalnum(uc) || c == '_' ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out.front()))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string NamePool::unique(std::string_view name) {
+  std::string base = sanitise_identifier(name);
+  if (used_.insert(base).second) return base;
+  for (int suffix = 2;; ++suffix) {
+    std::string candidate = base + "_" + std::to_string(suffix);
+    if (used_.insert(candidate).second) return candidate;
+  }
+}
+
+}  // namespace choreo::chor

@@ -1,0 +1,29 @@
+// Name mangling between UML and PEPA.
+//
+// UML activity names ("download file", "detect weak signal") become PEPA
+// action types and constants, which are identifiers; this module performs
+// the (deterministic) sanitisation and keeps generated names unique.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace choreo::chor {
+
+/// Lower-cases nothing, but replaces every character outside
+/// [A-Za-z0-9_] with '_' and prefixes '_' when the name starts with a
+/// digit or is empty.
+std::string sanitise_identifier(std::string_view name);
+
+/// A pool handing out unique sanitised identifiers: a second request for a
+/// colliding name gets a "_2", "_3", ... suffix.
+class NamePool {
+ public:
+  std::string unique(std::string_view name);
+
+ private:
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace choreo::chor

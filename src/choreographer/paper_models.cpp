@@ -1,0 +1,214 @@
+#include "choreographer/paper_models.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace choreo::chor {
+
+namespace {
+using uml::ActivityGraph;
+using uml::NodeId;
+using uml::ObjectNodeId;
+
+/// Attaches `box` as both input and output of `action` (the object is
+/// required by and updated by the activity, as in the paper's Figure 1).
+void involve(ActivityGraph& graph, NodeId action, ObjectNodeId box) {
+  graph.add_object_flow(action, box, /*into_action=*/true);
+  graph.add_object_flow(action, box, /*into_action=*/false);
+}
+}  // namespace
+
+uml::Model file_activity_model(const FileParams& params) {
+  uml::Model model("file");
+  ActivityGraph graph("file_activities");
+
+  const NodeId initial = graph.add_initial();
+  const NodeId decision = graph.add_decision("read_or_write");
+  const NodeId openread = graph.add_action("openread", params.open_rate);
+  const NodeId openwrite = graph.add_action("openwrite", params.open_rate);
+  const NodeId read = graph.add_action("read", params.read_rate);
+  const NodeId write = graph.add_action("write", params.write_rate);
+  const NodeId close_r = graph.add_action("close_after_read", params.close_rate);
+  const NodeId close_w = graph.add_action("close_after_write", params.close_rate);
+  const NodeId final_node = graph.add_final();
+
+  graph.add_control_flow(initial, decision);
+  graph.add_control_flow(decision, openread);
+  graph.add_control_flow(decision, openwrite);
+  graph.add_control_flow(openread, read);
+  graph.add_control_flow(read, close_r);
+  graph.add_control_flow(openwrite, write);
+  graph.add_control_flow(write, close_w);
+  graph.add_control_flow(close_r, final_node);
+  graph.add_control_flow(close_w, final_node);
+
+  // One file object; no atloc tags (no mobility in Figure 1).
+  const ObjectNodeId f = graph.add_object("f", "FILE", "");
+  for (NodeId action : {openread, openwrite, read, write, close_r, close_w}) {
+    involve(graph, action, f);
+  }
+  model.add_activity_graph(std::move(graph));
+  return model;
+}
+
+uml::Model instant_message_model(const InstantMessageParams& params) {
+  uml::Model model("instant_message");
+  ActivityGraph graph("instant_message");
+
+  const NodeId initial = graph.add_initial();
+  const NodeId openwrite = graph.add_action("openwrite", params.open_rate);
+  const NodeId write = graph.add_action("write", params.write_rate);
+  const NodeId close_w = graph.add_action("close_after_write", params.close_rate);
+  const NodeId transmit =
+      graph.add_action("transmit", params.transmit_rate, /*is_move=*/true);
+  const NodeId openread = graph.add_action("openread", params.open_rate);
+  const NodeId read = graph.add_action("read", params.read_rate);
+  const NodeId close_r = graph.add_action("close_after_read", params.close_rate);
+  const NodeId archive =
+      graph.add_action("archive", params.archive_rate, /*is_move=*/true);
+
+  graph.add_control_flow(initial, openwrite);
+  graph.add_control_flow(openwrite, write);
+  graph.add_control_flow(write, close_w);
+  graph.add_control_flow(close_w, transmit);
+  graph.add_control_flow(transmit, openread);
+  graph.add_control_flow(openread, read);
+  graph.add_control_flow(read, close_r);
+  graph.add_control_flow(close_r, archive);
+  graph.add_control_flow(archive, openwrite);
+
+  // Figure 2's object boxes: the message at p1 before the transmit, at p2
+  // afterwards (state marks track the figure's f, f*, f**, ... sequence).
+  const ObjectNodeId at_p1 = graph.add_object("f", "FILE", "p1");
+  const ObjectNodeId at_p1_written = graph.add_object("f", "FILE", "p1", "**");
+  const ObjectNodeId at_p2 = graph.add_object("f", "FILE", "p2");
+  const ObjectNodeId at_p2_read = graph.add_object("f", "FILE", "p2", "''");
+
+  involve(graph, openwrite, at_p1);
+  involve(graph, write, at_p1);
+  involve(graph, close_w, at_p1_written);
+  graph.add_object_flow(transmit, at_p1_written, /*into_action=*/true);
+  graph.add_object_flow(transmit, at_p2, /*into_action=*/false);
+  involve(graph, openread, at_p2);
+  involve(graph, read, at_p2);
+  involve(graph, close_r, at_p2_read);
+  graph.add_object_flow(archive, at_p2_read, /*into_action=*/true);
+  graph.add_object_flow(archive, at_p1, /*into_action=*/false);
+
+  model.add_activity_graph(std::move(graph));
+  return model;
+}
+
+uml::Model pda_handover_model(const PdaParams& params) {
+  if (params.transmitters < 2) {
+    throw util::ModelError("the handover ring needs at least two transmitters");
+  }
+  uml::Model model("pda_handover");
+  ActivityGraph graph("pda_handover");
+
+  const std::size_t n = params.transmitters;
+  auto transmitter = [](std::size_t i) {
+    return "transmitter_" + std::to_string(i + 1);
+  };
+  auto suffixed = [](const char* stem, std::size_t i) {
+    return std::string(stem) + "_" + std::to_string(i + 1);
+  };
+
+  const NodeId initial = graph.add_initial();
+  std::vector<NodeId> download(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    download[i] = graph.add_action(suffixed("download_file", i),
+                                   params.download_rate);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t next = (i + 1) % n;
+    const NodeId detect = graph.add_action(suffixed("detect_weak_signal", i),
+                                           params.detect_rate);
+    const NodeId search = graph.add_action(
+        suffixed("search_for_transmitters", i), params.search_rate);
+    const NodeId handover = graph.add_action(suffixed("handover", i),
+                                             params.handover_rate,
+                                             /*is_move=*/true);
+    const NodeId outcome = graph.add_decision(suffixed("outcome", i));
+    const NodeId cont = graph.add_action(suffixed("continue_download", i),
+                                         params.continue_rate);
+    const NodeId abort = graph.add_action(suffixed("abort_download", i),
+                                          params.abort_rate);
+
+    graph.add_control_flow(download[i], detect);
+    graph.add_control_flow(detect, search);
+    graph.add_control_flow(search, handover);
+    graph.add_control_flow(handover, outcome);
+    graph.add_control_flow(outcome, cont);
+    graph.add_control_flow(outcome, abort);
+    graph.add_control_flow(cont, download[next]);
+    graph.add_control_flow(abort, download[next]);
+
+    const ObjectNodeId here = graph.add_object("session", "PDA", transmitter(i));
+    const ObjectNodeId there =
+        graph.add_object("session", "PDA", transmitter(next), "*");
+    involve(graph, download[i], here);
+    involve(graph, detect, here);
+    involve(graph, search, here);
+    graph.add_object_flow(handover, here, /*into_action=*/true);
+    graph.add_object_flow(handover, there, /*into_action=*/false);
+    involve(graph, cont, there);
+    involve(graph, abort, there);
+  }
+  graph.add_control_flow(initial, download[0]);
+
+  model.add_activity_graph(std::move(graph));
+  return model;
+}
+
+uml::Model tomcat_model(bool cached, const TomcatParams& params) {
+  if (params.clients == 0) {
+    throw util::ModelError("the Tomcat scenario needs at least one client");
+  }
+  uml::Model model(cached ? "tomcat_cached" : "tomcat_uncached");
+
+  // Clients (Figure 8).  Replicas share the context "Client" so the
+  // extractor interleaves them; the response is driven by the server.
+  for (std::size_t c = 0; c < params.clients; ++c) {
+    uml::StateMachine client("client_" + std::to_string(c + 1), "Client");
+    const auto generate = client.add_state("GenerateRequest");
+    const auto wait = client.add_state("WaitForResponse");
+    const auto process = client.add_state("ProcessResponse");
+    client.set_initial(generate);
+    client.add_transition(generate, wait, "request", params.request_rate);
+    client.add_passive_transition(wait, process, "response");
+    client.add_transition(process, generate, "offlineProcessing",
+                          params.offline_processing_rate);
+    model.add_state_machine(std::move(client));
+  }
+
+  // Server (Figure 9).  The request is passive (clients drive it); the
+  // response is active (the server drives the clients' passive response).
+  uml::StateMachine server("server", "Server");
+  const auto idle = server.add_state("ServerIdle");
+  const auto processing = server.add_state("ProcessRequest");
+  const auto sending = server.add_state("SendHTTPResponse");
+  server.set_initial(idle);
+  server.add_passive_transition(idle, processing, "request");
+  if (cached) {
+    // Direct servlet lookup: the resident servlet executes immediately.
+    const auto resident = server.add_state("CompiledJavaCode");
+    server.add_transition(processing, resident, "locateservlet",
+                          params.locate_servlet_rate);
+    server.add_transition(resident, sending, "execute", params.execute_rate);
+  } else {
+    // The full locate / translate / compile / execute JSP lifecycle.
+    const auto jsp = server.add_state("AccessJSPFile");
+    const auto generated = server.add_state("GeneratedJavaCode");
+    const auto compiled = server.add_state("CompiledJavaCode");
+    server.add_transition(processing, jsp, "locatejsp", params.locate_jsp_rate);
+    server.add_transition(jsp, generated, "translate", params.translate_rate);
+    server.add_transition(generated, compiled, "compile", params.compile_rate);
+    server.add_transition(compiled, sending, "execute", params.execute_rate);
+  }
+  server.add_transition(sending, idle, "response", params.respond_rate);
+  model.add_state_machine(std::move(server));
+  return model;
+}
+
+}  // namespace choreo::chor

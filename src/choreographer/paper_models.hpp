@@ -1,0 +1,77 @@
+// Programmatic builders for the paper's case-study UML models.  Tests,
+// examples and benchmarks all analyse these models, so they live in the
+// library rather than being re-drawn in every binary.
+//
+// Where the paper's figure describes a single pass of a recurrent scenario,
+// the builders close the cycle explicitly so the CTMC has a steady state:
+//
+//  - file_activity_model     (Figure 1): open/read/write/close on a file;
+//    no mobility (a single implicit place).  A final-to-start control flow
+//    is implied by the cyclic token interpretation.
+//  - instant_message_model   (Figure 2): write, transmit <<move>> p1->p2,
+//    read; an archive <<move>> p2->p1 returns the message so the system is
+//    recurrent (one transmit per archive in steady state).
+//  - pda_handover_model      (Figure 5): the PDA-on-a-train scenario as a
+//    ring of N transmitters (N = 2 reproduces the figure's single hop);
+//    each hop is download/detect-weak-signal/search, a <<move>> handover,
+//    then the equal-probability continue/abort outcome of the paper.
+//  - tomcat_model            (Figures 8-9): M clients against the Tomcat
+//    JSP server, with or without the direct-servlet-lookup optimisation
+//    (with it, steady state runs locate-servlet/execute; without it, every
+//    request pays locate/translate/compile/execute).
+#pragma once
+
+#include <cstddef>
+
+#include "uml/model.hpp"
+
+namespace choreo::chor {
+
+struct FileParams {
+  double open_rate = 2.0;
+  double read_rate = 1.8;
+  double write_rate = 1.2;
+  double close_rate = 3.0;
+};
+uml::Model file_activity_model(const FileParams& params = {});
+
+struct InstantMessageParams {
+  double write_rate = 1.2;
+  double transmit_rate = 0.7;
+  double open_rate = 2.0;
+  double read_rate = 1.8;
+  double close_rate = 3.0;
+  double archive_rate = 5.0;
+};
+uml::Model instant_message_model(const InstantMessageParams& params = {});
+
+struct PdaParams {
+  std::size_t transmitters = 2;
+  double download_rate = 2.0;
+  double detect_rate = 1.0;
+  double search_rate = 4.0;
+  double handover_rate = 0.5;
+  /// Equal rates give the paper's 50/50 handover outcome.
+  double continue_rate = 2.0;
+  double abort_rate = 2.0;
+};
+uml::Model pda_handover_model(const PdaParams& params = {});
+
+struct TomcatParams {
+  std::size_t clients = 1;
+  /// Client-side rates (Figure 8).
+  double request_rate = 5.0;
+  double offline_processing_rate = 2.0;
+  /// Server-side rates (Figure 9); translate and compile dominate, which is
+  /// what makes the servlet cache "very profitable".
+  double locate_jsp_rate = 20.0;
+  double translate_rate = 0.5;
+  double compile_rate = 0.8;
+  double execute_rate = 10.0;
+  double respond_rate = 25.0;
+  double locate_servlet_rate = 40.0;
+};
+/// `cached` selects the direct-servlet-lookup server of the optimisation.
+uml::Model tomcat_model(bool cached, const TomcatParams& params = {});
+
+}  // namespace choreo::chor

@@ -1,0 +1,156 @@
+#include "choreographer/pipeline.hpp"
+
+#include "choreographer/extract_activity.hpp"
+#include "choreographer/extract_statechart.hpp"
+#include "choreographer/reflect.hpp"
+#include "ctmc/steady_state.hpp"
+#include "pepa/measures.hpp"
+#include "pepa/semantics.hpp"
+#include "pepa/statespace.hpp"
+#include "pepanet/netsemantics.hpp"
+#include "pepanet/netaggregate.hpp"
+#include "pepanet/netstatespace.hpp"
+#include "uml/layout.hpp"
+#include "uml/xmi.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+#include "xml/parse.hpp"
+#include "xml/write.hpp"
+
+namespace choreo::chor {
+
+namespace {
+
+ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
+                                           const AnalysisOptions& options) {
+  ExtractOptions extract_options;
+  extract_options.default_rate = options.default_rate;
+  ActivityExtraction extraction = extract_activity_graph(graph, extract_options);
+
+  pepanet::NetSemantics semantics(extraction.net);
+  pepanet::NetDeriveOptions derive_options;
+  derive_options.max_markings = options.max_states;
+  const auto space = pepanet::NetStateSpace::derive(semantics, derive_options);
+
+  util::Stopwatch timer;
+  ActivityGraphResult result;
+  result.graph_name = graph.name();
+  result.marking_count = space.marking_count();
+  result.transition_count = space.transitions().size();
+
+  Throughputs throughputs;
+  if (options.aggregate) {
+    // Exact aggregation: throughput of every action survives the quotient.
+    const auto lumping = pepanet::aggregate(space);
+    const auto solved =
+        ctmc::steady_state(lumping.quotient_generator(), options.solver);
+    result.solve_seconds = timer.seconds();
+    for (const auto& action_name : extraction.action_names) {
+      if (!action_name) continue;
+      const auto action = extraction.net.arena().find_action(*action_name);
+      CHOREO_ASSERT(action.has_value());
+      throughputs.emplace_back(
+          *action_name, lumping.throughput(solved.distribution, *action));
+    }
+    result.throughputs = throughputs;
+    reflect_throughputs(graph, throughputs);
+    return result;
+  }
+  const auto solved = ctmc::steady_state(space.generator(), options.solver);
+  result.solve_seconds = timer.seconds();
+  for (const auto& action_name : extraction.action_names) {
+    if (!action_name) continue;
+    const auto action = extraction.net.arena().find_action(*action_name);
+    CHOREO_ASSERT(action.has_value());
+    throughputs.emplace_back(
+        *action_name,
+        pepanet::action_throughput(space, solved.distribution, *action));
+  }
+  result.throughputs = throughputs;
+  reflect_throughputs(graph, throughputs);
+  return result;
+}
+
+StateMachineResult analyse_state_machines(uml::Model& model,
+                                          const AnalysisOptions& options) {
+  StatechartExtraction extraction = extract_state_machines(model);
+  pepa::Semantics semantics(extraction.model.arena());
+  pepa::DeriveOptions derive_options;
+  derive_options.max_states = options.max_states;
+  const auto space = pepa::StateSpace::derive(
+      semantics, extraction.model.system(), derive_options);
+
+  util::Stopwatch timer;
+  const auto solved = ctmc::steady_state(space.generator(), options.solver);
+
+  StateMachineResult result;
+  result.state_count = space.state_count();
+  result.transition_count = space.transitions().size();
+  result.solve_seconds = timer.seconds();
+
+  const pepa::ProcessArena& arena = extraction.model.arena();
+  for (std::size_t m = 0; m < model.state_machines().size(); ++m) {
+    Probabilities probabilities;
+    std::vector<double> values;
+    for (const std::string& constant_name : extraction.state_constants[m]) {
+      const auto constant = arena.find_constant(constant_name);
+      CHOREO_ASSERT(constant.has_value());
+      const double probability = pepa::state_probability(
+          space, solved.distribution, arena, *constant);
+      probabilities.emplace_back(constant_name, probability);
+      values.push_back(probability);
+    }
+    result.probabilities.push_back(std::move(values));
+    reflect_probabilities(model.state_machines()[m],
+                          extraction.state_constants[m], probabilities);
+  }
+  for (const auto& [action, value] :
+       pepa::all_throughputs(space, solved.distribution, arena)) {
+    result.throughputs.emplace_back(
+        extraction.model.arena().action_name(action), value);
+  }
+  return result;
+}
+
+}  // namespace
+
+AnalysisReport analyse(uml::Model& model, const AnalysisOptions& options) {
+  model.validate();
+  if (!options.rates.empty()) apply_rates(model, options.rates);
+
+  AnalysisReport report;
+  for (uml::ActivityGraph& graph : model.activity_graphs()) {
+    report.activity_graphs.push_back(analyse_activity_graph(graph, options));
+  }
+  if (!model.state_machines().empty()) {
+    report.state_machines.push_back(analyse_state_machines(model, options));
+  }
+  return report;
+}
+
+xml::Document analyse_project(const xml::Document& project,
+                              const AnalysisOptions& options,
+                              AnalysisReport* report) {
+  // Poseidon preprocessor: split metamodel content from layout (Figure 4).
+  uml::SplitProject split = uml::preprocess(project);
+  uml::Model model = uml::from_xmi(split.model);
+
+  AnalysisReport local_report = analyse(model, options);
+  if (report != nullptr) *report = std::move(local_report);
+
+  // Reflector output, then the Poseidon postprocessor re-merges layout.
+  xml::Document reflected = uml::to_xmi(model);
+  return uml::postprocess(reflected, split.layout);
+}
+
+AnalysisReport analyse_project_file(const std::string& input_path,
+                                    const std::string& output_path,
+                                    const AnalysisOptions& options) {
+  AnalysisReport report;
+  const xml::Document project = xml::parse_file(input_path);
+  const xml::Document annotated = analyse_project(project, options, &report);
+  xml::write_file(annotated, output_path);
+  return report;
+}
+
+}  // namespace choreo::chor

@@ -1,0 +1,80 @@
+// The end-to-end Choreographer pipeline (paper Figure 4):
+//
+//   project XMI --preprocess--> model XMI --extract--> PEPA (net)
+//       --derive--> CTMC --solve--> steady state --measure--> results
+//       --reflect--> annotated model XMI --postprocess--> project XMI
+//
+// analyse() works on an in-memory uml::Model (extract/solve/reflect);
+// analyse_project() additionally runs the XMI and layout legs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "choreographer/rates.hpp"
+#include "ctmc/steady_state.hpp"
+#include "uml/model.hpp"
+#include "xml/dom.hpp"
+
+namespace choreo::chor {
+
+struct AnalysisOptions {
+  ctmc::SolveOptions solver;
+  /// Rate for unannotated activities.
+  double default_rate = 1.0;
+  /// Safety bound on marking/state counts.
+  std::size_t max_states = 2'000'000;
+  /// Externally supplied rate overrides (the .rates input of Figure 4).
+  RateAssignments rates;
+  /// Solve activity-diagram CTMCs on their strong-equivalence quotient
+  /// (exact; throughputs are unaffected).  State-diagram analyses keep the
+  /// full chain because per-state probabilities need the full states.
+  bool aggregate = false;
+};
+
+/// Per-activity-graph results.
+struct ActivityGraphResult {
+  std::string graph_name;
+  std::size_t marking_count = 0;
+  std::size_t transition_count = 0;
+  /// (action name, throughput), extraction order.
+  std::vector<std::pair<std::string, double>> throughputs;
+  double solve_seconds = 0.0;
+};
+
+/// Joint result for all state machines of the model.
+struct StateMachineResult {
+  std::size_t state_count = 0;
+  std::size_t transition_count = 0;
+  /// probabilities[m][s]: machine m, state s of the UML model.
+  std::vector<std::vector<double>> probabilities;
+  /// (action name, throughput) over the composed system.
+  std::vector<std::pair<std::string, double>> throughputs;
+  double solve_seconds = 0.0;
+};
+
+struct AnalysisReport {
+  std::vector<ActivityGraphResult> activity_graphs;
+  /// Present only when the model contains state machines.
+  std::vector<StateMachineResult> state_machines;  // 0 or 1 entries
+};
+
+/// Runs extraction, CTMC solution, measures and reflection on the model in
+/// place (tagged values are added to it).
+AnalysisReport analyse(uml::Model& model, const AnalysisOptions& options = {});
+
+/// Full Figure-4 pipeline over a project document: preprocess (strip
+/// layout), read XMI, analyse, write XMI, postprocess (merge layout).
+/// `report` (optional) receives the analysis results.
+xml::Document analyse_project(const xml::Document& project,
+                              const AnalysisOptions& options = {},
+                              AnalysisReport* report = nullptr);
+
+/// File-level convenience: reads `input_path`, writes the annotated project
+/// to `output_path`, returns the report.
+AnalysisReport analyse_project_file(const std::string& input_path,
+                                    const std::string& output_path,
+                                    const AnalysisOptions& options = {});
+
+}  // namespace choreo::chor

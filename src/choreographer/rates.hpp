@@ -1,0 +1,33 @@
+// .rates files: externally supplied rate assignments (the ".rates" input of
+// the paper's Figure 4 pipeline).  Format, one assignment per line:
+//
+//   // comments and blank lines allowed
+//   download_file = 2.0
+//   handover      = 0.5
+//
+// Names refer to activities: the assignment overrides the "rate" tagged
+// value of the matching action states and the rate of matching state-
+// machine transitions throughout the model.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "uml/model.hpp"
+
+namespace choreo::chor {
+
+using RateAssignments = std::vector<std::pair<std::string, double>>;
+
+/// Parses the .rates format.  Throws util::ParseError on malformed lines.
+RateAssignments parse_rates(std::string_view source,
+                            const std::string& source_name = "<rates>");
+RateAssignments parse_rates_file(const std::string& path);
+
+/// Applies the assignments to the model in place; returns how many
+/// activities/transitions were actually re-rated.
+std::size_t apply_rates(uml::Model& model, const RateAssignments& rates);
+
+}  // namespace choreo::chor

@@ -1,0 +1,42 @@
+#include "choreographer/reflect.hpp"
+
+#include "choreographer/names.hpp"
+#include "util/strings.hpp"
+
+namespace choreo::chor {
+
+std::size_t reflect_throughputs(uml::ActivityGraph& graph,
+                                const Throughputs& throughputs) {
+  std::size_t written = 0;
+  for (uml::ActivityNode& node : graph.nodes()) {
+    if (node.kind != uml::ActivityNode::Kind::kAction) continue;
+    const std::string sanitised = sanitise_identifier(node.name);
+    for (const auto& [action, value] : throughputs) {
+      if (action == sanitised || action == node.name) {
+        node.tags.set("throughput", util::format_double(value));
+        ++written;
+        break;
+      }
+    }
+  }
+  return written;
+}
+
+std::size_t reflect_probabilities(uml::StateMachine& machine,
+                                  const std::vector<std::string>& state_constants,
+                                  const Probabilities& probabilities) {
+  std::size_t written = 0;
+  for (uml::StateId s = 0; s < machine.states().size(); ++s) {
+    if (s >= state_constants.size()) break;
+    for (const auto& [constant, value] : probabilities) {
+      if (constant == state_constants[s]) {
+        machine.states()[s].tags.set("probability", util::format_double(value));
+        ++written;
+        break;
+      }
+    }
+  }
+  return written;
+}
+
+}  // namespace choreo::chor

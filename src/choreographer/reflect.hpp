@@ -1,0 +1,34 @@
+// The Choreographer reflector: writes analysis results back into the UML
+// model as tagged values, so the annotated diagrams can be re-opened in the
+// drawing tool (paper Figures 6-7).
+//
+//   - activity diagrams: each action state gets a "throughput" tag (the
+//     steady-state completion rate of its activity);
+//   - state diagrams: each simple state gets a "probability" tag (its
+//     steady-state probability).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "uml/model.hpp"
+
+namespace choreo::chor {
+
+/// (PEPA action name, throughput) pairs; names as produced by extraction.
+using Throughputs = std::vector<std::pair<std::string, double>>;
+/// (PEPA constant name, probability) pairs; names as produced by extraction.
+using Probabilities = std::vector<std::pair<std::string, double>>;
+
+/// Annotates matching action states; returns the number of tags written.
+std::size_t reflect_throughputs(uml::ActivityGraph& graph,
+                                const Throughputs& throughputs);
+
+/// Annotates the states of machine `m` given its extraction-time constant
+/// names; returns the number of tags written.
+std::size_t reflect_probabilities(uml::StateMachine& machine,
+                                  const std::vector<std::string>& state_constants,
+                                  const Probabilities& probabilities);
+
+}  // namespace choreo::chor

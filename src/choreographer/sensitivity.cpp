@@ -1,0 +1,92 @@
+#include "choreographer/sensitivity.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "choreographer/names.hpp"
+#include "util/error.hpp"
+
+namespace choreo::chor {
+
+namespace {
+
+/// Every rated activity of the model with its current rate (activity-state
+/// tags and state-machine transitions; passive transitions carry no rate of
+/// their own and are skipped).
+std::map<std::string, double> rated_activities(const uml::Model& model,
+                                               double default_rate) {
+  std::map<std::string, double> rates;
+  for (const uml::ActivityGraph& graph : model.activity_graphs()) {
+    for (const uml::ActivityNode& node : graph.nodes()) {
+      if (node.kind != uml::ActivityNode::Kind::kAction) continue;
+      rates[node.name] = node.tags.get_double("rate", default_rate);
+    }
+  }
+  for (const uml::StateMachine& machine : model.state_machines()) {
+    for (const uml::MachineTransition& t : machine.transitions()) {
+      if (t.passive) continue;
+      rates[t.action] = t.rate;
+    }
+  }
+  return rates;
+}
+
+/// Throughput of `action` over every analysed view of the model.
+double target_throughput(uml::Model model, const std::string& action,
+                         const AnalysisOptions& options) {
+  const AnalysisReport report = analyse(model, options);
+  const std::string sanitised = sanitise_identifier(action);
+  for (const auto& graph : report.activity_graphs) {
+    for (const auto& [name, value] : graph.throughputs) {
+      if (name == sanitised || name == action) return value;
+    }
+  }
+  for (const auto& machines : report.state_machines) {
+    for (const auto& [name, value] : machines.throughputs) {
+      if (name == sanitised || name == action) return value;
+    }
+  }
+  throw util::ModelError(
+      util::msg("target activity '", action, "' does not occur in the model"));
+}
+
+}  // namespace
+
+SensitivityReport throughput_sensitivity(const uml::Model& model,
+                                         const std::string& target_action,
+                                         const SensitivityOptions& options) {
+  SensitivityReport report;
+  report.target = target_action;
+  report.base_value =
+      target_throughput(model, target_action, options.analysis);
+  if (!(report.base_value > 0.0)) {
+    throw util::ModelError(util::msg("target activity '", target_action,
+                                     "' has zero throughput; elasticities are"
+                                     " undefined"));
+  }
+
+  const double h = options.relative_step;
+  for (const auto& [activity, rate] :
+       rated_activities(model, options.analysis.default_rate)) {
+    auto value_at = [&](double scaled_rate) {
+      uml::Model perturbed = model;
+      AnalysisOptions analysis = options.analysis;
+      analysis.rates.emplace_back(activity, scaled_rate);
+      return target_throughput(std::move(perturbed), target_action, analysis);
+    };
+    const double up = value_at(rate * (1.0 + h));
+    const double down = value_at(rate * (1.0 - h));
+    SensitivityEntry entry;
+    entry.activity = activity;
+    entry.base_rate = rate;
+    entry.elasticity = (up - down) / (2.0 * h * report.base_value);
+    report.entries.push_back(std::move(entry));
+  }
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const SensitivityEntry& a, const SensitivityEntry& b) {
+              return a.elasticity > b.elasticity;
+            });
+  return report;
+}
+
+}  // namespace choreo::chor

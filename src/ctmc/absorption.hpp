@@ -1,0 +1,34 @@
+// Absorption analysis for CTMCs with absorbing states.
+//
+// For a chain with one or more absorbing states (e.g. "download aborted" /
+// "download completed" outcomes), computes per starting state the
+// probability of ending in each absorbing state.  Complements the passage
+// module: passage gives *when*, absorption gives *which* terminal outcome.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ctmc/generator.hpp"
+
+namespace choreo::ctmc {
+
+struct Absorption {
+  /// The absorbing states, in ascending order.
+  std::vector<std::size_t> absorbing;
+  /// probabilities[s][k] = P[chain started in s is eventually absorbed in
+  /// absorbing[k]].  Rows of transient states sum to 1 when absorption is
+  /// certain; states that can avoid absorption forever sum to less.
+  std::vector<std::vector<double>> probabilities;
+
+  /// Probability that `state` is absorbed in `target` (a member of
+  /// `absorbing`); throws util::NumericError when target is not absorbing.
+  double probability(std::size_t state, std::size_t target) const;
+};
+
+/// Solves the absorption equations by Gauss-Seidel sweeps (the system
+/// matrix is an M-matrix).  Throws util::NumericError when the chain has no
+/// absorbing state.
+Absorption absorption_probabilities(const Generator& generator);
+
+}  // namespace choreo::ctmc

@@ -1,0 +1,69 @@
+#include "ctmc/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace choreo::ctmc {
+
+Generator Generator::build(std::size_t state_count,
+                           const std::vector<RatedTransition>& transitions) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(transitions.size() * 2);
+  std::vector<double> exit(state_count, 0.0);
+  for (const RatedTransition& t : transitions) {
+    CHOREO_ASSERT(t.source < state_count && t.target < state_count);
+    if (!(t.rate > 0.0) || !std::isfinite(t.rate)) {
+      throw util::ModelError(util::msg("transition ", t.source, " -> ", t.target,
+                                       " has non-positive rate ", t.rate));
+    }
+    if (t.source == t.target) continue;
+    triplets.push_back({t.source, t.target, t.rate});
+    exit[t.source] += t.rate;
+  }
+  for (std::size_t s = 0; s < state_count; ++s) {
+    if (exit[s] > 0.0) triplets.push_back({s, s, -exit[s]});
+  }
+
+  Generator generator;
+  generator.matrix_ = CsrMatrix::from_triplets(state_count, std::move(triplets));
+  generator.transposed_ = generator.matrix_.transposed();
+  generator.max_exit_rate_ =
+      exit.empty() ? 0.0 : *std::max_element(exit.begin(), exit.end());
+  return generator;
+}
+
+double Generator::exit_rate(std::size_t state) const {
+  return -matrix_.at(state, state);
+}
+
+std::vector<std::size_t> Generator::absorbing_states() const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < state_count(); ++s) {
+    if (matrix_.row_columns(s).empty()) out.push_back(s);
+  }
+  return out;
+}
+
+void Generator::validate(double tolerance) const {
+  for (std::size_t row = 0; row < state_count(); ++row) {
+    const auto columns = matrix_.row_columns(row);
+    const auto values = matrix_.row_values(row);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < columns.size(); ++k) {
+      sum += values[k];
+      if (columns[k] != row && values[k] < 0.0) {
+        throw util::NumericError(
+            util::msg("negative off-diagonal entry Q[", row, "][", columns[k],
+                      "] = ", values[k]));
+      }
+    }
+    if (std::abs(sum) > tolerance) {
+      throw util::NumericError(
+          util::msg("generator row ", row, " sums to ", sum, ", expected 0"));
+    }
+  }
+}
+
+}  // namespace choreo::ctmc

@@ -1,0 +1,56 @@
+// Infinitesimal generator matrices of Continuous-Time Markov Chains.
+//
+// A Generator is built from the labelled transitions produced by PEPA /
+// PEPA-net state-space derivation: parallel transitions between the same
+// pair of states accumulate, and the diagonal holds the negated exit rates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ctmc/sparse.hpp"
+
+namespace choreo::ctmc {
+
+/// A rated transition between two CTMC states.
+struct RatedTransition {
+  std::size_t source;
+  std::size_t target;
+  double rate;
+};
+
+class Generator {
+ public:
+  Generator() = default;
+
+  /// Builds the generator of a CTMC with `state_count` states from rated
+  /// transitions.  Self-loops are dropped (they do not affect the CTMC).
+  /// Throws util::ModelError on non-positive rates.
+  static Generator build(std::size_t state_count,
+                         const std::vector<RatedTransition>& transitions);
+
+  std::size_t state_count() const noexcept { return matrix_.size(); }
+  const CsrMatrix& matrix() const noexcept { return matrix_; }
+  /// Q transposed, which the iterative steady-state solvers run on.
+  const CsrMatrix& matrix_transposed() const noexcept { return transposed_; }
+
+  /// Total exit rate of a state (= -Q[state][state]).
+  double exit_rate(std::size_t state) const;
+  /// Largest exit rate over all states (the uniformisation constant basis).
+  double max_exit_rate() const noexcept { return max_exit_rate_; }
+
+  /// States with no outgoing transitions.  A deadlocked state makes the
+  /// steady-state distribution degenerate; PEPA tooling reports these.
+  std::vector<std::size_t> absorbing_states() const;
+
+  /// Verifies row sums vanish (within tolerance) and off-diagonal entries
+  /// are non-negative; throws util::NumericError otherwise.
+  void validate(double tolerance = 1e-9) const;
+
+ private:
+  CsrMatrix matrix_;
+  CsrMatrix transposed_;
+  double max_exit_rate_ = 0.0;
+};
+
+}  // namespace choreo::ctmc

@@ -1,0 +1,120 @@
+#include "ctmc/labelled_lumping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace choreo::ctmc {
+
+namespace {
+
+using Signature = std::vector<std::pair<std::pair<std::uint32_t, std::size_t>, double>>;
+
+/// rate(s, alpha, block) for every (alpha, block) with non-zero rate.
+Signature signature_of(std::size_t state,
+                       const std::vector<std::vector<std::size_t>>& outgoing,
+                       const std::vector<LabelledTransition>& transitions,
+                       const std::vector<std::size_t>& block_of) {
+  std::map<std::pair<std::uint32_t, std::size_t>, double> into;
+  for (std::size_t index : outgoing[state]) {
+    const LabelledTransition& t = transitions[index];
+    into[{t.label, block_of[t.target]}] += t.rate;
+  }
+  Signature out(into.begin(), into.end());
+  for (auto& [key, rate] : out) rate = std::round(rate * 1e12) / 1e12;
+  return out;
+}
+
+}  // namespace
+
+LabelledLumping compute_labelled_lumping(
+    std::size_t state_count, const std::vector<LabelledTransition>& transitions,
+    std::vector<std::size_t> initial_partition) {
+  if (initial_partition.empty()) initial_partition.assign(state_count, 0);
+  CHOREO_ASSERT(initial_partition.size() == state_count);
+
+  std::vector<std::vector<std::size_t>> outgoing(state_count);
+  for (std::size_t i = 0; i < transitions.size(); ++i) {
+    CHOREO_ASSERT(transitions[i].source < state_count);
+    CHOREO_ASSERT(transitions[i].target < state_count);
+    outgoing[transitions[i].source].push_back(i);
+  }
+
+  LabelledLumping lumping;
+  lumping.block_of = std::move(initial_partition);
+  while (true) {
+    std::map<std::pair<std::size_t, Signature>, std::size_t> groups;
+    std::vector<std::size_t> next(state_count);
+    for (std::size_t s = 0; s < state_count; ++s) {
+      auto key = std::make_pair(
+          lumping.block_of[s],
+          signature_of(s, outgoing, transitions, lumping.block_of));
+      const auto [it, inserted] = groups.emplace(std::move(key), groups.size());
+      next[s] = it->second;
+    }
+    std::vector<bool> seen(state_count, false);
+    std::size_t old_count = 0;
+    for (std::size_t s = 0; s < state_count; ++s) {
+      if (!seen[lumping.block_of[s]]) {
+        seen[lumping.block_of[s]] = true;
+        ++old_count;
+      }
+    }
+    lumping.block_of = std::move(next);
+    if (groups.size() == old_count) break;
+  }
+
+  std::map<std::size_t, std::size_t> order;
+  for (std::size_t s = 0; s < state_count; ++s) {
+    const auto [it, inserted] = order.emplace(lumping.block_of[s], order.size());
+    if (inserted) lumping.representatives.push_back(s);
+    lumping.block_of[s] = it->second;
+  }
+  lumping.block_count = order.size();
+
+  // Quotient LTS from the representatives (labelled self-loops kept).
+  for (std::size_t b = 0; b < lumping.block_count; ++b) {
+    std::map<std::pair<std::uint32_t, std::size_t>, double> into;
+    for (std::size_t index : outgoing[lumping.representatives[b]]) {
+      const LabelledTransition& t = transitions[index];
+      into[{t.label, lumping.block_of[t.target]}] += t.rate;
+    }
+    for (const auto& [key, rate] : into) {
+      lumping.quotient_transitions.push_back({b, key.second, key.first, rate});
+    }
+  }
+  return lumping;
+}
+
+Generator LabelledLumping::quotient_generator() const {
+  std::vector<RatedTransition> rated;
+  for (const LabelledTransition& t : quotient_transitions) {
+    if (t.source == t.target) continue;  // self-loops do not move the chain
+    rated.push_back({t.source, t.target, t.rate});
+  }
+  return Generator::build(block_count, rated);
+}
+
+double LabelledLumping::throughput(const std::vector<double>& block_distribution,
+                                   std::uint32_t label) const {
+  CHOREO_ASSERT(block_distribution.size() == block_count);
+  double sum = 0.0;
+  for (const LabelledTransition& t : quotient_transitions) {
+    if (t.label == label) sum += block_distribution[t.source] * t.rate;
+  }
+  return sum;
+}
+
+std::vector<double> LabelledLumping::aggregate(
+    const std::vector<double>& distribution) const {
+  CHOREO_ASSERT(distribution.size() == block_of.size());
+  std::vector<double> out(block_count, 0.0);
+  for (std::size_t s = 0; s < distribution.size(); ++s) {
+    out[block_of[s]] += distribution[s];
+  }
+  return out;
+}
+
+}  // namespace choreo::ctmc

@@ -1,0 +1,52 @@
+// Action-labelled exact aggregation: PEPA strong equivalence.
+//
+// ctmc/lumping.hpp aggregates the bare chain; this module refines by
+// *labelled* signatures -- two states are equivalent only when their total
+// rate into every block agrees **per action type**.  This is PEPA's strong
+// equivalence evaluated on the derived labelled transition system, and the
+// quotient preserves not just the aggregated steady state but every
+// per-action throughput, so all of Choreographer's reflected measures can
+// be computed on the (often exponentially smaller) quotient.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ctmc/generator.hpp"
+
+namespace choreo::ctmc {
+
+/// A transition of a labelled transition system with rates.
+struct LabelledTransition {
+  std::size_t source;
+  std::size_t target;
+  std::uint32_t label;
+  double rate;
+};
+
+struct LabelledLumping {
+  std::vector<std::size_t> block_of;
+  std::size_t block_count = 0;
+  std::vector<std::size_t> representatives;
+  /// The quotient LTS (labelled self-loops preserved: they carry
+  /// throughput even though they do not move the chain).
+  std::vector<LabelledTransition> quotient_transitions;
+
+  /// Generator of the quotient chain.
+  Generator quotient_generator() const;
+
+  /// Throughput of `label` on the quotient under a quotient distribution.
+  double throughput(const std::vector<double>& block_distribution,
+                    std::uint32_t label) const;
+
+  std::vector<double> aggregate(const std::vector<double>& distribution) const;
+};
+
+/// Coarsest strong-equivalence partition of an LTS with `state_count`
+/// states, refining `initial_partition` (empty = trivial).
+LabelledLumping compute_labelled_lumping(
+    std::size_t state_count, const std::vector<LabelledTransition>& transitions,
+    std::vector<std::size_t> initial_partition = {});
+
+}  // namespace choreo::ctmc

@@ -1,0 +1,58 @@
+// Exact state-space aggregation by Markov bisimulation (strong lumping).
+//
+// The PEPA Workbench fights state-space explosion with aggregation; the
+// CTMC notion implemented here is strong Markov bisimulation -- PEPA's
+// strong equivalence at chain level: a partition such that any two states
+// in a block have identical total rates into *every* block (their own
+// included, diagonal excluded).  This refines ordinary lumpability, so the
+// quotient chain over the blocks is again a CTMC whose steady-state
+// distribution equals the block-aggregated distribution of the full chain;
+// unlike bare ordinary lumpability (whose coarsest solution is always the
+// vacuous one-block partition), the coarsest bisimulation is the useful
+// symmetry-collapsing quotient (e.g. N interleaved replicas collapse to
+// their population vector).
+//
+// compute_lumping finds the *coarsest* such partition refining a given
+// initial one (pass the trivial partition, or split by a reward/label so
+// the measures of interest stay expressible on the quotient).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ctmc/generator.hpp"
+
+namespace choreo::ctmc {
+
+struct Lumping {
+  /// block_of[state] = index of the block containing the state.
+  std::vector<std::size_t> block_of;
+  std::size_t block_count = 0;
+  /// One representative full-chain state per block.
+  std::vector<std::size_t> representatives;
+
+  /// The quotient generator over the blocks.
+  Generator quotient(const Generator& full) const;
+
+  /// Aggregates a full-chain distribution over the blocks.
+  std::vector<double> aggregate(const std::vector<double>& distribution) const;
+
+  /// Lifts a quotient distribution back to the full chain, splitting each
+  /// block's mass uniformly over its members (exact for strongly lumpable
+  /// symmetric chains; an approximation otherwise).
+  std::vector<double> lift_uniform(const std::vector<double>& block_distribution,
+                                   std::size_t state_count) const;
+};
+
+/// Coarsest ordinary lumping refining `initial_partition` (block labels per
+/// state; pass an all-zero vector, or leave empty, for the trivial
+/// partition).  Iterative signature refinement; O(iterations * edges).
+Lumping compute_lumping(const Generator& generator,
+                        std::vector<std::size_t> initial_partition = {});
+
+/// Verifies the lumpability condition on the proposed partition; throws
+/// util::NumericError with a witness when violated.
+void check_lumpable(const Generator& generator, const Lumping& lumping,
+                    double tolerance = 1e-9);
+
+}  // namespace choreo::ctmc

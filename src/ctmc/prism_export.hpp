@@ -1,0 +1,47 @@
+// Export to the PRISM probabilistic model checker's explicit file formats.
+//
+// The paper routes PEPA models to PRISM for model checking ("we have
+// previously connected our extractors and reflectors ... to the PRISM
+// model-checker"); the portable interchange is PRISM's explicit-state
+// format:
+//
+//   .tra  transitions:  "<states> <transitions>\n<src> <dst> <rate>\n..."
+//   .sta  states:       "(s)\n<index>:(<index>)\n..."
+//   .lab  labels:       '0="init" 1="deadlock" ...\n<state>: <label> ...'
+//
+// (PRISM: `prism -importtrans model.tra -importstates model.sta
+//          -importlabels model.lab -ctmc prop.pctl`.)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ctmc/generator.hpp"
+
+namespace choreo::ctmc {
+
+/// The .tra transition list (off-diagonal generator entries).
+std::string to_prism_tra(const Generator& generator);
+
+/// The .sta state list over a single integer variable "s".
+std::string to_prism_sta(const Generator& generator);
+
+/// The .lab label file.  "init" (index 0) marks `initial_state` and
+/// "deadlock" (index 1) marks the absorbing states; additional labels are
+/// (name, member states) pairs.
+std::string to_prism_lab(
+    const Generator& generator, std::size_t initial_state,
+    const std::vector<std::pair<std::string, std::vector<std::size_t>>>&
+        extra_labels = {});
+
+/// Writes base.tra / base.sta / base.lab.  Throws util::Error on I/O
+/// failure.
+void write_prism_files(
+    const Generator& generator, const std::string& base_path,
+    std::size_t initial_state = 0,
+    const std::vector<std::pair<std::string, std::vector<std::size_t>>>&
+        extra_labels = {});
+
+}  // namespace choreo::ctmc

@@ -1,0 +1,36 @@
+#include "ctmc/rewards.hpp"
+
+#include "util/error.hpp"
+
+namespace choreo::ctmc {
+
+double expectation(std::span<const double> distribution,
+                   std::span<const double> reward) {
+  CHOREO_ASSERT(distribution.size() == reward.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < distribution.size(); ++i) {
+    sum += distribution[i] * reward[i];
+  }
+  return sum;
+}
+
+double probability(std::span<const double> distribution,
+                   const std::function<bool(std::size_t)>& predicate) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < distribution.size(); ++i) {
+    if (predicate(i)) sum += distribution[i];
+  }
+  return sum;
+}
+
+double throughput(std::span<const double> distribution,
+                  const std::vector<RatedTransition>& transitions) {
+  double sum = 0.0;
+  for (const RatedTransition& t : transitions) {
+    CHOREO_ASSERT(t.source < distribution.size());
+    sum += distribution[t.source] * t.rate;
+  }
+  return sum;
+}
+
+}  // namespace choreo::ctmc

@@ -1,0 +1,32 @@
+// Reward structures over CTMC solutions.
+//
+// Throughput (the paper's headline activity-diagram measure) is an impulse
+// reward: the expected rate at which transitions of a chosen kind occur in
+// steady state.  Steady-state probability of a predicate (the paper's
+// state-diagram measure) is a state reward with a 0/1 reward vector.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ctmc/generator.hpp"
+
+namespace choreo::ctmc {
+
+/// Expected value of a per-state reward under `distribution`.
+double expectation(std::span<const double> distribution,
+                   std::span<const double> reward);
+
+/// Probability mass of the states selected by `predicate`.
+double probability(std::span<const double> distribution,
+                   const std::function<bool(std::size_t)>& predicate);
+
+/// Throughput: sum over `transitions` of pi[source] * rate.  The caller
+/// passes the subset of state-space transitions that carry the activity of
+/// interest (the derivation modules provide per-action transition lists).
+double throughput(std::span<const double> distribution,
+                  const std::vector<RatedTransition>& transitions);
+
+}  // namespace choreo::ctmc

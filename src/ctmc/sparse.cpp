@@ -1,0 +1,109 @@
+#include "ctmc/sparse.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace choreo::ctmc {
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t n, std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    CHOREO_ASSERT(t.row < n && t.col < n);
+  }
+  std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  CsrMatrix matrix;
+  matrix.row_ptr_.assign(n + 1, 0);
+  matrix.col_.reserve(triplets.size());
+  matrix.values_.reserve(triplets.size());
+
+  std::size_t i = 0;
+  for (std::size_t row = 0; row < n; ++row) {
+    while (i < triplets.size() && triplets[i].row == row) {
+      const std::size_t col = triplets[i].col;
+      double value = 0.0;
+      while (i < triplets.size() && triplets[i].row == row && triplets[i].col == col) {
+        value += triplets[i].value;
+        ++i;
+      }
+      if (value != 0.0) {
+        matrix.col_.push_back(col);
+        matrix.values_.push_back(value);
+      }
+    }
+    matrix.row_ptr_[row + 1] = matrix.col_.size();
+  }
+  return matrix;
+}
+
+std::span<const std::size_t> CsrMatrix::row_columns(std::size_t row) const {
+  CHOREO_ASSERT(row + 1 < row_ptr_.size());
+  return {col_.data() + row_ptr_[row], row_ptr_[row + 1] - row_ptr_[row]};
+}
+
+std::span<const double> CsrMatrix::row_values(std::size_t row) const {
+  CHOREO_ASSERT(row + 1 < row_ptr_.size());
+  return {values_.data() + row_ptr_[row], row_ptr_[row + 1] - row_ptr_[row]};
+}
+
+double CsrMatrix::at(std::size_t row, std::size_t col) const {
+  const auto columns = row_columns(row);
+  const auto it = std::lower_bound(columns.begin(), columns.end(), col);
+  if (it == columns.end() || *it != col) return 0.0;
+  return row_values(row)[static_cast<std::size_t>(it - columns.begin())];
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  const std::size_t n = size();
+  std::vector<Triplet> triplets;
+  triplets.reserve(nonzeros());
+  for (std::size_t row = 0; row < n; ++row) {
+    const auto columns = row_columns(row);
+    const auto values = row_values(row);
+    for (std::size_t k = 0; k < columns.size(); ++k) {
+      triplets.push_back({columns[k], row, values[k]});
+    }
+  }
+  return from_triplets(n, std::move(triplets));
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y,
+                         bool parallel) const {
+  const std::size_t n = size();
+  CHOREO_ASSERT(x.size() == n && y.size() == n);
+  auto rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t row = begin; row < end; ++row) {
+      const auto columns = row_columns(row);
+      const auto values = row_values(row);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < columns.size(); ++k) {
+        sum += values[k] * x[columns[k]];
+      }
+      y[row] = sum;
+    }
+  };
+  // Below ~16k rows the fork/join overhead dominates on this kind of kernel.
+  if (parallel && n >= 16384 && util::ThreadPool::shared().worker_count() > 0) {
+    util::ThreadPool::shared().parallel_for(n, rows);
+  } else {
+    rows(0, n);
+  }
+}
+
+std::vector<double> CsrMatrix::to_dense() const {
+  const std::size_t n = size();
+  std::vector<double> dense(n * n, 0.0);
+  for (std::size_t row = 0; row < n; ++row) {
+    const auto columns = row_columns(row);
+    const auto values = row_values(row);
+    for (std::size_t k = 0; k < columns.size(); ++k) {
+      dense[row * n + columns[k]] = values[k];
+    }
+  }
+  return dense;
+}
+
+}  // namespace choreo::ctmc

@@ -1,0 +1,57 @@
+// Sparse matrix support for CTMC generator matrices.
+//
+// Matrices are assembled as triplets (duplicates accumulate) and compressed
+// to CSR.  The steady-state solvers iterate on the transpose of the
+// generator, so a cheap transpose is provided.  The matrix-vector product is
+// parallelised across rows via the shared thread pool; generator matrices
+// from state-space derivation are extremely sparse (a handful of activities
+// per state) and memory-bound, which suits contiguous row chunks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace choreo::ctmc {
+
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+/// Compressed sparse row matrix.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds an n-by-n CSR matrix from triplets; duplicate (row, col) entries
+  /// are summed.  Entries within each row are ordered by column.
+  static CsrMatrix from_triplets(std::size_t n, std::vector<Triplet> triplets);
+
+  std::size_t size() const noexcept { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
+  std::size_t nonzeros() const noexcept { return values_.size(); }
+
+  std::span<const std::size_t> row_columns(std::size_t row) const;
+  std::span<const double> row_values(std::size_t row) const;
+
+  /// Entry (row, col), or 0 when structurally absent.
+  double at(std::size_t row, std::size_t col) const;
+
+  CsrMatrix transposed() const;
+
+  /// y = A x (parallelised over rows when `parallel` and the matrix is
+  /// large enough to amortise the fork).
+  void multiply(std::span<const double> x, std::span<double> y,
+                bool parallel = true) const;
+
+  /// Dense copy in row-major order (for the direct solver and for tests).
+  std::vector<double> to_dense() const;
+
+ private:
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_;
+  std::vector<double> values_;
+};
+
+}  // namespace choreo::ctmc

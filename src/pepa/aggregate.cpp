@@ -1,0 +1,14 @@
+#include "pepa/aggregate.hpp"
+
+namespace choreo::pepa {
+
+ctmc::LabelledLumping aggregate(const StateSpace& space) {
+  std::vector<ctmc::LabelledTransition> transitions;
+  transitions.reserve(space.transitions().size());
+  for (const StateTransition& t : space.transitions()) {
+    transitions.push_back({t.source, t.target, t.action, t.rate});
+  }
+  return ctmc::compute_labelled_lumping(space.state_count(), transitions);
+}
+
+}  // namespace choreo::pepa

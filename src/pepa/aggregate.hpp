@@ -1,0 +1,17 @@
+// Strong-equivalence aggregation of derived PEPA state spaces (a thin
+// adapter over ctmc::compute_labelled_lumping).
+//
+// The quotient preserves every per-action throughput, so Choreographer's
+// reflected measures can be computed on the aggregated chain.  The
+// PEPA-net counterpart lives in pepanet/netaggregate.hpp.
+#pragma once
+
+#include "ctmc/labelled_lumping.hpp"
+#include "pepa/statespace.hpp"
+
+namespace choreo::pepa {
+
+/// Coarsest strong-equivalence aggregation of a derived state space.
+ctmc::LabelledLumping aggregate(const StateSpace& space);
+
+}  // namespace choreo::pepa

@@ -1,0 +1,300 @@
+#include "pepa/ast.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/error.hpp"
+
+namespace choreo::pepa {
+
+namespace {
+
+void hash_combine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+std::size_t hash_node(const ProcessNode& node) {
+  std::size_t seed = static_cast<std::size_t>(node.op);
+  hash_combine(seed, node.action);
+  hash_combine(seed, std::hash<double>{}(node.rate.value()));
+  hash_combine(seed, node.rate.is_passive() ? 1u : 0u);
+  hash_combine(seed, node.left);
+  hash_combine(seed, node.right);
+  hash_combine(seed, node.constant);
+  for (ActionId a : node.action_set) hash_combine(seed, a);
+  return seed;
+}
+
+bool nodes_equal(const ProcessNode& a, const ProcessNode& b) {
+  return a.op == b.op && a.action == b.action && a.rate == b.rate &&
+         a.left == b.left && a.right == b.right && a.constant == b.constant &&
+         a.action_set == b.action_set;
+}
+
+std::vector<ActionId> normalise_set(std::vector<ActionId> set) {
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  if (set_contains(set, kTau)) {
+    throw util::ModelError("tau may not appear in a cooperation or hiding set");
+  }
+  return set;
+}
+
+}  // namespace
+
+ProcessArena::ProcessArena() {
+  action_names_.emplace_back("tau");
+  action_ids_.emplace("tau", kTau);
+}
+
+ActionId ProcessArena::action(std::string_view name) {
+  auto it = action_ids_.find(std::string(name));
+  if (it != action_ids_.end()) return it->second;
+  const ActionId id = static_cast<ActionId>(action_names_.size());
+  action_names_.emplace_back(name);
+  action_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+std::optional<ActionId> ProcessArena::find_action(std::string_view name) const {
+  auto it = action_ids_.find(std::string(name));
+  if (it == action_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& ProcessArena::action_name(ActionId id) const {
+  CHOREO_ASSERT(id < action_names_.size());
+  return action_names_[id];
+}
+
+ConstantId ProcessArena::declare(std::string_view name) {
+  auto it = constant_ids_.find(std::string(name));
+  if (it != constant_ids_.end()) return it->second;
+  const ConstantId id = static_cast<ConstantId>(constant_names_.size());
+  constant_names_.emplace_back(name);
+  constant_bodies_.push_back(kInvalidProcess);
+  constant_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+std::optional<ConstantId> ProcessArena::find_constant(std::string_view name) const {
+  auto it = constant_ids_.find(std::string(name));
+  if (it == constant_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& ProcessArena::constant_name(ConstantId id) const {
+  CHOREO_ASSERT(id < constant_names_.size());
+  return constant_names_[id];
+}
+
+bool ProcessArena::is_defined(ConstantId id) const {
+  CHOREO_ASSERT(id < constant_bodies_.size());
+  return constant_bodies_[id] != kInvalidProcess;
+}
+
+void ProcessArena::define(ConstantId id, ProcessId body) {
+  CHOREO_ASSERT(id < constant_bodies_.size());
+  CHOREO_ASSERT(body < nodes_.size());
+  if (constant_bodies_[id] != kInvalidProcess) {
+    throw util::ModelError(
+        util::msg("constant '", constant_names_[id], "' is defined twice"));
+  }
+  constant_bodies_[id] = body;
+}
+
+ProcessId ProcessArena::body(ConstantId id) const {
+  CHOREO_ASSERT(id < constant_bodies_.size());
+  if (constant_bodies_[id] == kInvalidProcess) {
+    throw util::ModelError(
+        util::msg("constant '", constant_names_[id], "' is used but never defined"));
+  }
+  return constant_bodies_[id];
+}
+
+ProcessId ProcessArena::stop() {
+  ProcessNode node;
+  node.op = Op::kStop;
+  return intern(std::move(node));
+}
+
+ProcessId ProcessArena::prefix(ActionId action, Rate rate, ProcessId continuation) {
+  CHOREO_ASSERT(continuation < nodes_.size());
+  if (rate.is_zero()) {
+    throw util::ModelError("prefix activities require a positive rate");
+  }
+  ProcessNode node;
+  node.op = Op::kPrefix;
+  node.action = action;
+  node.rate = rate;
+  node.left = continuation;
+  return intern(std::move(node));
+}
+
+ProcessId ProcessArena::choice(ProcessId left, ProcessId right) {
+  CHOREO_ASSERT(left < nodes_.size() && right < nodes_.size());
+  ProcessNode node;
+  node.op = Op::kChoice;
+  node.left = left;
+  node.right = right;
+  return intern(std::move(node));
+}
+
+ProcessId ProcessArena::cooperation(ProcessId left, std::vector<ActionId> set,
+                                    ProcessId right) {
+  CHOREO_ASSERT(left < nodes_.size() && right < nodes_.size());
+  ProcessNode node;
+  node.op = Op::kCooperation;
+  node.left = left;
+  node.right = right;
+  node.action_set = normalise_set(std::move(set));
+  return intern(std::move(node));
+}
+
+ProcessId ProcessArena::hiding(ProcessId process, std::vector<ActionId> set) {
+  CHOREO_ASSERT(process < nodes_.size());
+  ProcessNode node;
+  node.op = Op::kHiding;
+  node.left = process;
+  node.action_set = normalise_set(std::move(set));
+  return intern(std::move(node));
+}
+
+ProcessId ProcessArena::constant(ConstantId id) {
+  CHOREO_ASSERT(id < constant_names_.size());
+  ProcessNode node;
+  node.op = Op::kConstant;
+  node.constant = id;
+  return intern(std::move(node));
+}
+
+ProcessId ProcessArena::constant(std::string_view name) {
+  return constant(declare(name));
+}
+
+const ProcessNode& ProcessArena::node(ProcessId id) const {
+  CHOREO_ASSERT(id < nodes_.size());
+  return nodes_[id];
+}
+
+ProcessId ProcessArena::intern(ProcessNode node) {
+  const std::size_t hash = hash_node(node);
+  auto& bucket = buckets_[hash];
+  for (ProcessId candidate : bucket) {
+    if (nodes_equal(nodes_[candidate], node)) return candidate;
+  }
+  const ProcessId id = static_cast<ProcessId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  bucket.push_back(id);
+  return id;
+}
+
+bool set_contains(const std::vector<ActionId>& set, ActionId action) {
+  return std::binary_search(set.begin(), set.end(), action);
+}
+
+std::vector<ActionId> set_union(const std::vector<ActionId>& a,
+                                const std::vector<ActionId>& b) {
+  std::vector<ActionId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<ActionId> set_intersection(const std::vector<ActionId>& a,
+                                       const std::vector<ActionId>& b) {
+  std::vector<ActionId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+namespace {
+void collect_alphabet(const ProcessArena& arena, ProcessId process,
+                      std::vector<bool>& visited_constants,
+                      std::vector<ActionId>& out) {
+  const ProcessNode& node = arena.node(process);
+  switch (node.op) {
+    case Op::kStop:
+      return;
+    case Op::kPrefix:
+      if (node.action != kTau) out.push_back(node.action);
+      collect_alphabet(arena, node.left, visited_constants, out);
+      return;
+    case Op::kChoice:
+    case Op::kCooperation:
+      collect_alphabet(arena, node.left, visited_constants, out);
+      collect_alphabet(arena, node.right, visited_constants, out);
+      return;
+    case Op::kHiding: {
+      std::vector<ActionId> inner;
+      collect_alphabet(arena, node.left, visited_constants, inner);
+      for (ActionId a : inner) {
+        if (!set_contains(node.action_set, a)) out.push_back(a);
+      }
+      return;
+    }
+    case Op::kConstant:
+      if (visited_constants[node.constant]) return;
+      visited_constants[node.constant] = true;
+      if (arena.is_defined(node.constant)) {
+        collect_alphabet(arena, arena.body(node.constant), visited_constants, out);
+      }
+      return;
+  }
+}
+}  // namespace
+
+namespace {
+ProcessId expand_static_impl(ProcessArena& arena, ProcessId process,
+                             std::vector<ConstantId>& expanding) {
+  const ProcessNode node = arena.node(process);  // copy: arena may grow
+  switch (node.op) {
+    case Op::kCooperation: {
+      const ProcessId left = expand_static_impl(arena, node.left, expanding);
+      const ProcessId right = expand_static_impl(arena, node.right, expanding);
+      return arena.cooperation(left, node.action_set, right);
+    }
+    case Op::kHiding: {
+      const ProcessId inner = expand_static_impl(arena, node.left, expanding);
+      return arena.hiding(inner, node.action_set);
+    }
+    case Op::kConstant: {
+      const ProcessId body = arena.body(node.constant);
+      const Op body_op = arena.node(body).op;
+      if (body_op != Op::kCooperation && body_op != Op::kHiding &&
+          body_op != Op::kConstant) {
+        return process;  // sequential definition: keep the name
+      }
+      if (std::find(expanding.begin(), expanding.end(), node.constant) !=
+          expanding.end()) {
+        throw util::ModelError(
+            util::msg("unguarded recursion through constant '",
+                      arena.constant_name(node.constant), "'"));
+      }
+      expanding.push_back(node.constant);
+      const ProcessId expanded = expand_static_impl(arena, body, expanding);
+      expanding.pop_back();
+      return expanded;
+    }
+    default:
+      return process;
+  }
+}
+}  // namespace
+
+ProcessId expand_static(ProcessArena& arena, ProcessId process) {
+  std::vector<ConstantId> expanding;
+  return expand_static_impl(arena, process, expanding);
+}
+
+std::vector<ActionId> alphabet(const ProcessArena& arena, ProcessId process) {
+  std::vector<bool> visited(arena.constant_count(), false);
+  std::vector<ActionId> out;
+  collect_alphabet(arena, process, visited, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace choreo::pepa

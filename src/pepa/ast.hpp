@@ -1,0 +1,132 @@
+// Abstract syntax of PEPA, stored in a hash-consed arena.
+//
+// Process terms are the *states* of the derived CTMC, so structural
+// equality tests and hashing must be cheap: the arena interns every node,
+// making equality an integer comparison and enabling memoised semantics
+// (apparent rates, one-step derivatives) keyed by node id.
+//
+// The grammar (paper Figure 3, sequential/concurrent levels merged into one
+// node type; well-formedness checks enforce the stratification):
+//
+//   P ::= (alpha, r).P   prefix
+//       | P + P          choice
+//       | P <L> P        cooperation over action set L
+//       | P / L          hiding
+//       | A              constant (named definition)
+//       | Stop           the inert process (also used for empty net cells)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "pepa/rate.hpp"
+
+namespace choreo::pepa {
+
+using ProcessId = std::uint32_t;
+using ActionId = std::uint32_t;
+using ConstantId = std::uint32_t;
+
+inline constexpr ProcessId kInvalidProcess = 0xFFFFFFFFu;
+/// The silent action produced by hiding.
+inline constexpr ActionId kTau = 0;
+
+enum class Op : std::uint8_t {
+  kStop,
+  kPrefix,
+  kChoice,
+  kCooperation,
+  kHiding,
+  kConstant,
+};
+
+struct ProcessNode {
+  Op op = Op::kStop;
+  ActionId action = 0;                 ///< prefix only
+  Rate rate;                           ///< prefix only
+  ProcessId left = kInvalidProcess;    ///< prefix continuation / binary left
+  ProcessId right = kInvalidProcess;   ///< binary right
+  std::vector<ActionId> action_set;    ///< cooperation / hiding (sorted, unique)
+  ConstantId constant = 0;             ///< constant only
+};
+
+class ProcessArena {
+ public:
+  ProcessArena();
+
+  // --- action names -----------------------------------------------------
+  /// Interns an action name; "tau" maps to kTau.
+  ActionId action(std::string_view name);
+  std::optional<ActionId> find_action(std::string_view name) const;
+  const std::string& action_name(ActionId id) const;
+  std::size_t action_count() const noexcept { return action_names_.size(); }
+
+  // --- constants (named definitions) ------------------------------------
+  /// Declares (or returns the existing) constant with this name.
+  ConstantId declare(std::string_view name);
+  std::optional<ConstantId> find_constant(std::string_view name) const;
+  const std::string& constant_name(ConstantId id) const;
+  bool is_defined(ConstantId id) const;
+  /// Binds the body of a constant; rebinding is a model error.
+  void define(ConstantId id, ProcessId body);
+  /// Body of a defined constant; throws util::ModelError when undefined.
+  ProcessId body(ConstantId id) const;
+  std::size_t constant_count() const noexcept { return constant_names_.size(); }
+
+  // --- term constructors (hash-consed) -----------------------------------
+  ProcessId stop();
+  ProcessId prefix(ActionId action, Rate rate, ProcessId continuation);
+  ProcessId choice(ProcessId left, ProcessId right);
+  /// `set` is deduplicated and sorted; must not contain tau.
+  ProcessId cooperation(ProcessId left, std::vector<ActionId> set, ProcessId right);
+  ProcessId hiding(ProcessId process, std::vector<ActionId> set);
+  ProcessId constant(ConstantId id);
+  /// Convenience: constant by name (declares it when new).
+  ProcessId constant(std::string_view name);
+
+  const ProcessNode& node(ProcessId id) const;
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  ProcessId intern(ProcessNode node);
+
+  std::vector<ProcessNode> nodes_;
+  std::unordered_map<std::size_t, std::vector<ProcessId>> buckets_;
+
+  std::vector<std::string> action_names_;
+  std::unordered_map<std::string, ActionId> action_ids_;
+
+  std::vector<std::string> constant_names_;
+  std::vector<ProcessId> constant_bodies_;
+  std::unordered_map<std::string, ConstantId> constant_ids_;
+};
+
+/// True when `action` belongs to the sorted action set.
+bool set_contains(const std::vector<ActionId>& set, ActionId action);
+
+/// Sorted union of two action sets.
+std::vector<ActionId> set_union(const std::vector<ActionId>& a,
+                                const std::vector<ActionId>& b);
+
+/// Sorted intersection of two action sets.
+std::vector<ActionId> set_intersection(const std::vector<ActionId>& a,
+                                       const std::vector<ActionId>& b);
+
+/// The set of action types occurring syntactically in `process` (through
+/// constant definitions); tau excluded.  This is A(P) in the paper, used to
+/// compute default cooperation sets for net places.
+std::vector<ActionId> alphabet(const ProcessArena& arena, ProcessId process);
+
+/// Static expansion: unfolds constants whose bodies are *compositions*
+/// (cooperation/hiding/other constants) so that the term exposes its static
+/// structure, while constants with sequential bodies (prefix/choice/stop)
+/// are kept by name.  Deriving from the expanded system equation avoids a
+/// spurious transient state for aliases like "System = P || P" and keeps
+/// sequential positions named for the state-probability measures.
+ProcessId expand_static(ProcessArena& arena, ProcessId process);
+
+}  // namespace choreo::pepa

@@ -1,0 +1,47 @@
+#include "pepa/dot.hpp"
+
+#include <sstream>
+
+#include "pepa/printer.hpp"
+#include "util/strings.hpp"
+
+namespace choreo::pepa {
+
+std::string dot_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string to_dot(const ProcessArena& arena, const StateSpace& space,
+                   const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph derivation {\n"
+      << "  rankdir=LR;\n"
+      << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (std::size_t s = 0; s < space.state_count(); ++s) {
+    out << "  s" << s << " [label=\"";
+    if (options.term_labels) {
+      out << dot_escape(to_string(arena, space.state_term(s)));
+    } else {
+      out << s;
+    }
+    out << '"';
+    if (options.mark_initial && s == 0) out << ", style=bold";
+    out << "];\n";
+  }
+  for (const StateTransition& t : space.transitions()) {
+    out << "  s" << t.source << " -> s" << t.target << " [label=\""
+        << dot_escape(arena.action_name(t.action));
+    if (options.rate_labels) out << ", " << util::format_double(t.rate);
+    out << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace choreo::pepa

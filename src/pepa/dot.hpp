@@ -1,0 +1,27 @@
+// GraphViz (DOT) rendering of derived PEPA state spaces — the textual
+// counterpart of the PEPA Workbench's derivation-graph view.
+#pragma once
+
+#include <string>
+
+#include "pepa/statespace.hpp"
+
+namespace choreo::pepa {
+
+struct DotOptions {
+  /// Label states with their full term (false: just the index).
+  bool term_labels = true;
+  /// Append rates to edge labels.
+  bool rate_labels = true;
+  /// Highlight the initial state.
+  bool mark_initial = true;
+};
+
+/// The derivation graph as a DOT digraph.
+std::string to_dot(const ProcessArena& arena, const StateSpace& space,
+                   const DotOptions& options = {});
+
+/// Escapes a string for use inside a double-quoted DOT label.
+std::string dot_escape(const std::string& raw);
+
+}  // namespace choreo::pepa

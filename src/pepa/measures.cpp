@@ -1,0 +1,86 @@
+#include "pepa/measures.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace choreo::pepa {
+
+double action_throughput(const StateSpace& space,
+                         std::span<const double> distribution, ActionId action) {
+  CHOREO_ASSERT(distribution.size() == space.state_count());
+  double sum = 0.0;
+  for (const StateTransition& t : space.transitions()) {
+    if (t.action == action) sum += distribution[t.source] * t.rate;
+  }
+  return sum;
+}
+
+std::vector<std::pair<ActionId, double>> all_throughputs(
+    const StateSpace& space, std::span<const double> distribution,
+    const ProcessArena& arena) {
+  (void)arena;
+  std::map<ActionId, double> sums;
+  for (const StateTransition& t : space.transitions()) {
+    sums[t.action] += distribution[t.source] * t.rate;
+  }
+  return {sums.begin(), sums.end()};
+}
+
+bool occupies(const ProcessArena& arena, ProcessId term, ConstantId constant) {
+  const ProcessNode& node = arena.node(term);
+  switch (node.op) {
+    case Op::kConstant:
+      return node.constant == constant;
+    case Op::kCooperation:
+      return occupies(arena, node.left, constant) ||
+             occupies(arena, node.right, constant);
+    case Op::kHiding:
+      return occupies(arena, node.left, constant);
+    default:
+      return false;
+  }
+}
+
+double state_probability(const StateSpace& space,
+                         std::span<const double> distribution,
+                         const ProcessArena& arena, ConstantId constant) {
+  CHOREO_ASSERT(distribution.size() == space.state_count());
+  double sum = 0.0;
+  for (std::size_t s = 0; s < space.state_count(); ++s) {
+    if (occupies(arena, space.state_term(s), constant)) sum += distribution[s];
+  }
+  return sum;
+}
+
+namespace {
+std::size_t count_occurrences(const ProcessArena& arena, ProcessId term,
+                              ConstantId constant) {
+  const ProcessNode& node = arena.node(term);
+  switch (node.op) {
+    case Op::kConstant:
+      return node.constant == constant ? 1 : 0;
+    case Op::kCooperation:
+      return count_occurrences(arena, node.left, constant) +
+             count_occurrences(arena, node.right, constant);
+    case Op::kHiding:
+      return count_occurrences(arena, node.left, constant);
+    default:
+      return 0;
+  }
+}
+}  // namespace
+
+double mean_population(const StateSpace& space,
+                       std::span<const double> distribution,
+                       const ProcessArena& arena, ConstantId constant) {
+  CHOREO_ASSERT(distribution.size() == space.state_count());
+  double sum = 0.0;
+  for (std::size_t s = 0; s < space.state_count(); ++s) {
+    sum += distribution[s] *
+           static_cast<double>(count_occurrences(arena, space.state_term(s), constant));
+  }
+  return sum;
+}
+
+}  // namespace choreo::pepa

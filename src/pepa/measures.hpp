@@ -1,0 +1,44 @@
+// Performance measures over a solved PEPA model.
+//
+// The Choreographer reflector reports two kinds of result (paper Section 5):
+//   - throughput of each activity, written back onto activity diagrams, and
+//   - steady-state probability of each local state, written back onto state
+//     diagrams (one named constant per UML state).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pepa/statespace.hpp"
+
+namespace choreo::pepa {
+
+/// Steady-state throughput of `action`: expected completions per time unit.
+double action_throughput(const StateSpace& space,
+                         std::span<const double> distribution, ActionId action);
+
+/// Throughput of every action occurring in the transition system, as
+/// (action, throughput) pairs ordered by action id.
+std::vector<std::pair<ActionId, double>> all_throughputs(
+    const StateSpace& space, std::span<const double> distribution,
+    const ProcessArena& arena);
+
+/// True when `constant` occurs as a *sequential position* of `term`: the
+/// term itself, or a leaf of its cooperation/hiding structure.  With the
+/// one-constant-per-UML-state encoding this asks "is some component
+/// currently in this state?".
+bool occupies(const ProcessArena& arena, ProcessId term, ConstantId constant);
+
+/// Steady-state probability that some component occupies `constant`.
+double state_probability(const StateSpace& space,
+                         std::span<const double> distribution,
+                         const ProcessArena& arena, ConstantId constant);
+
+/// Expected number of components occupying `constant` in steady state
+/// (population measure; equals state_probability for a single replica).
+double mean_population(const StateSpace& space,
+                       std::span<const double> distribution,
+                       const ProcessArena& arena, ConstantId constant);
+
+}  // namespace choreo::pepa

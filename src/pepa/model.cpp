@@ -1,0 +1,60 @@
+#include "pepa/model.hpp"
+
+#include "util/error.hpp"
+
+namespace choreo::pepa {
+
+void Model::add_parameter(std::string name, double value) {
+  for (auto& [existing, existing_value] : parameters_) {
+    if (existing == name) {
+      throw util::ModelError(util::msg("rate parameter '", name,
+                                       "' is defined twice"));
+    }
+  }
+  parameters_.emplace_back(std::move(name), value);
+}
+
+double Model::parameter(std::string_view name) const {
+  for (const auto& [existing, value] : parameters_) {
+    if (existing == name) return value;
+  }
+  throw util::ModelError(util::msg("unknown rate parameter '", name, "'"));
+}
+
+bool Model::has_parameter(std::string_view name) const {
+  for (const auto& [existing, value] : parameters_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+void Model::add_definition(ConstantId constant) {
+  definitions_.push_back(constant);
+}
+
+ProcessId Model::system() {
+  if (system_ != kInvalidProcess) return system_;
+  if (definitions_.empty()) {
+    throw util::ModelError("model has no definitions and no system equation");
+  }
+  return arena_.constant(definitions_.back());
+}
+
+ProcessId Model::term(std::string_view name) {
+  auto constant = arena_.find_constant(name);
+  if (!constant || !arena_.is_defined(*constant)) {
+    throw util::ModelError(util::msg("no definition named '", name, "'"));
+  }
+  return arena_.constant(*constant);
+}
+
+void Model::check_definitions() const {
+  for (ConstantId id = 0; id < arena_.constant_count(); ++id) {
+    if (!arena_.is_defined(id)) {
+      throw util::ModelError(util::msg("constant '", arena_.constant_name(id),
+                                       "' is used but never defined"));
+    }
+  }
+}
+
+}  // namespace choreo::pepa

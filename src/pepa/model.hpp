@@ -1,0 +1,53 @@
+// A parsed (or programmatically built) PEPA model: an arena of terms, the
+// named definitions in source order, rate parameters, and the designated
+// system equation.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "pepa/ast.hpp"
+
+namespace choreo::pepa {
+
+class Model {
+ public:
+  ProcessArena& arena() noexcept { return arena_; }
+  const ProcessArena& arena() const noexcept { return arena_; }
+
+  /// Named rate parameters in definition order.
+  const std::vector<std::pair<std::string, double>>& parameters() const noexcept {
+    return parameters_;
+  }
+  void add_parameter(std::string name, double value);
+  /// Value of a parameter; throws util::ModelError when unknown.
+  double parameter(std::string_view name) const;
+  bool has_parameter(std::string_view name) const;
+
+  /// Records a process definition (body bound in the arena).
+  void add_definition(ConstantId constant);
+  const std::vector<ConstantId>& definitions() const noexcept {
+    return definitions_;
+  }
+
+  /// The system equation; defaults to the last definition when unset.
+  ProcessId system();
+  void set_system(ProcessId system) { system_ = system; }
+  bool has_explicit_system() const noexcept { return system_ != kInvalidProcess; }
+
+  /// The constant term for a named definition; throws when unknown.
+  ProcessId term(std::string_view name);
+
+  /// Verifies every used constant has a definition (util::ModelError).
+  void check_definitions() const;
+
+ private:
+  ProcessArena arena_;
+  std::vector<std::pair<std::string, double>> parameters_;
+  std::vector<ConstantId> definitions_;
+  ProcessId system_ = kInvalidProcess;
+};
+
+}  // namespace choreo::pepa

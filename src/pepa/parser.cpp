@@ -1,0 +1,470 @@
+#include "pepa/parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace choreo::pepa {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kSymbol,  // one of ( ) . , + - * / = ; < > { } | @
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, std::string source_name)
+      : source_(source), source_name_(std::move(source_name)) {
+    tokenise();
+  }
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t index = std::min(cursor_ + ahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+  const Token& next() {
+    const Token& token = tokens_[cursor_];
+    if (cursor_ + 1 < tokens_.size()) ++cursor_;
+    return token;
+  }
+  std::size_t position() const noexcept { return cursor_; }
+  void rewind(std::size_t position) { cursor_ = position; }
+
+  [[noreturn]] void fail(const Token& at, const std::string& message) const {
+    throw util::ParseError(source_name_, at.line, at.column, message);
+  }
+
+ private:
+  void tokenise() {
+    std::size_t line = 1, column = 1;
+    std::size_t i = 0;
+    auto advance = [&](std::size_t count = 1) {
+      for (std::size_t k = 0; k < count; ++k) {
+        if (source_[i] == '\n') {
+          ++line;
+          column = 1;
+        } else {
+          ++column;
+        }
+        ++i;
+      }
+    };
+    while (i < source_.size()) {
+      const char c = source_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+        continue;
+      }
+      if (c == '/' && i + 1 < source_.size() && source_[i + 1] == '/') {
+        while (i < source_.size() && source_[i] != '\n') advance();
+        continue;
+      }
+      if (c == '%' || c == '#') {  // workbench-style line comments
+        while (i < source_.size() && source_[i] != '\n') advance();
+        continue;
+      }
+      if (c == '/' && i + 1 < source_.size() && source_[i + 1] == '*') {
+        advance(2);
+        while (i + 1 < source_.size() &&
+               !(source_[i] == '*' && source_[i + 1] == '/')) {
+          advance();
+        }
+        if (i + 1 >= source_.size()) {
+          throw util::ParseError(source_name_, line, column,
+                                 "unterminated block comment");
+        }
+        advance(2);
+        continue;
+      }
+      Token token;
+      token.line = line;
+      token.column = column;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t begin = i;
+        while (i < source_.size() &&
+               (std::isalnum(static_cast<unsigned char>(source_[i])) ||
+                source_[i] == '_')) {
+          advance();
+        }
+        token.kind = TokenKind::kIdentifier;
+        token.text = std::string(source_.substr(begin, i - begin));
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t begin = i;
+        while (i < source_.size() &&
+               (std::isdigit(static_cast<unsigned char>(source_[i])) ||
+                source_[i] == '.' || source_[i] == 'e' || source_[i] == 'E' ||
+                ((source_[i] == '+' || source_[i] == '-') && i > begin &&
+                 (source_[i - 1] == 'e' || source_[i - 1] == 'E')))) {
+          advance();
+        }
+        token.kind = TokenKind::kNumber;
+        token.text = std::string(source_.substr(begin, i - begin));
+        try {
+          token.number = std::stod(token.text);
+        } catch (const std::exception&) {
+          throw util::ParseError(source_name_, token.line, token.column,
+                                 util::msg("malformed number '", token.text, "'"));
+        }
+      } else if (std::string_view("().,+-*/=;<>{}[]|@").find(c) !=
+                 std::string_view::npos) {
+        token.kind = TokenKind::kSymbol;
+        token.text = std::string(1, c);
+        advance();
+      } else {
+        throw util::ParseError(source_name_, line, column,
+                               util::msg("unexpected character '", c, "'"));
+      }
+      tokens_.push_back(std::move(token));
+    }
+    Token end;
+    end.kind = TokenKind::kEnd;
+    end.line = line;
+    end.column = column;
+    tokens_.push_back(std::move(end));
+  }
+
+  std::string_view source_;
+  std::string source_name_;
+  std::vector<Token> tokens_;
+  std::size_t cursor_ = 0;
+};
+
+/// A value in a rate expression: a number or a (weighted) passive rate.
+struct RateValue {
+  double value = 0.0;
+  bool passive = false;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view source, std::string source_name)
+      : lexer_(source, std::move(source_name)) {}
+
+  Model run() {
+    while (lexer_.peek().kind != TokenKind::kEnd) {
+      if (is_symbol(lexer_.peek(), "@")) {
+        parse_directive();
+      } else {
+        parse_definition();
+      }
+    }
+    model_.check_definitions();
+    return std::move(model_);
+  }
+
+ private:
+  static bool is_symbol(const Token& token, std::string_view text) {
+    return token.kind == TokenKind::kSymbol && token.text == text;
+  }
+  static bool is_identifier(const Token& token, std::string_view text) {
+    return token.kind == TokenKind::kIdentifier && token.text == text;
+  }
+  static bool is_passive_keyword(const Token& token) {
+    return is_identifier(token, "infty") || is_identifier(token, "T");
+  }
+
+  void expect_symbol(std::string_view text) {
+    const Token& token = lexer_.next();
+    if (!is_symbol(token, text)) {
+      lexer_.fail(token, util::msg("expected '", text, "', found '",
+                                   token.kind == TokenKind::kEnd ? "end of input"
+                                                                 : token.text,
+                                   "'"));
+    }
+  }
+
+  std::string expect_identifier(const char* what) {
+    const Token& token = lexer_.next();
+    if (token.kind != TokenKind::kIdentifier) {
+      lexer_.fail(token, util::msg("expected ", what));
+    }
+    return token.text;
+  }
+
+  void parse_directive() {
+    expect_symbol("@");
+    const std::string directive = expect_identifier("a directive name");
+    if (directive == "system") {
+      const Token& name_token = lexer_.peek();
+      const std::string name = expect_identifier("a process name");
+      expect_symbol(";");
+      auto constant = model_.arena().find_constant(name);
+      if (!constant) {
+        lexer_.fail(name_token, util::msg("@system names unknown process '",
+                                          name, "'"));
+      }
+      model_.set_system(model_.arena().constant(*constant));
+    } else {
+      lexer_.fail(lexer_.peek(), util::msg("unknown directive '@", directive, "'"));
+    }
+  }
+
+  void parse_definition() {
+    const Token& name_token = lexer_.peek();
+    const std::string name = expect_identifier("a definition name");
+    if (name == "Stop" || is_passive_keyword(name_token)) {
+      lexer_.fail(name_token, util::msg("'", name, "' is a reserved word"));
+    }
+    expect_symbol("=");
+
+    // Try a parameter definition first: a pure numeric expression over
+    // known parameters, terminated by ';'.
+    const std::size_t rewind_point = lexer_.position();
+    try {
+      const RateValue value = parse_rate_expression(/*allow_passive=*/false);
+      if (is_symbol(lexer_.peek(), ";")) {
+        lexer_.next();
+        model_.add_parameter(name, value.value);
+        return;
+      }
+    } catch (const util::Error&) {
+      // fall through to process definition
+    }
+    lexer_.rewind(rewind_point);
+
+    const ProcessId body = parse_cooperation();
+    expect_symbol(";");
+    const ConstantId constant = model_.arena().declare(name);
+    model_.arena().define(constant, body);  // throws on redefinition
+    model_.add_definition(constant);
+  }
+
+  // --- process expressions ----------------------------------------------
+
+  ProcessId parse_cooperation() {
+    ProcessId left = parse_choice();
+    while (true) {
+      if (is_symbol(lexer_.peek(), "<")) {
+        lexer_.next();
+        std::vector<ActionId> set = parse_action_list(">");
+        const ProcessId right = parse_choice();
+        left = model_.arena().cooperation(left, std::move(set), right);
+      } else if (is_symbol(lexer_.peek(), "|") &&
+                 is_symbol(lexer_.peek(1), "|")) {
+        lexer_.next();
+        lexer_.next();
+        const ProcessId right = parse_choice();
+        left = model_.arena().cooperation(left, {}, right);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  ProcessId parse_choice() {
+    ProcessId left = parse_prefix();
+    while (is_symbol(lexer_.peek(), "+")) {
+      lexer_.next();
+      const ProcessId right = parse_prefix();
+      left = model_.arena().choice(left, right);
+    }
+    return left;
+  }
+
+  ProcessId parse_prefix() {
+    // An activity starts "(ident ,"; anything else parenthesised is a
+    // nested process expression.
+    if (is_symbol(lexer_.peek(), "(") &&
+        lexer_.peek(1).kind == TokenKind::kIdentifier &&
+        is_symbol(lexer_.peek(2), ",") && !is_passive_keyword(lexer_.peek(1))) {
+      lexer_.next();  // (
+      const std::string action_name = expect_identifier("an action name");
+      expect_symbol(",");
+      const RateValue rate = parse_rate_expression(/*allow_passive=*/true);
+      expect_symbol(")");
+      expect_symbol(".");
+      const ProcessId continuation = parse_prefix();
+      const ActionId action = model_.arena().action(action_name);
+      const Rate bound =
+          rate.passive ? Rate::passive(rate.value) : Rate::active(rate.value);
+      return model_.arena().prefix(action, bound, continuation);
+    }
+    return parse_postfix();
+  }
+
+  ProcessId parse_postfix() {
+    ProcessId process = parse_atom();
+    while (true) {
+      if (is_symbol(lexer_.peek(), "/") && is_symbol(lexer_.peek(1), "{")) {
+        lexer_.next();  // /
+        lexer_.next();  // {
+        std::vector<ActionId> set = parse_action_list("}");
+        process = model_.arena().hiding(process, std::move(set));
+      } else if (is_symbol(lexer_.peek(), "[")) {
+        // Replication array P[n]: n independent copies, P || P || ... || P.
+        lexer_.next();
+        const Token& count_token = lexer_.next();
+        if (count_token.kind != TokenKind::kNumber ||
+            count_token.number < 1.0 ||
+            count_token.number != static_cast<double>(
+                                      static_cast<long>(count_token.number))) {
+          lexer_.fail(count_token,
+                      "replication count must be a positive integer");
+        }
+        expect_symbol("]");
+        const auto copies = static_cast<std::size_t>(count_token.number);
+        ProcessId replicated = process;
+        for (std::size_t i = 1; i < copies; ++i) {
+          replicated = model_.arena().cooperation(replicated, {}, process);
+        }
+        process = replicated;
+      } else {
+        return process;
+      }
+    }
+  }
+
+  ProcessId parse_atom() {
+    const Token& token = lexer_.peek();
+    if (is_symbol(token, "(")) {
+      lexer_.next();
+      const ProcessId inner = parse_cooperation();
+      expect_symbol(")");
+      return inner;
+    }
+    if (token.kind == TokenKind::kIdentifier) {
+      lexer_.next();
+      if (token.text == "Stop") return model_.arena().stop();
+      if (model_.has_parameter(token.text)) {
+        lexer_.fail(token, util::msg("'", token.text,
+                                     "' is a rate parameter, not a process"));
+      }
+      return model_.arena().constant(token.text);
+    }
+    lexer_.fail(token, util::msg("expected a process expression, found '",
+                                 token.kind == TokenKind::kEnd ? "end of input"
+                                                               : token.text,
+                                 "'"));
+  }
+
+  std::vector<ActionId> parse_action_list(std::string_view terminator) {
+    std::vector<ActionId> set;
+    if (is_symbol(lexer_.peek(), terminator)) {  // empty set
+      lexer_.next();
+      return set;
+    }
+    while (true) {
+      set.push_back(model_.arena().action(expect_identifier("an action name")));
+      const Token& token = lexer_.next();
+      if (is_symbol(token, terminator)) return set;
+      if (!is_symbol(token, ",")) {
+        lexer_.fail(token, util::msg("expected ',' or '", terminator,
+                                     "' in action set"));
+      }
+    }
+  }
+
+  // --- rate expressions ---------------------------------------------------
+  //
+  // expr := term (('+'|'-') term)*        (numbers only)
+  // term := factor (('*'|'/') factor)*    ('*' may combine number and infty)
+  // factor := NUMBER | parameter | 'infty' | 'T' | '(' expr ')' | '-' factor
+
+  RateValue parse_rate_expression(bool allow_passive) {
+    RateValue left = parse_rate_term(allow_passive);
+    while (is_symbol(lexer_.peek(), "+") || is_symbol(lexer_.peek(), "-")) {
+      const std::string op = lexer_.next().text;
+      const RateValue right = parse_rate_term(allow_passive);
+      if (left.passive || right.passive) {
+        lexer_.fail(lexer_.peek(),
+                    "passive rates only support scaling by a weight");
+      }
+      left.value = op == "+" ? left.value + right.value : left.value - right.value;
+    }
+    return left;
+  }
+
+  RateValue parse_rate_term(bool allow_passive) {
+    RateValue left = parse_rate_factor(allow_passive);
+    while (is_symbol(lexer_.peek(), "*") || is_symbol(lexer_.peek(), "/")) {
+      const Token& op_token = lexer_.peek();
+      const std::string op = lexer_.next().text;
+      const RateValue right = parse_rate_factor(allow_passive);
+      if (op == "*") {
+        if (left.passive && right.passive) {
+          lexer_.fail(op_token, "cannot multiply two passive rates");
+        }
+        left.value *= right.value;
+        left.passive = left.passive || right.passive;
+      } else {
+        if (right.passive) lexer_.fail(op_token, "cannot divide by a passive rate");
+        left.value /= right.value;
+      }
+    }
+    return left;
+  }
+
+  RateValue parse_rate_factor(bool allow_passive) {
+    const Token& token = lexer_.peek();
+    if (token.kind == TokenKind::kNumber) {
+      lexer_.next();
+      return {token.number, false};
+    }
+    if (is_passive_keyword(token)) {
+      lexer_.next();
+      if (!allow_passive) {
+        lexer_.fail(token, "passive rate not allowed here");
+      }
+      return {1.0, true};
+    }
+    if (token.kind == TokenKind::kIdentifier) {
+      lexer_.next();
+      if (!model_.has_parameter(token.text)) {
+        lexer_.fail(token,
+                    util::msg("unknown rate parameter '", token.text, "'"));
+      }
+      return {model_.parameter(token.text), false};
+    }
+    if (is_symbol(token, "(")) {
+      lexer_.next();
+      const RateValue inner = parse_rate_expression(allow_passive);
+      expect_symbol(")");
+      return inner;
+    }
+    if (is_symbol(token, "-")) {
+      lexer_.next();
+      RateValue inner = parse_rate_factor(/*allow_passive=*/false);
+      inner.value = -inner.value;
+      return inner;
+    }
+    lexer_.fail(token, util::msg("expected a rate, found '",
+                                 token.kind == TokenKind::kEnd ? "end of input"
+                                                               : token.text,
+                                 "'"));
+  }
+
+  Lexer lexer_;
+  Model model_;
+};
+
+}  // namespace
+
+Model parse_model(std::string_view source, std::string source_name) {
+  return Parser(source, std::move(source_name)).run();
+}
+
+Model parse_model_file(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) throw util::Error(util::msg("cannot open '", path, "'"));
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  const std::string contents = buffer.str();
+  return parse_model(contents, path);
+}
+
+}  // namespace choreo::pepa

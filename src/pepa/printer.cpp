@@ -1,0 +1,132 @@
+#include "pepa/printer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace choreo::pepa {
+
+namespace {
+
+// Precedence levels: larger binds tighter.
+constexpr int kCooperationLevel = 0;
+constexpr int kChoiceLevel = 1;
+constexpr int kPrefixLevel = 2;
+constexpr int kHidingLevel = 3;
+constexpr int kAtomLevel = 4;
+
+void print(const ProcessArena& arena, ProcessId process, int enclosing,
+           std::ostringstream& out) {
+  const ProcessNode& node = arena.node(process);
+  auto parenthesise = [&](int level, auto&& body) {
+    const bool needed = level < enclosing;
+    if (needed) out << '(';
+    body();
+    if (needed) out << ')';
+  };
+  switch (node.op) {
+    case Op::kStop:
+      out << "Stop";
+      return;
+    case Op::kConstant:
+      out << arena.constant_name(node.constant);
+      return;
+    case Op::kPrefix:
+      parenthesise(kPrefixLevel, [&] {
+        out << '(' << arena.action_name(node.action) << ", "
+            << node.rate.to_string() << ").";
+        // A chained prefix needs no parentheses: '.' associates rightwards.
+        print(arena, node.left, kPrefixLevel, out);
+      });
+      return;
+    case Op::kChoice:
+      parenthesise(kChoiceLevel, [&] {
+        print(arena, node.left, kChoiceLevel, out);
+        out << " + ";
+        print(arena, node.right, kChoiceLevel, out);
+      });
+      return;
+    case Op::kCooperation:
+      parenthesise(kCooperationLevel, [&] {
+        // Operands above choice level need no parentheses; a choice operand
+        // does (cooperation binds weakest but reads ambiguously otherwise).
+        print(arena, node.left, kChoiceLevel + 1, out);
+        out << ' ' << set_to_string(arena, node.action_set) << ' ';
+        print(arena, node.right, kChoiceLevel + 1, out);
+      });
+      return;
+    case Op::kHiding:
+      parenthesise(kHidingLevel, [&] {
+        print(arena, node.left, kHidingLevel + 1, out);
+        out << "/{";
+        for (std::size_t i = 0; i < node.action_set.size(); ++i) {
+          if (i != 0) out << ", ";
+          out << arena.action_name(node.action_set[i]);
+        }
+        out << '}';
+      });
+      return;
+  }
+  CHOREO_ASSERT(false);
+}
+
+}  // namespace
+
+std::string to_string(const ProcessArena& arena, ProcessId process) {
+  std::ostringstream out;
+  print(arena, process, kCooperationLevel, out);
+  return out.str();
+}
+
+std::string model_to_source(Model& model) {
+  std::ostringstream out;
+  // Parameters were substituted during parsing; re-emit them as a comment
+  // block so the provenance survives.
+  if (!model.parameters().empty()) {
+    out << "// original rate parameters (values are inlined below):\n";
+    for (const auto& [name, value] : model.parameters()) {
+      out << "// " << name << " = " << util::format_double(value) << ";\n";
+    }
+  }
+  const ProcessArena& arena = model.arena();
+  for (ConstantId id : model.definitions()) {
+    out << arena.constant_name(id) << " = " << to_string(arena, arena.body(id))
+        << ";\n";
+  }
+  // Emit any defined constants created outside add_definition (builders).
+  for (ConstantId id = 0; id < arena.constant_count(); ++id) {
+    if (!arena.is_defined(id)) continue;
+    if (std::find(model.definitions().begin(), model.definitions().end(), id) !=
+        model.definitions().end()) {
+      continue;
+    }
+    out << arena.constant_name(id) << " = " << to_string(arena, arena.body(id))
+        << ";\n";
+  }
+  const ProcessId system = model.system();
+  const ProcessNode& node = model.arena().node(system);
+  if (node.op == Op::kConstant) {
+    out << "@system " << arena.constant_name(node.constant) << ";\n";
+  } else {
+    out << "Sys__emitted = " << to_string(arena, system) << ";\n"
+        << "@system Sys__emitted;\n";
+  }
+  return out.str();
+}
+
+std::string set_to_string(const ProcessArena& arena,
+                          const std::vector<ActionId>& set) {
+  if (set.empty()) return "||";
+  std::ostringstream out;
+  out << '<';
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << arena.action_name(set[i]);
+  }
+  out << '>';
+  return out.str();
+}
+
+}  // namespace choreo::pepa

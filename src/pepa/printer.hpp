@@ -1,0 +1,32 @@
+// Pretty-printing of PEPA terms and models in the concrete syntax accepted
+// by the parser, with precedence-aware parenthesisation:
+//   hiding > prefix > choice > cooperation.
+#pragma once
+
+#include <string>
+
+#include "pepa/ast.hpp"
+
+namespace choreo::pepa {
+
+/// Renders a term, e.g. "(openread, r).InStream + (openwrite, r).OutStream".
+std::string to_string(const ProcessArena& arena, ProcessId process);
+
+/// Renders a cooperation set, e.g. "<openread, close>"; "||" when empty.
+std::string set_to_string(const ProcessArena& arena,
+                          const std::vector<ActionId>& set);
+
+}  // namespace choreo::pepa
+
+// model_to_source lives beside the Model type but needs the printer.
+#include "pepa/model.hpp"
+
+namespace choreo::pepa {
+
+/// Emits a complete, re-parseable .pepa source for the model: every rate
+/// parameter (values inlined where used, re-emitted for documentation),
+/// every definition in declaration order, and the @system directive.
+/// parse_model(model_to_source(m)) derives an identical state space.
+std::string model_to_source(Model& model);
+
+}  // namespace choreo::pepa

@@ -1,0 +1,74 @@
+#include "pepa/rate.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace choreo::pepa {
+
+Rate Rate::active(double value) {
+  if (!(value > 0.0) || !std::isfinite(value)) {
+    throw util::ModelError(util::msg("active rate must be positive and finite, got ",
+                                     value));
+  }
+  return Rate(value, false);
+}
+
+Rate Rate::passive(double weight) {
+  if (!(weight > 0.0) || !std::isfinite(weight)) {
+    throw util::ModelError(util::msg("passive weight must be positive, got ", weight));
+  }
+  return Rate(weight, true);
+}
+
+Rate Rate::plus(const Rate& other, const std::string& context) const {
+  if (is_zero()) return other;
+  if (other.is_zero()) return *this;
+  if (passive_ != other.passive_) {
+    throw util::ModelError(util::msg(
+        "cannot mix active and passive rates",
+        context.empty() ? "" : " for action '", context,
+        context.empty() ? "" : "'",
+        " (a component offers the same action type both actively and passively)"));
+  }
+  return Rate(value_ + other.value_, passive_);
+}
+
+Rate Rate::min(const Rate& a, const Rate& b) {
+  if (a.is_zero() || b.is_zero()) return Rate();
+  if (a.passive_ && b.passive_) {
+    return Rate(std::fmin(a.value_, b.value_), true);
+  }
+  if (a.passive_) return b;
+  if (b.passive_) return a;
+  return Rate(std::fmin(a.value_, b.value_), false);
+}
+
+std::string Rate::to_string() const {
+  if (!passive_) return util::format_double(value_);
+  if (value_ == 1.0) return "infty";
+  return util::format_double(value_) + "*infty";
+}
+
+Rate cooperation_rate(const Rate& r1, const Rate& apparent1, const Rate& r2,
+                      const Rate& apparent2, const std::string& context) {
+  CHOREO_ASSERT(!r1.is_zero() && !r2.is_zero());
+  CHOREO_ASSERT(!apparent1.is_zero() && !apparent2.is_zero());
+  // The fraction r/ra is well-defined only within a kind; apparent rates are
+  // same-kind sums of the individual rates, enforced by Rate::plus.
+  if (r1.is_passive() != apparent1.is_passive() ||
+      r2.is_passive() != apparent2.is_passive()) {
+    throw util::ModelError(util::msg(
+        "cannot mix active and passive rates",
+        context.empty() ? "" : " for action '", context,
+        context.empty() ? "" : "'"));
+  }
+  const double fraction1 = r1.value() / apparent1.value();
+  const double fraction2 = r2.value() / apparent2.value();
+  const Rate slower = Rate::min(apparent1, apparent2);
+  const double combined = fraction1 * fraction2 * slower.value();
+  return slower.is_passive() ? Rate::passive(combined) : Rate::active(combined);
+}
+
+}  // namespace choreo::pepa

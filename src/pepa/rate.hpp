@@ -1,0 +1,67 @@
+// The PEPA rate algebra.
+//
+// Every activity carries either an active rate (a positive real, the
+// parameter of an exponential delay) or a passive rate: the distinguished
+// symbol "T" (unbounded capacity), optionally weighted, written n*infty.
+// Passive activities can only proceed in cooperation with an active partner.
+//
+// The extended arithmetic follows Hillston's definition:
+//   n*T + m*T = (n+m)*T          min(n*T, m*T) = min(n,m)*T
+//   min(r, n*T) = r              r / and * as usual within a kind
+// Adding an active rate to a passive one (a component offering the same
+// action type both actively and passively) is ill-formed in PEPA and is
+// reported as a model error.
+#pragma once
+
+#include <string>
+
+namespace choreo::pepa {
+
+class Rate {
+ public:
+  /// Active rate; must be positive and finite.
+  static Rate active(double value);
+  /// Passive rate with the given weight (default weight 1).
+  static Rate passive(double weight = 1.0);
+
+  Rate() : value_(0.0), passive_(false) {}  // "no capacity" placeholder
+
+  bool is_active() const noexcept { return !passive_; }
+  bool is_passive() const noexcept { return passive_; }
+  /// The numeric rate (active) or weight (passive).
+  double value() const noexcept { return value_; }
+  bool is_zero() const noexcept { return value_ == 0.0; }
+
+  /// Apparent-rate addition (same-kind only; throws util::ModelError when
+  /// mixing active and passive).  `context` names the action for messages.
+  Rate plus(const Rate& other, const std::string& context = "") const;
+
+  /// min under the T-extended ordering: every active rate is below every
+  /// passive one.
+  static Rate min(const Rate& a, const Rate& b);
+
+  bool operator==(const Rate& other) const noexcept {
+    return passive_ == other.passive_ && value_ == other.value_;
+  }
+
+  /// "1.5", "infty", "2*infty".
+  std::string to_string() const;
+
+ private:
+  Rate(double value, bool passive) : value_(value), passive_(passive) {}
+
+  double value_;
+  bool passive_;
+};
+
+/// The PEPA cooperation rate for one shared-activity pair:
+///
+///   R = (r1 / ra1) * (r2 / ra2) * min(ra1, ra2)
+///
+/// where r1, r2 are the rates of the two participating activities and
+/// ra1, ra2 the apparent rates of the action in each cooperand.  The result
+/// is passive iff both sides are passive.
+Rate cooperation_rate(const Rate& r1, const Rate& apparent1, const Rate& r2,
+                      const Rate& apparent2, const std::string& context = "");
+
+}  // namespace choreo::pepa

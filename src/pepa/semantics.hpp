@@ -1,0 +1,56 @@
+// Structured operational semantics of PEPA.
+//
+// Provides memoised apparent rates r_alpha(P) and one-step derivatives.
+// Because terms are hash-consed, both caches are keyed by node id and every
+// semantically-identical subterm is evaluated once, which is what makes
+// state-space derivation of cooperating replicas tractable.
+//
+// Derivative lists preserve multiplicity: (a, r).P + (a, r).P yields two
+// entries, so downstream CTMC construction (which sums parallel transitions)
+// sees the correct apparent rate 2r.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pepa/ast.hpp"
+
+namespace choreo::pepa {
+
+/// One enabled activity of a process term.
+struct Derivative {
+  ActionId action;
+  Rate rate;
+  ProcessId target;
+};
+
+class Semantics {
+ public:
+  /// The arena is mutated: derivative targets intern new terms.
+  explicit Semantics(ProcessArena& arena) : arena_(arena) {}
+
+  ProcessArena& arena() noexcept { return arena_; }
+  const ProcessArena& arena() const noexcept { return arena_; }
+
+  /// Apparent rate of `action` in `process` (total capacity for the action,
+  /// Rate() when the action is not enabled).  Throws util::ModelError on
+  /// unguarded recursion and on mixed active/passive offerings.
+  Rate apparent_rate(ProcessId process, ActionId action);
+
+  /// All enabled activities of `process` (cached; do not hold the reference
+  /// across further arena mutation).
+  const std::vector<Derivative>& derivatives(ProcessId process);
+
+ private:
+  std::vector<Derivative> compute_derivatives(ProcessId process);
+  Rate compute_apparent(ProcessId process, ActionId action);
+
+  ProcessArena& arena_;
+  std::unordered_map<std::uint64_t, Rate> apparent_cache_;
+  std::unordered_map<ProcessId, std::vector<Derivative>> derivative_cache_;
+  /// Constants currently being expanded (unguarded-recursion detection).
+  std::vector<ConstantId> expanding_;
+};
+
+}  // namespace choreo::pepa

@@ -1,0 +1,84 @@
+#include "pepa/statespace.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace choreo::pepa {
+
+StateSpace StateSpace::derive(Semantics& semantics, ProcessId initial,
+                              const DeriveOptions& options) {
+  StateSpace space;
+  std::deque<std::size_t> frontier;
+
+  auto index_of_term = [&](ProcessId term) {
+    auto it = space.index_.find(term);
+    if (it != space.index_.end()) return it->second;
+    if (space.states_.size() >= options.max_states) {
+      throw util::ModelError(util::msg(
+          "state space exceeds the configured bound of ", options.max_states,
+          " states (state-space explosion)"));
+    }
+    const std::size_t index = space.states_.size();
+    space.states_.push_back(term);
+    space.index_.emplace(term, index);
+    frontier.push_back(index);
+    return index;
+  };
+
+  index_of_term(expand_static(semantics.arena(), initial));
+  while (!frontier.empty()) {
+    const std::size_t source = frontier.front();
+    frontier.pop_front();
+    // Copy: target interning may extend the arena and the derivative cache.
+    const std::vector<Derivative> moves =
+        semantics.derivatives(space.states_[source]);
+    for (const Derivative& move : moves) {
+      if (move.rate.is_passive()) {
+        if (options.allow_top_level_passive) continue;
+        throw util::ModelError(util::msg(
+            "activity '", semantics.arena().action_name(move.action),
+            "' occurs passively at the top level of the model: it would never",
+            " be performed; synchronise it with an active partner"));
+      }
+      const std::size_t target = index_of_term(move.target);
+      space.transitions_.push_back({source, target, move.action, move.rate.value()});
+    }
+  }
+  return space;
+}
+
+std::optional<std::size_t> StateSpace::index_of(ProcessId term) const {
+  auto it = index_.find(term);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+ctmc::Generator StateSpace::generator() const {
+  std::vector<ctmc::RatedTransition> rated;
+  rated.reserve(transitions_.size());
+  for (const StateTransition& t : transitions_) {
+    rated.push_back({t.source, t.target, t.rate});
+  }
+  return ctmc::Generator::build(state_count(), rated);
+}
+
+std::vector<ctmc::RatedTransition> StateSpace::transitions_of(ActionId action) const {
+  std::vector<ctmc::RatedTransition> out;
+  for (const StateTransition& t : transitions_) {
+    if (t.action == action) out.push_back({t.source, t.target, t.rate});
+  }
+  return out;
+}
+
+std::vector<std::size_t> StateSpace::deadlock_states() const {
+  std::vector<bool> has_move(state_count(), false);
+  for (const StateTransition& t : transitions_) has_move[t.source] = true;
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < state_count(); ++s) {
+    if (!has_move[s]) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace choreo::pepa

@@ -1,0 +1,64 @@
+// State-space derivation: breadth-first exploration of the derivation graph
+// of a PEPA term, yielding the labelled transition system from which the
+// CTMC generator matrix is assembled.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ctmc/generator.hpp"
+#include "pepa/semantics.hpp"
+
+namespace choreo::pepa {
+
+struct DeriveOptions {
+  /// Exploration aborts (util::ModelError) beyond this many states; the
+  /// paper's Section 1.1 names state-space explosion as the known hazard of
+  /// the numerical approach.
+  std::size_t max_states = 4'000'000;
+  /// When false, passive transitions at the top level (unsynchronised
+  /// passive activities) raise util::ModelError instead of being dropped.
+  bool allow_top_level_passive = false;
+};
+
+/// One transition of the explored labelled transition system.
+struct StateTransition {
+  std::size_t source;
+  std::size_t target;
+  ActionId action;
+  double rate;
+};
+
+class StateSpace {
+ public:
+  /// Explores from `initial`.  State 0 is the initial state.
+  static StateSpace derive(Semantics& semantics, ProcessId initial,
+                           const DeriveOptions& options = {});
+
+  std::size_t state_count() const noexcept { return states_.size(); }
+  ProcessId state_term(std::size_t index) const { return states_[index]; }
+  std::optional<std::size_t> index_of(ProcessId term) const;
+
+  const std::vector<StateTransition>& transitions() const noexcept {
+    return transitions_;
+  }
+
+  /// The CTMC generator (parallel transitions summed).
+  ctmc::Generator generator() const;
+
+  /// The transitions carrying `action`, as CTMC rated transitions — the
+  /// input to ctmc::throughput.
+  std::vector<ctmc::RatedTransition> transitions_of(ActionId action) const;
+
+  /// States enabling no activity at all.
+  std::vector<std::size_t> deadlock_states() const;
+
+ private:
+  std::vector<ProcessId> states_;
+  std::unordered_map<ProcessId, std::size_t> index_;
+  std::vector<StateTransition> transitions_;
+};
+
+}  // namespace choreo::pepa

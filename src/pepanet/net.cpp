@@ -1,0 +1,238 @@
+#include "pepanet/net.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace choreo::pepanet {
+
+TokenTypeId PepaNet::add_token_type(std::string name, pepa::ProcessId initial) {
+  if (find_token_type(name)) {
+    throw util::ModelError(util::msg("token type '", name, "' already exists"));
+  }
+  token_types_.push_back({std::move(name), initial});
+  return static_cast<TokenTypeId>(token_types_.size() - 1);
+}
+
+PlaceId PepaNet::add_place(std::string name) {
+  if (find_place(name)) {
+    throw util::ModelError(util::msg("place '", name, "' already exists"));
+  }
+  places_.push_back({std::move(name), {}, {}});
+  place_offsets_.push_back(total_slots_);
+  return static_cast<PlaceId>(places_.size() - 1);
+}
+
+std::size_t PepaNet::add_cell(PlaceId place, TokenTypeId type,
+                              pepa::ProcessId initial) {
+  CHOREO_ASSERT(place == places_.size() - 1);  // places are built in order
+  CHOREO_ASSERT(type < token_types_.size());
+  Slot slot;
+  slot.kind = Slot::Kind::kCell;
+  slot.cell_type = type;
+  slot.initial = initial;
+  places_[place].slots.push_back(slot);
+  ++total_slots_;
+  return places_[place].slots.size() - 1;
+}
+
+std::size_t PepaNet::add_static(PlaceId place, pepa::ProcessId initial) {
+  CHOREO_ASSERT(place == places_.size() - 1);
+  CHOREO_ASSERT(initial != kVacant);
+  Slot slot;
+  slot.kind = Slot::Kind::kStatic;
+  slot.initial = initial;
+  places_[place].slots.push_back(slot);
+  ++total_slots_;
+  return places_[place].slots.size() - 1;
+}
+
+void PepaNet::set_coop_sets(PlaceId place,
+                            std::vector<std::vector<pepa::ActionId>> sets) {
+  CHOREO_ASSERT(place < places_.size());
+  const std::size_t expected =
+      places_[place].slots.empty() ? 0 : places_[place].slots.size() - 1;
+  if (sets.size() != expected) {
+    throw util::ModelError(util::msg("place '", places_[place].name, "' needs ",
+                                     expected, " cooperation sets, got ",
+                                     sets.size()));
+  }
+  for (auto& set : sets) {
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+  }
+  places_[place].coop_sets = std::move(sets);
+}
+
+void PepaNet::use_shared_alphabet_cooperation(PlaceId place) {
+  CHOREO_ASSERT(place < places_.size());
+  Place& p = places_[place];
+  if (p.slots.size() <= 1) {
+    p.coop_sets.clear();
+    return;
+  }
+  // The alphabet of a cell is the alphabet of its *type* (what any token of
+  // the type might do while resident), not of the current content.
+  auto slot_alphabet = [&](const Slot& slot) {
+    const pepa::ProcessId term = slot.kind == Slot::Kind::kCell
+                                     ? token_types_[slot.cell_type].initial
+                                     : slot.initial;
+    std::vector<pepa::ActionId> all = pepa::alphabet(arena_, term);
+    std::vector<pepa::ActionId> out;
+    for (pepa::ActionId a : all) {
+      if (!is_firing_type(a)) out.push_back(a);
+    }
+    return out;
+  };
+  std::vector<std::vector<pepa::ActionId>> alphabets;
+  alphabets.reserve(p.slots.size());
+  for (const Slot& slot : p.slots) alphabets.push_back(slot_alphabet(slot));
+
+  p.coop_sets.assign(p.slots.size() - 1, {});
+  // Right-fold structure: set i synchronises slot i with slots i+1.. .
+  std::vector<pepa::ActionId> rest;
+  for (std::size_t i = p.slots.size() - 1; i-- > 0;) {
+    rest = pepa::set_union(rest, alphabets[i + 1]);
+    p.coop_sets[i] = pepa::set_intersection(alphabets[i], rest);
+  }
+}
+
+NetTransitionId PepaNet::add_transition(std::string name, pepa::Rate rate,
+                                        std::vector<PlaceId> inputs,
+                                        std::vector<PlaceId> outputs,
+                                        unsigned priority) {
+  NetTransition transition;
+  transition.action = arena_.action(name);
+  transition.name = std::move(name);
+  transition.rate = rate;
+  transition.priority = priority;
+  transition.inputs = std::move(inputs);
+  transition.outputs = std::move(outputs);
+  transitions_.push_back(std::move(transition));
+  const pepa::ActionId action = transitions_.back().action;
+  if (!is_firing_type(action)) {
+    firing_types_.insert(
+        std::upper_bound(firing_types_.begin(), firing_types_.end(), action),
+        action);
+  }
+  return static_cast<NetTransitionId>(transitions_.size() - 1);
+}
+
+const TokenType& PepaNet::token_type(TokenTypeId id) const {
+  CHOREO_ASSERT(id < token_types_.size());
+  return token_types_[id];
+}
+
+std::optional<TokenTypeId> PepaNet::find_token_type(std::string_view name) const {
+  for (TokenTypeId id = 0; id < token_types_.size(); ++id) {
+    if (token_types_[id].name == name) return id;
+  }
+  return std::nullopt;
+}
+
+const Place& PepaNet::place(PlaceId id) const {
+  CHOREO_ASSERT(id < places_.size());
+  return places_[id];
+}
+
+std::optional<PlaceId> PepaNet::find_place(std::string_view name) const {
+  for (PlaceId id = 0; id < places_.size(); ++id) {
+    if (places_[id].name == name) return id;
+  }
+  return std::nullopt;
+}
+
+const NetTransition& PepaNet::transition(NetTransitionId id) const {
+  CHOREO_ASSERT(id < transitions_.size());
+  return transitions_[id];
+}
+
+std::size_t PepaNet::slot_offset(PlaceId place, std::size_t slot) const {
+  CHOREO_ASSERT(place < places_.size());
+  CHOREO_ASSERT(slot < places_[place].slots.size());
+  return place_offsets_[place] + slot;
+}
+
+bool PepaNet::is_firing_type(pepa::ActionId action) const {
+  return std::binary_search(firing_types_.begin(), firing_types_.end(), action);
+}
+
+Marking PepaNet::initial_marking() const {
+  Marking marking;
+  marking.reserve(total_slots_);
+  for (const Place& place : places_) {
+    for (const Slot& slot : place.slots) marking.push_back(slot.initial);
+  }
+  return marking;
+}
+
+void PepaNet::validate() const {
+  if (places_.empty()) throw util::ModelError("net has no places");
+  for (const Place& place : places_) {
+    bool has_cell = false;
+    for (const Slot& slot : place.slots) {
+      has_cell = has_cell || slot.kind == Slot::Kind::kCell;
+    }
+    if (!has_cell) {
+      throw util::ModelError(util::msg(
+          "place '", place.name,
+          "' has no cell: every PEPA net context contains at least one cell"));
+    }
+    if (!place.coop_sets.empty() &&
+        place.coop_sets.size() != place.slots.size() - 1) {
+      throw util::ModelError(util::msg("place '", place.name,
+                                       "' has inconsistent cooperation sets"));
+    }
+    for (const auto& set : place.coop_sets) {
+      for (pepa::ActionId action : set) {
+        if (is_firing_type(action)) {
+          throw util::ModelError(util::msg(
+              "place '", place.name, "' cooperates on firing type '",
+              arena_.action_name(action),
+              "': firing types only occur as net-level transitions"));
+        }
+      }
+    }
+  }
+  for (const NetTransition& transition : transitions_) {
+    if (transition.inputs.empty() || transition.outputs.empty()) {
+      throw util::ModelError(util::msg("net transition '", transition.name,
+                                       "' needs input and output places"));
+    }
+    if (transition.inputs.size() != transition.outputs.size()) {
+      throw util::ModelError(util::msg(
+          "net transition '", transition.name, "' is unbalanced: ",
+          transition.inputs.size(), " inputs vs ", transition.outputs.size(),
+          " outputs (each fired token passes through the transition)"));
+    }
+    auto check_distinct = [&](const std::vector<PlaceId>& places,
+                              const char* role) {
+      std::unordered_set<PlaceId> seen;
+      for (PlaceId id : places) {
+        if (id >= places_.size()) {
+          throw util::ModelError(util::msg("net transition '", transition.name,
+                                           "' references an unknown place"));
+        }
+        if (!seen.insert(id).second) {
+          throw util::ModelError(util::msg("net transition '", transition.name,
+                                           "' lists place '", places_[id].name,
+                                           "' twice as ", role));
+        }
+      }
+    };
+    check_distinct(transition.inputs, "input");
+    check_distinct(transition.outputs, "output");
+  }
+  // Initial tokens must fit their cells.
+  for (const Place& place : places_) {
+    for (const Slot& slot : place.slots) {
+      if (slot.kind == Slot::Kind::kCell && slot.cell_type >= token_types_.size()) {
+        throw util::ModelError(util::msg("place '", place.name,
+                                         "' has a cell of unknown token type"));
+      }
+    }
+  }
+}
+
+}  // namespace choreo::pepanet

@@ -1,0 +1,148 @@
+// PEPA nets (paper Definition 1): a coloured stochastic Petri net whose
+// tokens are PEPA components.
+//
+// Structure:
+//   - token types: a name plus the initial PEPA derivative of such tokens;
+//   - places: an ordered list of slots, each either a *cell* (a typed
+//     storage area for one token, possibly vacant) or a *static component*
+//     (a PEPA process bound to the place, which cannot move);
+//   - the place context is the right fold of the slots under cooperation:
+//       slot0 <L0> (slot1 <L1> (...)),
+//     where each L_i is an explicit action set (the builder can compute the
+//     shared-alphabet default the Section 3 mapping prescribes);
+//   - net transitions: a firing action type, a rate (possibly passive, in
+//     which case the participating tokens determine the speed), a priority,
+//     and balanced input/output place lists.
+//
+// Markings assign a current PEPA derivative to every slot; vacant cells are
+// marked with kVacant.  The firing semantics lives in netsemantics.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pepa/ast.hpp"
+
+namespace choreo::pepanet {
+
+using PlaceId = std::uint32_t;
+using NetTransitionId = std::uint32_t;
+using TokenTypeId = std::uint32_t;
+
+/// Slot content marker for a vacant cell.
+inline constexpr pepa::ProcessId kVacant = pepa::kInvalidProcess;
+
+struct TokenType {
+  std::string name;
+  /// Every derivative a token of this type can reach stays of this type;
+  /// `initial` is only the conventional starting derivative.
+  pepa::ProcessId initial = pepa::kInvalidProcess;
+};
+
+struct Slot {
+  enum class Kind : std::uint8_t { kCell, kStatic };
+  Kind kind = Kind::kCell;
+  /// Cells: the token type this cell stores.
+  TokenTypeId cell_type = 0;
+  /// Cells: initial content (kVacant for an initially empty cell).
+  /// Statics: the initial derivative of the static component.
+  pepa::ProcessId initial = kVacant;
+};
+
+struct Place {
+  std::string name;
+  std::vector<Slot> slots;
+  /// coop_sets[i] combines slot i with the fold of slots i+1.. ;
+  /// size is max(slots.size() - 1, 0).
+  std::vector<std::vector<pepa::ActionId>> coop_sets;
+};
+
+struct NetTransition {
+  std::string name;
+  /// The firing action type (boldface in the paper).
+  pepa::ActionId action = 0;
+  pepa::Rate rate;
+  /// Paper Definition 5: only maximal-priority transitions with concession
+  /// may fire.  Larger numbers take precedence.
+  unsigned priority = 1;
+  std::vector<PlaceId> inputs;
+  std::vector<PlaceId> outputs;
+};
+
+/// A marking: the current derivative of every slot, places concatenated in
+/// declaration order (see PepaNet::slot_offset).
+using Marking = std::vector<pepa::ProcessId>;
+
+class PepaNet {
+ public:
+  PepaNet() = default;
+  /// Adopts an existing arena (e.g. the one holding a parsed PEPA model's
+  /// definitions) so token/static terms can reference those definitions.
+  explicit PepaNet(pepa::ProcessArena arena) : arena_(std::move(arena)) {}
+
+  pepa::ProcessArena& arena() noexcept { return arena_; }
+  const pepa::ProcessArena& arena() const noexcept { return arena_; }
+
+  // --- construction -------------------------------------------------------
+  TokenTypeId add_token_type(std::string name, pepa::ProcessId initial);
+  PlaceId add_place(std::string name);
+  /// Adds a cell slot; `initial` kVacant for an empty cell.  Returns the
+  /// slot index within the place.
+  std::size_t add_cell(PlaceId place, TokenTypeId type,
+                       pepa::ProcessId initial = kVacant);
+  std::size_t add_static(PlaceId place, pepa::ProcessId initial);
+  /// Sets the cooperation sets of a place explicitly (fold structure above).
+  void set_coop_sets(PlaceId place, std::vector<std::vector<pepa::ActionId>> sets);
+  /// Computes the Section-3 default: slot i cooperates with the rest of the
+  /// place on the actions their alphabets share (firing types excluded).
+  void use_shared_alphabet_cooperation(PlaceId place);
+  NetTransitionId add_transition(std::string name, pepa::Rate rate,
+                                 std::vector<PlaceId> inputs,
+                                 std::vector<PlaceId> outputs,
+                                 unsigned priority = 1);
+
+  // --- access ---------------------------------------------------------------
+  std::size_t token_type_count() const noexcept { return token_types_.size(); }
+  const TokenType& token_type(TokenTypeId id) const;
+  std::optional<TokenTypeId> find_token_type(std::string_view name) const;
+
+  std::size_t place_count() const noexcept { return places_.size(); }
+  const Place& place(PlaceId id) const;
+  std::optional<PlaceId> find_place(std::string_view name) const;
+
+  std::size_t transition_count() const noexcept { return transitions_.size(); }
+  const NetTransition& transition(NetTransitionId id) const;
+
+  /// Index of (place, slot) in a Marking vector.
+  std::size_t slot_offset(PlaceId place, std::size_t slot) const;
+  std::size_t total_slots() const noexcept { return total_slots_; }
+
+  /// The sorted set of firing action types (A_f).  Local transitions of
+  /// these types are suppressed inside places: they only occur as firings.
+  const std::vector<pepa::ActionId>& firing_types() const noexcept {
+    return firing_types_;
+  }
+  bool is_firing_type(pepa::ActionId action) const;
+
+  /// The initial marking M0 (from the slots' initial contents).
+  Marking initial_marking() const;
+
+  /// Structural checks (paper's balance requirement, defined names,
+  /// non-empty input/output lists, duplicate places within one transition).
+  /// Throws util::ModelError.
+  void validate() const;
+
+ private:
+  pepa::ProcessArena arena_;
+  std::vector<TokenType> token_types_;
+  std::vector<Place> places_;
+  std::vector<std::size_t> place_offsets_;
+  std::size_t total_slots_ = 0;
+  std::vector<NetTransition> transitions_;
+  std::vector<pepa::ActionId> firing_types_;
+};
+
+}  // namespace choreo::pepanet

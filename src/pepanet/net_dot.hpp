@@ -1,0 +1,20 @@
+// GraphViz (DOT) rendering of PEPA nets and their marking graphs.
+#pragma once
+
+#include <string>
+
+#include "pepanet/net.hpp"
+#include "pepanet/netstatespace.hpp"
+
+namespace choreo::pepanet {
+
+/// The net structure as the classic bipartite Petri-net picture: circles
+/// for places (annotated with their cells and statics), rectangles for net
+/// transitions, arcs for the input/output functions.
+std::string structure_to_dot(const PepaNet& net);
+
+/// The marking graph as a DOT digraph; firings are drawn with bold edges,
+/// local transitions with plain ones.
+std::string marking_graph_to_dot(const PepaNet& net, const NetStateSpace& space);
+
+}  // namespace choreo::pepanet

@@ -1,0 +1,423 @@
+#include "pepanet/net_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "pepa/parser.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace choreo::pepanet {
+
+namespace {
+
+/// Finds the offset where net declarations begin: the first '@' (outside
+/// comments) followed by token/place/transition.  '@system' belongs to the
+/// embedded PEPA model.  Returns npos when there are no net declarations.
+std::size_t find_net_section(std::string_view source) {
+  std::size_t i = 0;
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '%' || c == '#') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < source.size() && !(source[i] == '*' && source[i + 1] == '/')) {
+        ++i;
+      }
+      i += 2;
+      continue;
+    }
+    if (c == '@') {
+      std::size_t j = i + 1;
+      while (j < source.size() &&
+             std::isspace(static_cast<unsigned char>(source[j]))) {
+        ++j;
+      }
+      std::size_t k = j;
+      while (k < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[k])) ||
+              source[k] == '_')) {
+        ++k;
+      }
+      const std::string_view word = source.substr(j, k - j);
+      if (word == "token" || word == "place" || word == "transition") return i;
+    }
+    ++i;
+  }
+  return std::string_view::npos;
+}
+
+/// Minimal tokeniser for the declaration section.
+class NetLexer {
+ public:
+  NetLexer(std::string_view source, std::string source_name, std::size_t line0)
+      : source_(source), source_name_(std::move(source_name)), line_(line0) {}
+
+  struct Token {
+    enum class Kind { kIdent, kNumber, kSymbol, kEnd } kind = Kind::kEnd;
+    std::string text;
+    double number = 0.0;
+    std::size_t line = 1;
+  };
+
+  Token next() {
+    skip_trivia();
+    Token token;
+    token.line = line_;
+    if (i_ >= source_.size()) return token;
+    const char c = source_[i_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t begin = i_;
+      while (i_ < source_.size() &&
+             (std::isalnum(static_cast<unsigned char>(source_[i_])) ||
+              source_[i_] == '_')) {
+        advance();
+      }
+      token.kind = Token::Kind::kIdent;
+      token.text = std::string(source_.substr(begin, i_ - begin));
+      return token;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t begin = i_;
+      while (i_ < source_.size() &&
+             (std::isdigit(static_cast<unsigned char>(source_[i_])) ||
+              source_[i_] == '.' || source_[i_] == 'e' || source_[i_] == 'E' ||
+              ((source_[i_] == '+' || source_[i_] == '-') &&
+               (source_[i_ - 1] == 'e' || source_[i_ - 1] == 'E')))) {
+        advance();
+      }
+      token.kind = Token::Kind::kNumber;
+      token.text = std::string(source_.substr(begin, i_ - begin));
+      token.number = std::stod(token.text);
+      return token;
+    }
+    token.kind = Token::Kind::kSymbol;
+    token.text = std::string(1, c);
+    advance();
+    return token;
+  }
+
+  Token peek() {
+    const std::size_t save_i = i_;
+    const std::size_t save_line = line_;
+    Token token = next();
+    i_ = save_i;
+    line_ = save_line;
+    return token;
+  }
+
+  [[noreturn]] void fail(const Token& at, const std::string& message) const {
+    throw util::ParseError(source_name_, at.line, 1, message);
+  }
+
+ private:
+  void advance() {
+    if (source_[i_] == '\n') ++line_;
+    ++i_;
+  }
+  void skip_trivia() {
+    while (i_ < source_.size()) {
+      const char c = source_[i_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && i_ + 1 < source_.size() && source_[i_ + 1] == '/') {
+        while (i_ < source_.size() && source_[i_] != '\n') advance();
+      } else if (c == '%' || c == '#') {
+        while (i_ < source_.size() && source_[i_] != '\n') advance();
+      } else if (c == '/' && i_ + 1 < source_.size() && source_[i_ + 1] == '*') {
+        advance();
+        advance();
+        while (i_ + 1 < source_.size() &&
+               !(source_[i_] == '*' && source_[i_ + 1] == '/')) {
+          advance();
+        }
+        if (i_ + 1 < source_.size()) {
+          advance();
+          advance();
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string_view source_;
+  std::string source_name_;
+  std::size_t i_ = 0;
+  std::size_t line_;
+};
+
+using Token = NetLexer::Token;
+
+class NetParser {
+ public:
+  NetParser(std::string_view declarations, std::string source_name,
+            std::size_t line0, pepa::Model model)
+      : lexer_(declarations, std::move(source_name), line0),
+        parameters_(model.parameters()),
+        net_(std::move(model.arena())) {}
+
+  ParsedNet run() {
+    while (true) {
+      const Token token = lexer_.next();
+      if (token.kind == Token::Kind::kEnd) break;
+      if (token.kind != Token::Kind::kSymbol || token.text != "@") {
+        lexer_.fail(token, util::msg("expected a net declaration ('@'), found '",
+                                     token.text, "'"));
+      }
+      const Token keyword = expect_ident("a declaration keyword");
+      if (keyword.text == "token") {
+        parse_token_decl();
+      } else if (keyword.text == "place") {
+        parse_place_decl();
+      } else if (keyword.text == "transition") {
+        parse_transition_decl();
+      } else {
+        lexer_.fail(keyword,
+                    util::msg("unknown declaration '@", keyword.text, "'"));
+      }
+    }
+    // Cooperation structure, once all firing types are known (they must be
+    // excluded from the shared alphabets): explicit 'sync' declarations win,
+    // places without them get the shared-alphabet default.
+    for (PlaceId place = 0; place < net_.place_count(); ++place) {
+      if (!explicit_syncs_[place].empty()) {
+        net_.set_coop_sets(place, explicit_syncs_[place]);
+      } else {
+        net_.use_shared_alphabet_cooperation(place);
+      }
+    }
+    net_.validate();
+    ParsedNet parsed;
+    parsed.net = std::move(net_);
+    parsed.parameters = std::move(parameters_);
+    return parsed;
+  }
+
+ private:
+  Token expect_ident(const char* what) {
+    const Token token = lexer_.next();
+    if (token.kind != Token::Kind::kIdent) {
+      lexer_.fail(token, util::msg("expected ", what));
+    }
+    return token;
+  }
+  void expect_symbol(std::string_view text) {
+    const Token token = lexer_.next();
+    if (token.kind != Token::Kind::kSymbol || token.text != text) {
+      lexer_.fail(token, util::msg("expected '", text, "'"));
+    }
+  }
+
+  pepa::ProcessId constant_term(const Token& name) {
+    auto constant = net_.arena().find_constant(name.text);
+    if (!constant || !net_.arena().is_defined(*constant)) {
+      lexer_.fail(name, util::msg("'", name.text,
+                                  "' is not a defined PEPA process"));
+    }
+    return net_.arena().constant(*constant);
+  }
+
+  void parse_token_decl() {
+    const Token name = expect_ident("a token type name");
+    const pepa::ProcessId initial = constant_term(name);
+    expect_symbol(";");
+    net_.add_token_type(name.text, initial);
+  }
+
+  void parse_place_decl() {
+    const Token name = expect_ident("a place name");
+    const PlaceId place = net_.add_place(name.text);
+    explicit_syncs_.emplace_back();
+    expect_symbol("{");
+    while (true) {
+      const Token token = lexer_.next();
+      if (token.kind == Token::Kind::kSymbol && token.text == "}") return;
+      if (token.kind != Token::Kind::kIdent) {
+        lexer_.fail(token, "expected 'cell', 'static' or '}'");
+      }
+      if (token.text == "cell") {
+        const Token type_name = expect_ident("a token type name");
+        auto type = net_.find_token_type(type_name.text);
+        if (!type) {
+          lexer_.fail(type_name, util::msg("unknown token type '",
+                                           type_name.text, "'"));
+        }
+        pepa::ProcessId initial = kVacant;
+        Token separator = lexer_.next();
+        if (separator.kind == Token::Kind::kSymbol && separator.text == "=") {
+          initial = constant_term(expect_ident("an initial process name"));
+          separator = lexer_.next();
+        }
+        if (separator.kind != Token::Kind::kSymbol || separator.text != ";") {
+          lexer_.fail(separator, "expected ';' after cell declaration");
+        }
+        net_.add_cell(place, *type, initial);
+      } else if (token.text == "static") {
+        const pepa::ProcessId initial =
+            constant_term(expect_ident("a process name"));
+        expect_symbol(";");
+        net_.add_static(place, initial);
+      } else if (token.text == "sync") {
+        // Explicit cooperation set for the next fold boundary (slot i vs
+        // the fold of slots i+1..); overrides the shared-alphabet default
+        // for the whole place.
+        expect_symbol("<");
+        std::vector<pepa::ActionId> set;
+        Token item = lexer_.next();
+        while (!(item.kind == Token::Kind::kSymbol && item.text == ">")) {
+          if (item.kind != Token::Kind::kIdent) {
+            lexer_.fail(item, "expected an action name in sync set");
+          }
+          set.push_back(net_.arena().action(item.text));
+          item = lexer_.next();
+          if (item.kind == Token::Kind::kSymbol && item.text == ",") {
+            item = lexer_.next();
+          }
+        }
+        expect_symbol(";");
+        explicit_syncs_.back().push_back(std::move(set));
+      } else {
+        lexer_.fail(token,
+                    util::msg("expected 'cell', 'static' or 'sync', found '",
+                              token.text, "'"));
+      }
+    }
+  }
+
+  pepa::Rate parse_rate() {
+    Token token = lexer_.next();
+    double weight = 1.0;
+    bool have_weight = false;
+    if (token.kind == Token::Kind::kNumber) {
+      weight = token.number;
+      have_weight = true;
+    } else if (token.kind == Token::Kind::kIdent && token.text != "infty" &&
+               token.text != "T") {
+      for (const auto& [name, value] : parameters_) {
+        if (name == token.text) {
+          weight = value;
+          have_weight = true;
+          break;
+        }
+      }
+      if (!have_weight) {
+        lexer_.fail(token, util::msg("unknown rate parameter '", token.text, "'"));
+      }
+    }
+    if (have_weight) {
+      const Token follow = lexer_.peek();
+      if (follow.kind == Token::Kind::kSymbol && follow.text == "*") {
+        lexer_.next();
+        const Token passive = expect_ident("'infty'");
+        if (passive.text != "infty" && passive.text != "T") {
+          lexer_.fail(passive, "expected 'infty' after '*'");
+        }
+        return pepa::Rate::passive(weight);
+      }
+      return pepa::Rate::active(weight);
+    }
+    if (token.kind == Token::Kind::kIdent &&
+        (token.text == "infty" || token.text == "T")) {
+      return pepa::Rate::passive(1.0);
+    }
+    lexer_.fail(token, "expected a rate");
+  }
+
+  std::vector<PlaceId> parse_place_list(const char* terminator_word) {
+    std::vector<PlaceId> places;
+    while (true) {
+      const Token name = expect_ident("a place name");
+      auto place = net_.find_place(name.text);
+      if (!place) {
+        lexer_.fail(name, util::msg("unknown place '", name.text, "'"));
+      }
+      places.push_back(*place);
+      const Token token = lexer_.peek();
+      if (token.kind == Token::Kind::kSymbol && token.text == ",") {
+        lexer_.next();
+        continue;
+      }
+      if (terminator_word[0] != '\0') {
+        const Token word = expect_ident(terminator_word);
+        if (word.text != terminator_word) {
+          lexer_.fail(word, util::msg("expected '", terminator_word, "'"));
+        }
+      }
+      return places;
+    }
+  }
+
+  void parse_transition_decl() {
+    const Token name = expect_ident("a transition (firing action) name");
+    expect_symbol("(");
+    Token keyword = expect_ident("'rate'");
+    if (keyword.text != "rate") lexer_.fail(keyword, "expected 'rate'");
+    const pepa::Rate rate = parse_rate();
+    unsigned priority = 1;
+    Token token = lexer_.next();
+    if (token.kind == Token::Kind::kSymbol && token.text == ",") {
+      keyword = expect_ident("'priority'");
+      if (keyword.text != "priority") lexer_.fail(keyword, "expected 'priority'");
+      const Token number = lexer_.next();
+      if (number.kind != Token::Kind::kNumber || number.number < 0.0) {
+        lexer_.fail(number, "expected a non-negative priority");
+      }
+      priority = static_cast<unsigned>(number.number);
+      token = lexer_.next();
+    }
+    if (token.kind != Token::Kind::kSymbol || token.text != ")") {
+      lexer_.fail(token, "expected ')'");
+    }
+    Token from = expect_ident("'from'");
+    if (from.text != "from") lexer_.fail(from, "expected 'from'");
+    const std::vector<PlaceId> inputs = parse_place_list("to");
+    const std::vector<PlaceId> outputs = parse_place_list("");
+    expect_symbol(";");
+    net_.add_transition(name.text, rate, inputs, outputs, priority);
+  }
+
+  NetLexer lexer_;
+  std::vector<std::pair<std::string, double>> parameters_;
+  PepaNet net_;
+  /// Per place: explicit 'sync' cooperation sets (empty = use the default).
+  std::vector<std::vector<std::vector<pepa::ActionId>>> explicit_syncs_;
+};
+
+}  // namespace
+
+ParsedNet parse_net(std::string_view source, std::string source_name) {
+  const std::size_t split = find_net_section(source);
+  if (split == std::string_view::npos) {
+    throw util::ParseError(source_name, 1, 1,
+                           "no net declarations (@token/@place/@transition)");
+  }
+  const std::string_view pepa_part = source.substr(0, split);
+  const std::string_view net_part = source.substr(split);
+  const std::size_t line0 =
+      1 + static_cast<std::size_t>(
+              std::count(pepa_part.begin(), pepa_part.end(), '\n'));
+
+  pepa::Model model = pepa::parse_model(pepa_part, source_name);
+  return NetParser(net_part, std::move(source_name), line0, std::move(model)).run();
+}
+
+ParsedNet parse_net_file(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) throw util::Error(util::msg("cannot open '", path, "'"));
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  const std::string contents = buffer.str();
+  return parse_net(contents, path);
+}
+
+}  // namespace choreo::pepanet

@@ -1,0 +1,165 @@
+#include "pepanet/net_printer.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "pepa/printer.hpp"
+
+namespace choreo::pepanet {
+
+std::string to_source(const PepaNet& net) {
+  const pepa::ProcessArena& arena = net.arena();
+  std::ostringstream defs;
+  std::ostringstream decls;
+
+  // Synthetic names for slot/token initial terms that are not constants.
+  std::map<pepa::ProcessId, std::string> synthetic;
+  auto name_of = [&](pepa::ProcessId term) -> std::string {
+    const pepa::ProcessNode& node = arena.node(term);
+    if (node.op == pepa::Op::kConstant) return arena.constant_name(node.constant);
+    auto [it, inserted] = synthetic.emplace(
+        term, "Init_" + std::to_string(synthetic.size()));
+    if (inserted) {
+      defs << it->second << " = " << pepa::to_string(arena, term) << ";\n";
+    }
+    return it->second;
+  };
+
+  for (pepa::ConstantId id = 0; id < arena.constant_count(); ++id) {
+    if (!arena.is_defined(id)) continue;
+    defs << arena.constant_name(id) << " = "
+         << pepa::to_string(arena, arena.body(id)) << ";\n";
+  }
+
+  // Token declarations: '@token C;' names the type by the constant C, so a
+  // type whose name differs from its initial derivative's gets an alias.
+  std::map<TokenTypeId, std::string> type_name;
+  std::map<std::string, TokenTypeId> used_type_names;
+  for (TokenTypeId id = 0; id < net.token_type_count(); ++id) {
+    const TokenType& type = net.token_type(id);
+    const pepa::ProcessNode& node = arena.node(type.initial);
+    std::string name;
+    // Prefer naming the type after its initial constant (no alias state);
+    // fall back to a synthetic alias when the initial is a compound term
+    // or when two types would collide on the same constant.
+    if (node.op == pepa::Op::kConstant &&
+        !used_type_names.count(arena.constant_name(node.constant))) {
+      name = arena.constant_name(node.constant);
+    } else {
+      name = "Type_" + std::to_string(id);
+      defs << name << " = " << name_of(type.initial) << ";\n";
+    }
+    used_type_names.emplace(name, id);
+    type_name[id] = name;
+    decls << "@token " << name << ";\n";
+  }
+
+  for (PlaceId id = 0; id < net.place_count(); ++id) {
+    const Place& place = net.place(id);
+    decls << "@place " << place.name << " {";
+    for (const Slot& slot : place.slots) {
+      decls << ' ';
+      if (slot.kind == Slot::Kind::kCell) {
+        decls << "cell " << type_name.at(slot.cell_type);
+        if (slot.initial != kVacant) decls << " = " << name_of(slot.initial);
+      } else {
+        decls << "static " << name_of(slot.initial);
+      }
+      decls << ';';
+    }
+    for (const auto& set : place.coop_sets) {
+      decls << " sync <";
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        decls << (i ? ", " : "") << arena.action_name(set[i]);
+      }
+      decls << ">;";
+    }
+    decls << " }\n";
+  }
+
+  for (NetTransitionId id = 0; id < net.transition_count(); ++id) {
+    const NetTransition& t = net.transition(id);
+    decls << "@transition " << t.name << " (rate " << t.rate.to_string()
+          << ", priority " << t.priority << ") from ";
+    for (std::size_t i = 0; i < t.inputs.size(); ++i) {
+      decls << (i ? ", " : "") << net.place(t.inputs[i]).name;
+    }
+    decls << " to ";
+    for (std::size_t i = 0; i < t.outputs.size(); ++i) {
+      decls << (i ? ", " : "") << net.place(t.outputs[i]).name;
+    }
+    decls << ";\n";
+  }
+  return defs.str() + "\n" + decls.str();
+}
+
+std::string to_string(const PepaNet& net) {
+  std::ostringstream out;
+  for (TokenTypeId id = 0; id < net.token_type_count(); ++id) {
+    const TokenType& type = net.token_type(id);
+    out << "@token " << type.name << ";  // initially "
+        << pepa::to_string(net.arena(), type.initial) << '\n';
+  }
+  for (PlaceId id = 0; id < net.place_count(); ++id) {
+    const Place& place = net.place(id);
+    out << "@place " << place.name << " {";
+    for (std::size_t s = 0; s < place.slots.size(); ++s) {
+      const Slot& slot = place.slots[s];
+      out << ' ';
+      if (slot.kind == Slot::Kind::kCell) {
+        out << "cell " << net.token_type(slot.cell_type).name;
+        if (slot.initial != kVacant) {
+          out << " = " << pepa::to_string(net.arena(), slot.initial);
+        }
+      } else {
+        out << "static " << pepa::to_string(net.arena(), slot.initial);
+      }
+      out << ';';
+      if (s + 1 < place.slots.size() && !place.coop_sets.empty()) {
+        out << "  // " << pepa::set_to_string(net.arena(), place.coop_sets[s]);
+      }
+    }
+    out << " }\n";
+  }
+  for (NetTransitionId id = 0; id < net.transition_count(); ++id) {
+    const NetTransition& t = net.transition(id);
+    out << "@transition " << t.name << " (rate " << t.rate.to_string()
+        << ", priority " << t.priority << ") from ";
+    for (std::size_t i = 0; i < t.inputs.size(); ++i) {
+      out << (i ? ", " : "") << net.place(t.inputs[i]).name;
+    }
+    out << " to ";
+    for (std::size_t i = 0; i < t.outputs.size(); ++i) {
+      out << (i ? ", " : "") << net.place(t.outputs[i]).name;
+    }
+    out << ";\n";
+  }
+  return out.str();
+}
+
+std::string marking_to_string(const PepaNet& net, const Marking& marking) {
+  std::ostringstream out;
+  for (PlaceId id = 0; id < net.place_count(); ++id) {
+    const Place& place = net.place(id);
+    if (id != 0) out << ' ';
+    out << place.name << '[';
+    bool first = true;
+    for (std::size_t s = 0; s < place.slots.size(); ++s) {
+      const Slot& slot = place.slots[s];
+      const pepa::ProcessId content = marking[net.slot_offset(id, s)];
+      if (slot.kind == Slot::Kind::kCell) {
+        if (!first) out << ", ";
+        out << (content == kVacant ? "_" : pepa::to_string(net.arena(), content));
+        first = false;
+      } else {
+        if (!first) out << ", ";
+        out << "|" << pepa::to_string(net.arena(), content) << "|";
+        first = false;
+      }
+    }
+    out << ']';
+  }
+  return out.str();
+}
+
+}  // namespace choreo::pepanet

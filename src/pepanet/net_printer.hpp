@@ -1,0 +1,25 @@
+// Rendering of PEPA nets and markings for diagnostics and reports.
+#pragma once
+
+#include <string>
+
+#include "pepanet/net.hpp"
+
+namespace choreo::pepanet {
+
+/// Multi-line description: token types, places with slots and cooperation
+/// sets, and net transitions.
+std::string to_string(const PepaNet& net);
+
+/// One-line marking rendering, e.g.
+///   "input[IM] output[_] || FileReader".
+std::string marking_to_string(const PepaNet& net, const Marking& marking);
+
+/// Emits the net as a complete, re-parseable .pepanet source: all PEPA
+/// definitions, token/place declarations with explicit sync sets, and the
+/// net transitions.  Non-constant initial terms get synthetic definitions.
+/// parse_net(to_source(net)) derives a semantically identical net (names of
+/// synthetic constants and token types may differ).
+std::string to_source(const PepaNet& net);
+
+}  // namespace choreo::pepanet

@@ -1,0 +1,14 @@
+#include "pepanet/netaggregate.hpp"
+
+namespace choreo::pepanet {
+
+ctmc::LabelledLumping aggregate(const NetStateSpace& space) {
+  std::vector<ctmc::LabelledTransition> transitions;
+  transitions.reserve(space.transitions().size());
+  for (const MarkingTransition& t : space.transitions()) {
+    transitions.push_back({t.source, t.target, t.action, t.rate});
+  }
+  return ctmc::compute_labelled_lumping(space.marking_count(), transitions);
+}
+
+}  // namespace choreo::pepanet

@@ -1,0 +1,13 @@
+// Strong-equivalence aggregation of PEPA-net marking graphs (see
+// pepa/aggregate.hpp for the plain-PEPA counterpart).
+#pragma once
+
+#include "ctmc/labelled_lumping.hpp"
+#include "pepanet/netstatespace.hpp"
+
+namespace choreo::pepanet {
+
+/// Coarsest strong-equivalence aggregation of a marking graph.
+ctmc::LabelledLumping aggregate(const NetStateSpace& space);
+
+}  // namespace choreo::pepanet

@@ -1,0 +1,77 @@
+// Operational semantics of PEPA nets over markings.
+//
+// Two kinds of change of state (paper Section 2.2):
+//   - *transitions* (A_t): ordinary PEPA activities inside one place.  The
+//     place context (the cooperation fold of its slots, vacant cells being
+//     inert) performs a one-step derivative; firing action types are
+//     suppressed locally.
+//   - *firings* (A_f, Definitions 2-6): a net transition t with firing type
+//     alpha fires by selecting an *enabling* (one token with an alpha
+//     derivative per input place), an *output* (one vacant cell per output
+//     place) and a type-preserving bijection between them; markings update
+//     by moving each selected token, evolved by its alpha-derivative, into
+//     its assigned cell.  Only transitions of maximal priority among those
+//     with concession may fire (Definition 5).
+//
+// Firing rates follow the apparent-rate discipline (see DESIGN.md §5.1):
+// the label rate of t cooperates (bounded-capacity min) with each selected
+// token's apparent alpha-rate; each token's choice among several alpha
+// derivatives contributes its proportional share; and the equiprobable
+// output/bijection variants of one enabling split the enabling's rate
+// equally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pepa/semantics.hpp"
+#include "pepanet/net.hpp"
+
+namespace choreo::pepanet {
+
+/// One move of the marking graph.
+struct NetMove {
+  enum class Kind : std::uint8_t { kLocal, kFiring };
+  Kind kind = Kind::kLocal;
+  pepa::ActionId action = 0;
+  pepa::Rate rate;
+  Marking target;
+  /// kLocal: the place whose context moved; kFiring: unused (=0).
+  PlaceId place = 0;
+  /// kFiring: which net transition fired; kLocal: unused (=0).
+  NetTransitionId transition = 0;
+};
+
+class NetSemantics {
+ public:
+  explicit NetSemantics(PepaNet& net) : net_(net), pepa_(net.arena()) {}
+
+  PepaNet& net() noexcept { return net_; }
+  pepa::Semantics& pepa() noexcept { return pepa_; }
+
+  /// All moves (local transitions and enabled firings) from `marking`.
+  std::vector<NetMove> moves(const Marking& marking);
+
+  /// Whether net transition `t` has concession for its firing type in
+  /// `marking` (Definition 4), ignoring priorities.
+  bool has_concession(const Marking& marking, NetTransitionId t);
+
+ private:
+  void collect_local_moves(const Marking& marking, PlaceId place,
+                           std::vector<NetMove>& out);
+  void collect_firings(const Marking& marking, NetTransitionId t,
+                       std::vector<NetMove>& out);
+
+  /// Builds the context term of `place` from the marking (vacant -> Stop).
+  pepa::ProcessId place_context(const Marking& marking, PlaceId place);
+
+  PepaNet& net_;
+  pepa::Semantics pepa_;
+};
+
+/// Hash functor for markings (FNV-style over slot ids).
+struct MarkingHash {
+  std::size_t operator()(const Marking& marking) const noexcept;
+};
+
+}  // namespace choreo::pepanet

@@ -1,0 +1,185 @@
+#include "pepanet/netstatespace.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace choreo::pepanet {
+
+NetStateSpace NetStateSpace::derive(NetSemantics& semantics,
+                                    const NetDeriveOptions& options) {
+  return derive_from(semantics, semantics.net().initial_marking(), options);
+}
+
+NetStateSpace NetStateSpace::derive_from(NetSemantics& semantics, Marking initial,
+                                         const NetDeriveOptions& options) {
+  semantics.net().validate();
+  NetStateSpace space;
+  std::deque<std::size_t> frontier;
+
+  auto index_of_marking = [&](Marking marking) {
+    auto it = space.index_.find(marking);
+    if (it != space.index_.end()) return it->second;
+    if (space.markings_.size() >= options.max_markings) {
+      throw util::ModelError(util::msg(
+          "marking graph exceeds the configured bound of ", options.max_markings,
+          " markings (state-space explosion)"));
+    }
+    const std::size_t index = space.markings_.size();
+    space.markings_.push_back(std::move(marking));
+    space.index_.emplace(space.markings_.back(), index);
+    frontier.push_back(index);
+    return index;
+  };
+
+  index_of_marking(std::move(initial));
+  while (!frontier.empty()) {
+    const std::size_t source = frontier.front();
+    frontier.pop_front();
+    const Marking current = space.markings_[source];  // copy: vector may grow
+    for (NetMove& move : semantics.moves(current)) {
+      if (move.rate.is_passive()) {
+        if (options.allow_top_level_passive) continue;
+        throw util::ModelError(util::msg(
+            "activity '", semantics.net().arena().action_name(move.action),
+            "' occurs passively at the net level: no active partner sets its",
+            " rate"));
+      }
+      const std::size_t target = index_of_marking(std::move(move.target));
+      MarkingTransition t;
+      t.source = source;
+      t.target = target;
+      t.action = move.action;
+      t.rate = move.rate.value();
+      t.is_firing = move.kind == NetMove::Kind::kFiring;
+      t.net_transition = move.transition;
+      t.place = move.place;
+      space.transitions_.push_back(t);
+    }
+  }
+  return space;
+}
+
+std::optional<std::size_t> NetStateSpace::index_of(const Marking& marking) const {
+  auto it = index_.find(marking);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+ctmc::Generator NetStateSpace::generator() const {
+  std::vector<ctmc::RatedTransition> rated;
+  rated.reserve(transitions_.size());
+  for (const MarkingTransition& t : transitions_) {
+    rated.push_back({t.source, t.target, t.rate});
+  }
+  return ctmc::Generator::build(marking_count(), rated);
+}
+
+std::vector<ctmc::RatedTransition> NetStateSpace::transitions_of(
+    pepa::ActionId action) const {
+  std::vector<ctmc::RatedTransition> out;
+  for (const MarkingTransition& t : transitions_) {
+    if (t.action == action) out.push_back({t.source, t.target, t.rate});
+  }
+  return out;
+}
+
+std::vector<std::size_t> NetStateSpace::deadlock_markings() const {
+  std::vector<bool> has_move(marking_count(), false);
+  for (const MarkingTransition& t : transitions_) has_move[t.source] = true;
+  std::vector<std::size_t> out;
+  for (std::size_t m = 0; m < marking_count(); ++m) {
+    if (!has_move[m]) out.push_back(m);
+  }
+  return out;
+}
+
+double action_throughput(const NetStateSpace& space,
+                         std::span<const double> distribution,
+                         pepa::ActionId action) {
+  CHOREO_ASSERT(distribution.size() == space.marking_count());
+  double sum = 0.0;
+  for (const MarkingTransition& t : space.transitions()) {
+    if (t.action == action) sum += distribution[t.source] * t.rate;
+  }
+  return sum;
+}
+
+namespace {
+std::size_t tokens_at(const PepaNet& net, const Marking& marking, PlaceId place) {
+  const Place& p = net.place(place);
+  std::size_t count = 0;
+  for (std::size_t slot = 0; slot < p.slots.size(); ++slot) {
+    if (p.slots[slot].kind != Slot::Kind::kCell) continue;
+    if (marking[net.slot_offset(place, slot)] != kVacant) ++count;
+  }
+  return count;
+}
+}  // namespace
+
+double occupancy_probability(const PepaNet& net, const NetStateSpace& space,
+                             std::span<const double> distribution, PlaceId place) {
+  CHOREO_ASSERT(distribution.size() == space.marking_count());
+  double sum = 0.0;
+  for (std::size_t m = 0; m < space.marking_count(); ++m) {
+    if (tokens_at(net, space.marking(m), place) > 0) sum += distribution[m];
+  }
+  return sum;
+}
+
+double mean_tokens_at(const PepaNet& net, const NetStateSpace& space,
+                      std::span<const double> distribution, PlaceId place) {
+  CHOREO_ASSERT(distribution.size() == space.marking_count());
+  double sum = 0.0;
+  for (std::size_t m = 0; m < space.marking_count(); ++m) {
+    sum += distribution[m] *
+           static_cast<double>(tokens_at(net, space.marking(m), place));
+  }
+  return sum;
+}
+
+double derivative_probability_by_constant(const PepaNet& net,
+                                          const NetStateSpace& space,
+                                          std::span<const double> distribution,
+                                          pepa::ConstantId constant) {
+  CHOREO_ASSERT(distribution.size() == space.marking_count());
+  double sum = 0.0;
+  for (std::size_t m = 0; m < space.marking_count(); ++m) {
+    const Marking& marking = space.marking(m);
+    bool found = false;
+    for (PlaceId place = 0; place < net.place_count() && !found; ++place) {
+      const Place& p = net.place(place);
+      for (std::size_t slot = 0; slot < p.slots.size() && !found; ++slot) {
+        if (p.slots[slot].kind != Slot::Kind::kCell) continue;
+        const pepa::ProcessId content = marking[net.slot_offset(place, slot)];
+        if (content == kVacant) continue;
+        const pepa::ProcessNode& node = net.arena().node(content);
+        found = node.op == pepa::Op::kConstant && node.constant == constant;
+      }
+    }
+    if (found) sum += distribution[m];
+  }
+  return sum;
+}
+
+double derivative_probability(const PepaNet& net, const NetStateSpace& space,
+                              std::span<const double> distribution,
+                              pepa::ProcessId term) {
+  CHOREO_ASSERT(distribution.size() == space.marking_count());
+  double sum = 0.0;
+  for (std::size_t m = 0; m < space.marking_count(); ++m) {
+    const Marking& marking = space.marking(m);
+    bool found = false;
+    for (PlaceId place = 0; place < net.place_count() && !found; ++place) {
+      const Place& p = net.place(place);
+      for (std::size_t slot = 0; slot < p.slots.size() && !found; ++slot) {
+        if (p.slots[slot].kind != Slot::Kind::kCell) continue;
+        found = marking[net.slot_offset(place, slot)] == term;
+      }
+    }
+    if (found) sum += distribution[m];
+  }
+  return sum;
+}
+
+}  // namespace choreo::pepanet

@@ -1,0 +1,90 @@
+// Derivation of the marking graph of a PEPA net and its CTMC (the paper
+// treats "each marking as a distinct state").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ctmc/generator.hpp"
+#include "pepanet/netsemantics.hpp"
+
+namespace choreo::pepanet {
+
+struct NetDeriveOptions {
+  std::size_t max_markings = 2'000'000;
+  /// Drop (rather than reject) passive moves escaping to the top level.
+  bool allow_top_level_passive = false;
+};
+
+struct MarkingTransition {
+  std::size_t source;
+  std::size_t target;
+  pepa::ActionId action;
+  double rate;
+  bool is_firing;
+  /// Valid when is_firing.
+  NetTransitionId net_transition;
+  /// Valid when !is_firing: the place whose context moved.
+  PlaceId place;
+};
+
+class NetStateSpace {
+ public:
+  static NetStateSpace derive(NetSemantics& semantics,
+                              const NetDeriveOptions& options = {});
+  static NetStateSpace derive_from(NetSemantics& semantics, Marking initial,
+                                   const NetDeriveOptions& options = {});
+
+  std::size_t marking_count() const noexcept { return markings_.size(); }
+  const Marking& marking(std::size_t index) const { return markings_[index]; }
+  std::optional<std::size_t> index_of(const Marking& marking) const;
+
+  const std::vector<MarkingTransition>& transitions() const noexcept {
+    return transitions_;
+  }
+
+  ctmc::Generator generator() const;
+
+  /// Transitions carrying `action` (both kinds), for throughput rewards.
+  std::vector<ctmc::RatedTransition> transitions_of(pepa::ActionId action) const;
+
+  /// Markings with no enabled move.
+  std::vector<std::size_t> deadlock_markings() const;
+
+ private:
+  std::vector<Marking> markings_;
+  std::unordered_map<Marking, std::size_t, MarkingHash> index_;
+  std::vector<MarkingTransition> transitions_;
+};
+
+/// Steady-state throughput of an action over the marking graph.
+double action_throughput(const NetStateSpace& space,
+                         std::span<const double> distribution,
+                         pepa::ActionId action);
+
+/// Steady-state probability that at least one token occupies a cell of
+/// `place` in the net.
+double occupancy_probability(const PepaNet& net, const NetStateSpace& space,
+                             std::span<const double> distribution, PlaceId place);
+
+/// Expected number of tokens resident in cells of `place`.
+double mean_tokens_at(const PepaNet& net, const NetStateSpace& space,
+                      std::span<const double> distribution, PlaceId place);
+
+/// Steady-state probability that some cell of some place holds a token whose
+/// current derivative is exactly `term`.
+double derivative_probability(const PepaNet& net, const NetStateSpace& space,
+                              std::span<const double> distribution,
+                              pepa::ProcessId term);
+
+/// Same, identifying the derivative by its defining constant (ProcessId and
+/// ConstantId share a representation, so this cannot be an overload).
+double derivative_probability_by_constant(const PepaNet& net,
+                                          const NetStateSpace& space,
+                                          std::span<const double> distribution,
+                                          pepa::ConstantId constant);
+
+}  // namespace choreo::pepanet

@@ -1,0 +1,102 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace choreo::sim {
+
+BatchEstimate run_batch_means(System& system, util::Xoshiro256& rng,
+                              std::uint32_t label,
+                              const std::function<double()>& state_reward,
+                              const BatchOptions& options) {
+  CHOREO_ASSERT(options.batches >= 2 && options.horizon > 0.0);
+  system.reset();
+  BatchEstimate estimate;
+
+  const double start = options.warmup_time;
+  const double end = options.warmup_time + options.horizon;
+  const double slice = options.horizon / static_cast<double>(options.batches);
+
+  std::vector<double> batch_counts(options.batches, 0.0);
+  std::vector<double> batch_rewards(options.batches, 0.0);
+  util::BatchMeans sojourns(options.batches);
+
+  double now = 0.0;
+  std::vector<double> weights;
+  while (now < end) {
+    const auto& moves = system.enabled();
+    if (moves.empty()) {
+      if (state_reward) {
+        // The remaining time is spent in the deadlock state.
+        const double from = std::max(now, start);
+        for (std::size_t b = 0; b < options.batches; ++b) {
+          const double lo = std::max(from, start + slice * static_cast<double>(b));
+          const double hi = start + slice * static_cast<double>(b + 1);
+          if (hi > lo) batch_rewards[b] += state_reward() * (hi - lo);
+        }
+      }
+      estimate.deadlocked = true;
+      break;
+    }
+    weights.clear();
+    double total_rate = 0.0;
+    for (const System::Move& move : moves) {
+      weights.push_back(move.rate);
+      total_rate += move.rate;
+    }
+    const double sojourn = rng.exponential(total_rate);
+    const double leave = now + sojourn;
+    if (now >= start && leave <= end) sojourns.add(sojourn);
+
+    if (state_reward) {
+      // Attribute the sojourn's reward to the batches it overlaps.
+      const double from = std::max(now, start);
+      const double to = std::min(leave, end);
+      if (to > from) {
+        const double reward = state_reward();
+        const auto first_batch = static_cast<std::size_t>(
+            std::min((from - start) / slice,
+                     static_cast<double>(options.batches - 1)));
+        const auto last_batch = static_cast<std::size_t>(
+            std::min((to - start) / slice,
+                     static_cast<double>(options.batches - 1)));
+        for (std::size_t b = first_batch; b <= last_batch; ++b) {
+          const double lo = std::max(from, start + slice * static_cast<double>(b));
+          const double hi =
+              std::min(to, start + slice * static_cast<double>(b + 1));
+          if (hi > lo) batch_rewards[b] += reward * (hi - lo);
+        }
+      }
+    }
+
+    const std::size_t chosen = rng.discrete(weights);
+    if (leave >= start && leave < end && moves[chosen].label == label) {
+      const auto batch = static_cast<std::size_t>(
+          std::min((leave - start) / slice,
+                   static_cast<double>(options.batches - 1)));
+      batch_counts[batch] += 1.0;
+      ++estimate.steps;
+    }
+    system.apply(chosen);
+    now = leave;
+  }
+
+  util::RunningStats throughput_stats;
+  util::RunningStats reward_stats;
+  for (std::size_t b = 0; b < options.batches; ++b) {
+    throughput_stats.add(batch_counts[b] / slice);
+    reward_stats.add(batch_rewards[b] / slice);
+  }
+  estimate.throughput =
+      util::confidence_interval(throughput_stats, options.confidence_level);
+  if (state_reward) {
+    estimate.reward =
+        util::confidence_interval(reward_stats, options.confidence_level);
+  }
+  estimate.mean_sojourn = sojourns.interval(options.confidence_level);
+  return estimate;
+}
+
+}  // namespace choreo::sim

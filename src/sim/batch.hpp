@@ -1,0 +1,46 @@
+// Single-run steady-state estimation with the method of batch means.
+//
+// Independent replications (sim/replicate.hpp) pay the warm-up once per
+// replication; a single long run pays it once and splits the measurement
+// window into contiguous batches whose means are treated as approximately
+// independent samples.  This is the UML-Psi-style steady-state estimator
+// the paper's related-work section contrasts with exact solution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/system.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace choreo::sim {
+
+struct BatchOptions {
+  double warmup_time = 100.0;
+  /// Total measured simulated time (divided into `batches` slices).
+  double horizon = 10000.0;
+  std::size_t batches = 32;
+  double confidence_level = 0.95;
+};
+
+struct BatchEstimate {
+  /// Throughput of the requested action (completions per time unit).
+  util::ConfidenceInterval throughput;
+  /// Time-weighted mean of the state reward (when requested).
+  util::ConfidenceInterval reward;
+  /// Mean sojourn time per state visit (batch means over the event stream).
+  util::ConfidenceInterval mean_sojourn;
+  std::uint64_t steps = 0;
+  bool deadlocked = false;
+};
+
+/// Runs one long trajectory and estimates the steady-state throughput of
+/// `label` (and optionally a state reward) with batch-means confidence
+/// intervals.
+BatchEstimate run_batch_means(System& system, util::Xoshiro256& rng,
+                              std::uint32_t label,
+                              const std::function<double()>& state_reward = {},
+                              const BatchOptions& options = {});
+
+}  // namespace choreo::sim

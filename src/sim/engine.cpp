@@ -1,0 +1,69 @@
+#include "sim/engine.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace choreo::sim {
+
+double RunResult::throughput(std::uint32_t label) const {
+  if (measured_time <= 0.0) return 0.0;
+  const auto it = counts.find(label);
+  return it == counts.end() ? 0.0
+                            : static_cast<double>(it->second) / measured_time;
+}
+
+RunResult run_trajectory(System& system, util::Xoshiro256& rng,
+                         const RunOptions& options) {
+  system.reset();
+  RunResult result;
+  double now = 0.0;
+  const double measure_from = options.warmup_time;
+  const double end = options.warmup_time + options.horizon;
+  double reward_integral = 0.0;
+
+  std::vector<double> weights;
+  while (now < end) {
+    const auto& moves = system.enabled();
+    if (moves.empty()) {
+      // Deadlock: the remaining time is spent in this state.
+      if (options.state_reward) {
+        const double measured_start = std::max(now, measure_from);
+        if (end > measured_start) {
+          reward_integral += options.state_reward() * (end - measured_start);
+        }
+      }
+      result.deadlocked = true;
+      now = end;
+      break;
+    }
+    weights.clear();
+    double total_rate = 0.0;
+    for (const System::Move& move : moves) {
+      weights.push_back(move.rate);
+      total_rate += move.rate;
+    }
+    const double sojourn = rng.exponential(total_rate);
+    const double leave = now + sojourn;
+    if (options.state_reward) {
+      const double from = std::max(now, measure_from);
+      const double to = std::min(leave, end);
+      if (to > from) reward_integral += options.state_reward() * (to - from);
+    }
+    const std::size_t chosen = rng.discrete(weights);
+    if (leave >= measure_from && leave < end) {
+      ++result.counts[moves[chosen].label];
+      ++result.steps;
+    }
+    system.apply(chosen);
+    now = leave;
+  }
+
+  result.measured_time = options.horizon;
+  if (options.state_reward && options.horizon > 0.0) {
+    result.mean_reward = reward_integral / options.horizon;
+  }
+  return result;
+}
+
+}  // namespace choreo::sim

@@ -1,0 +1,48 @@
+// Gillespie's direct method over a sim::System.
+//
+// One trajectory run yields per-action completion counts (throughput
+// estimators) and, optionally, the time-weighted mean of a user-supplied
+// state reward.  A warm-up period discards the initial transient.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/system.hpp"
+#include "util/rng.hpp"
+
+namespace choreo::sim {
+
+struct RunOptions {
+  /// Simulated time discarded before measurement begins.
+  double warmup_time = 0.0;
+  /// Measured simulated time (after warm-up).
+  double horizon = 1000.0;
+  /// Evaluated on the current state at every sojourn and averaged with
+  /// time weights; leave empty to skip.
+  std::function<double()> state_reward;
+};
+
+struct RunResult {
+  /// Simulated measurement time actually covered.
+  double measured_time = 0.0;
+  /// Number of transitions taken during measurement.
+  std::uint64_t steps = 0;
+  /// Completions per action label during measurement.
+  std::map<std::uint32_t, std::uint64_t> counts;
+  /// Time-weighted mean of the state reward (0 when not requested).
+  double mean_reward = 0.0;
+  /// True when the run hit a deadlock state before the horizon.
+  bool deadlocked = false;
+
+  /// Completion rate of a label (count / measured_time).
+  double throughput(std::uint32_t label) const;
+};
+
+/// Runs one trajectory; the system is reset() first.
+RunResult run_trajectory(System& system, util::Xoshiro256& rng,
+                         const RunOptions& options);
+
+}  // namespace choreo::sim

@@ -1,0 +1,64 @@
+#include "sim/replicate.hpp"
+
+#include <mutex>
+#include <set>
+
+#include "util/thread_pool.hpp"
+
+namespace choreo::sim {
+
+util::ConfidenceInterval ReplicateResult::throughput(std::uint32_t label) const {
+  const auto it = throughputs.find(label);
+  if (it == throughputs.end()) return {};
+  return it->second.interval;
+}
+
+ReplicateResult replicate(
+    const std::function<std::unique_ptr<System>()>& factory,
+    const ReplicateOptions& options) {
+  const std::size_t n = options.replications;
+  std::vector<RunResult> runs(n);
+
+  auto one = [&](std::size_t index) {
+    util::Xoshiro256 rng(options.seed);
+    for (std::size_t j = 0; j < index; ++j) rng.jump();
+    const std::unique_ptr<System> system = factory();
+    RunOptions run = options.run;
+    if (options.state_reward) {
+      System& worker_system = *system;
+      run.state_reward = [&worker_system, &options] {
+        return options.state_reward(worker_system);
+      };
+    }
+    runs[index] = run_trajectory(*system, rng, run);
+  };
+
+  if (options.parallel) {
+    util::ThreadPool::shared().parallel_for(n, [&](std::size_t begin,
+                                                   std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) one(i);
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) one(i);
+  }
+
+  ReplicateResult result;
+  std::set<std::uint32_t> labels;
+  for (const RunResult& run : runs) {
+    for (const auto& [label, count] : run.counts) labels.insert(label);
+    if (run.deadlocked) ++result.deadlocked;
+  }
+  for (std::uint32_t label : labels) {
+    Estimate estimate;
+    for (const RunResult& run : runs) estimate.stats.add(run.throughput(label));
+    estimate.interval =
+        util::confidence_interval(estimate.stats, options.confidence_level);
+    result.throughputs.emplace(label, std::move(estimate));
+  }
+  for (const RunResult& run : runs) result.reward.stats.add(run.mean_reward);
+  result.reward.interval =
+      util::confidence_interval(result.reward.stats, options.confidence_level);
+  return result;
+}
+
+}  // namespace choreo::sim

@@ -1,0 +1,58 @@
+// Independent replications with confidence intervals.
+//
+// Simulation returns approximate answers that need confidence intervals
+// (the trade-off against exact numerical solution the paper's Section 1.1
+// spells out).  Replications run in parallel on the shared thread pool;
+// each worker builds its own System through the factory (System instances
+// are not thread-safe) and derives its RNG stream with xoshiro jumps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/stats.hpp"
+
+namespace choreo::sim {
+
+struct ReplicateOptions {
+  /// Per-trajectory options.  Leave run.state_reward empty and use
+  /// `state_reward` below instead: each worker owns a distinct System, so
+  /// the reward must be evaluated against *that* instance.
+  RunOptions run;
+  /// Optional state reward, called with the worker's own system.
+  std::function<double(System&)> state_reward;
+  std::size_t replications = 16;
+  std::uint64_t seed = 0x5eed;
+  double confidence_level = 0.95;
+  bool parallel = true;
+};
+
+struct Estimate {
+  util::ConfidenceInterval interval;
+  util::RunningStats stats;
+};
+
+struct ReplicateResult {
+  /// Throughput estimate per action label observed in any replication.
+  std::map<std::uint32_t, Estimate> throughputs;
+  /// Estimate of the state reward (when the run requested one).
+  Estimate reward;
+  /// Number of replications that hit a deadlock.
+  std::size_t deadlocked = 0;
+
+  /// Throughput interval for a label (zero-width zero when never seen).
+  util::ConfidenceInterval throughput(std::uint32_t label) const;
+};
+
+/// Runs `options.replications` independent trajectories of systems created
+/// by `factory` and aggregates per-replication estimates.
+ReplicateResult replicate(
+    const std::function<std::unique_ptr<System>()>& factory,
+    const ReplicateOptions& options = {});
+
+}  // namespace choreo::sim

@@ -1,0 +1,87 @@
+#include "sim/system.hpp"
+
+#include "pepa/measures.hpp"
+#include "util/error.hpp"
+
+namespace choreo::sim {
+
+PepaSystem::PepaSystem(pepa::Model model)
+    : model_(std::move(model)), semantics_(model_.arena()) {
+  initial_ = pepa::expand_static(model_.arena(), model_.system());
+  current_ = initial_;
+}
+
+void PepaSystem::reset() {
+  current_ = initial_;
+  fresh_ = false;
+}
+
+const std::vector<System::Move>& PepaSystem::enabled() {
+  if (fresh_) return moves_;
+  moves_.clear();
+  targets_.clear();
+  for (const pepa::Derivative& d : semantics_.derivatives(current_)) {
+    if (d.rate.is_passive()) {
+      throw util::ModelError(util::msg(
+          "activity '", model_.arena().action_name(d.action),
+          "' occurs passively at the top level during simulation"));
+    }
+    moves_.push_back({d.rate.value(), d.action});
+    targets_.push_back(d.target);
+  }
+  fresh_ = true;
+  return moves_;
+}
+
+void PepaSystem::apply(std::size_t index) {
+  CHOREO_ASSERT(fresh_ && index < targets_.size());
+  current_ = targets_[index];
+  fresh_ = false;
+}
+
+std::string PepaSystem::label_name(std::uint32_t label) const {
+  return model_.arena().action_name(label);
+}
+
+bool PepaSystem::occupies(std::string_view name) const {
+  const auto constant = model_.arena().find_constant(name);
+  if (!constant) return false;
+  return pepa::occupies(model_.arena(), current_, *constant);
+}
+
+NetSystem::NetSystem(pepanet::PepaNet net)
+    : net_(std::move(net)), semantics_(net_), current_(net_.initial_marking()) {}
+
+void NetSystem::reset() {
+  current_ = net_.initial_marking();
+  fresh_ = false;
+}
+
+const std::vector<System::Move>& NetSystem::enabled() {
+  if (fresh_) return moves_;
+  moves_.clear();
+  targets_.clear();
+  for (pepanet::NetMove& move : semantics_.moves(current_)) {
+    if (move.rate.is_passive()) {
+      throw util::ModelError(util::msg(
+          "activity '", net_.arena().action_name(move.action),
+          "' occurs passively at the net level during simulation"));
+    }
+    moves_.push_back({move.rate.value(), move.action});
+    targets_.push_back(std::move(move.target));
+  }
+  fresh_ = true;
+  return moves_;
+}
+
+void NetSystem::apply(std::size_t index) {
+  CHOREO_ASSERT(fresh_ && index < targets_.size());
+  current_ = std::move(targets_[index]);
+  fresh_ = false;
+}
+
+std::string NetSystem::label_name(std::uint32_t label) const {
+  return net_.arena().action_name(label);
+}
+
+}  // namespace choreo::sim

@@ -1,0 +1,91 @@
+// The simulation-facing view of a stochastic system: a current state, the
+// exponential moves enabled in it, and an apply operation.  Gillespie's
+// direct method (sim/engine.hpp) only needs this interface, so the same
+// engine simulates plain PEPA models and PEPA nets without ever building
+// the full state space -- the property that makes simulation tolerant of
+// the state-space explosion the paper's Section 1.1 discusses.
+//
+// Implementations are NOT thread-safe; parallel replications construct one
+// instance per worker through a factory (see sim/replicate.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pepa/model.hpp"
+#include "pepa/semantics.hpp"
+#include "pepa/statespace.hpp"
+#include "pepanet/net_parser.hpp"
+#include "pepanet/netsemantics.hpp"
+
+namespace choreo::sim {
+
+class System {
+ public:
+  struct Move {
+    double rate;
+    /// The PEPA action id of the move (for throughput accounting).
+    std::uint32_t label;
+  };
+
+  virtual ~System() = default;
+
+  /// Returns to the initial state.
+  virtual void reset() = 0;
+  /// Moves enabled in the current state (valid until the next apply/reset).
+  virtual const std::vector<Move>& enabled() = 0;
+  /// Applies the i-th enabled move.
+  virtual void apply(std::size_t index) = 0;
+  /// Human-readable label name (action name), for reports.
+  virtual std::string label_name(std::uint32_t label) const = 0;
+};
+
+/// Simulates a PEPA model from its system equation.  Takes ownership of the
+/// model.  Throws util::ModelError if a passive activity escapes to the top
+/// level during simulation.
+class PepaSystem final : public System {
+ public:
+  explicit PepaSystem(pepa::Model model);
+
+  void reset() override;
+  const std::vector<Move>& enabled() override;
+  void apply(std::size_t index) override;
+  std::string label_name(std::uint32_t label) const override;
+
+  /// True when some sequential position of the current state is `name`.
+  bool occupies(std::string_view name) const;
+
+ private:
+  pepa::Model model_;
+  pepa::Semantics semantics_;
+  pepa::ProcessId initial_;
+  pepa::ProcessId current_;
+  std::vector<Move> moves_;
+  std::vector<pepa::ProcessId> targets_;
+  bool fresh_ = false;
+};
+
+/// Simulates a PEPA net over its markings.  Takes ownership of the net.
+class NetSystem final : public System {
+ public:
+  explicit NetSystem(pepanet::PepaNet net);
+
+  void reset() override;
+  const std::vector<Move>& enabled() override;
+  void apply(std::size_t index) override;
+  std::string label_name(std::uint32_t label) const override;
+
+  const pepanet::Marking& marking() const noexcept { return current_; }
+  const pepanet::PepaNet& net() const noexcept { return net_; }
+
+ private:
+  pepanet::PepaNet net_;
+  pepanet::NetSemantics semantics_;
+  pepanet::Marking current_;
+  std::vector<Move> moves_;
+  std::vector<pepanet::Marking> targets_;
+  bool fresh_ = false;
+};
+
+}  // namespace choreo::sim

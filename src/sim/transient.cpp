@@ -1,0 +1,62 @@
+#include "sim/transient.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace choreo::sim {
+
+std::vector<util::ConfidenceInterval> estimate_transient(
+    const std::function<std::unique_ptr<System>()>& factory,
+    const std::function<double(System&)>& reward,
+    const std::vector<double>& time_points,
+    const TransientEstimateOptions& options) {
+  CHOREO_ASSERT(std::is_sorted(time_points.begin(), time_points.end()));
+  std::vector<util::RunningStats> stats(time_points.size());
+
+  util::Xoshiro256 rng(options.seed);
+  std::vector<double> weights;
+  for (std::size_t replication = 0; replication < options.replications;
+       ++replication) {
+    const std::unique_ptr<System> system = factory();
+    system->reset();
+    double now = 0.0;
+    std::size_t next_point = 0;
+    while (next_point < time_points.size()) {
+      const auto& moves = system->enabled();
+      double leave = now;
+      std::size_t chosen = 0;
+      if (moves.empty()) {
+        leave = time_points.back() + 1.0;  // deadlock: state frozen
+      } else {
+        weights.clear();
+        double total_rate = 0.0;
+        for (const System::Move& move : moves) {
+          weights.push_back(move.rate);
+          total_rate += move.rate;
+        }
+        leave = now + rng.exponential(total_rate);
+        chosen = rng.discrete(weights);
+      }
+      // Sample every time point falling inside the current sojourn.
+      while (next_point < time_points.size() &&
+             time_points[next_point] < leave) {
+        stats[next_point].add(reward(*system));
+        ++next_point;
+      }
+      if (moves.empty()) break;
+      system->apply(chosen);
+      now = leave;
+    }
+  }
+
+  std::vector<util::ConfidenceInterval> out;
+  out.reserve(stats.size());
+  for (const util::RunningStats& s : stats) {
+    out.push_back(util::confidence_interval(s, options.confidence_level));
+  }
+  return out;
+}
+
+}  // namespace choreo::sim

@@ -1,0 +1,30 @@
+// Simulation-based transient estimation: the Monte-Carlo counterpart of
+// ctmc::transient.  Runs independent replications up to each requested time
+// point and estimates the expectation of a state reward there, with
+// confidence intervals -- usable when uniformisation's state space is out
+// of reach, and as a cross-validation of it when it is not.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/system.hpp"
+#include "util/stats.hpp"
+
+namespace choreo::sim {
+
+struct TransientEstimateOptions {
+  std::size_t replications = 64;
+  std::uint64_t seed = 0xfeed;
+  double confidence_level = 0.95;
+};
+
+/// For each time point t (ascending), the estimated E[reward(state at t)].
+std::vector<util::ConfidenceInterval> estimate_transient(
+    const std::function<std::unique_ptr<System>()>& factory,
+    const std::function<double(System&)>& reward,
+    const std::vector<double>& time_points,
+    const TransientEstimateOptions& options = {});
+
+}  // namespace choreo::sim

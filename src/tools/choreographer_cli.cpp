@@ -1,0 +1,172 @@
+// The Choreographer design platform as a command-line tool: the Figure-4
+// pipeline over XMI project files.
+//
+//   choreographer INPUT.xmi [-o OUTPUT.xmi] [--rates FILE.rates]
+//                 [--report] [--solver METHOD] [--default-rate R]
+//                 [--sensitivity ACTION] [--emit-pepanet FILE]
+//
+// --sensitivity ACTION additionally prints the elasticity of ACTION's
+// throughput with respect to every activity rate (the bottleneck ranking).
+// --emit-pepanet FILE writes the PEPA net extracted from the first activity
+// diagram as re-parseable .pepanet source (the intermediate representation
+// of the Figure-4 pipeline).
+//
+// Reads a project (UML model + tool layout), extracts PEPA nets from the
+// activity diagrams and a PEPA model from the state diagrams, solves the
+// CTMCs, reflects throughput/probability tags into the model, and writes
+// the annotated project with the layout restored.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "choreographer/pipeline.hpp"
+#include "choreographer/extract_activity.hpp"
+#include "choreographer/sensitivity.hpp"
+#include "pepanet/net_printer.hpp"
+#include <fstream>
+#include "uml/layout.hpp"
+#include "uml/xmi.hpp"
+#include "xml/parse.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " INPUT.xmi [-o OUTPUT.xmi] [--rates FILE.rates] [--report]\n"
+         "           [--solver auto|dense-lu|jacobi|gauss-seidel|sor|power]\n"
+         "           [--default-rate R] [--sensitivity ACTION]\n"
+         "           [--emit-pepanet FILE]\n";
+  return 2;
+}
+
+choreo::ctmc::Method parse_method(const std::string& name) {
+  using choreo::ctmc::Method;
+  if (name == "auto") return Method::kAuto;
+  if (name == "dense-lu") return Method::kDenseLU;
+  if (name == "jacobi") return Method::kJacobi;
+  if (name == "gauss-seidel") return Method::kGaussSeidel;
+  if (name == "sor") return Method::kSor;
+  if (name == "power") return Method::kPower;
+  throw choreo::util::Error("unknown solver method '" + name + "'");
+}
+
+void print_report(const choreo::chor::AnalysisReport& report) {
+  using choreo::util::TextTable;
+  for (const auto& graph : report.activity_graphs) {
+    std::cout << "activity graph '" << graph.graph_name << "': "
+              << graph.marking_count << " markings, solved in "
+              << graph.solve_seconds * 1e3 << " ms\n";
+    TextTable table({"activity", "throughput (1/s)"});
+    for (const auto& [action, value] : graph.throughputs) {
+      table.add_row_values(action, {value});
+    }
+    std::cout << table << '\n';
+  }
+  for (const auto& machines : report.state_machines) {
+    std::cout << "state machines: " << machines.state_count
+              << " joint states, solved in " << machines.solve_seconds * 1e3
+              << " ms\n";
+    TextTable table({"action", "throughput (1/s)"});
+    for (const auto& [action, value] : machines.throughputs) {
+      table.add_row_values(action, {value});
+    }
+    std::cout << table << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string output;
+  std::string sensitivity_target;
+  std::string emit_pepanet;
+  bool report_requested = false;
+  choreo::chor::AnalysisOptions options;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next_value = [&](const char* flag) -> std::string {
+        if (i + 1 >= argc) {
+          throw choreo::util::Error(std::string(flag) + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "-o" || arg == "--output") {
+        output = next_value("-o");
+      } else if (arg == "--rates") {
+        options.rates = choreo::chor::parse_rates_file(next_value("--rates"));
+      } else if (arg == "--report") {
+        report_requested = true;
+      } else if (arg == "--solver") {
+        options.solver.method = parse_method(next_value("--solver"));
+      } else if (arg == "--default-rate") {
+        options.default_rate = std::stod(next_value("--default-rate"));
+      } else if (arg == "--sensitivity") {
+        sensitivity_target = next_value("--sensitivity");
+      } else if (arg == "--emit-pepanet") {
+        emit_pepanet = next_value("--emit-pepanet");
+      } else if (arg == "-h" || arg == "--help") {
+        return usage(argv[0]);
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::cerr << "unknown option '" << arg << "'\n";
+        return usage(argv[0]);
+      } else if (input.empty()) {
+        input = arg;
+      } else {
+        std::cerr << "unexpected argument '" << arg << "'\n";
+        return usage(argv[0]);
+      }
+    }
+    if (input.empty()) return usage(argv[0]);
+    if (output.empty()) {
+      output = choreo::util::ends_with(input, ".xmi")
+                   ? input.substr(0, input.size() - 4) + "_analysed.xmi"
+                   : input + ".analysed";
+    }
+
+    const auto report = choreo::chor::analyse_project_file(input, output, options);
+    std::cout << "annotated project written to " << output << '\n';
+    if (report_requested) print_report(report);
+    if (!emit_pepanet.empty()) {
+      const choreo::uml::SplitProject split =
+          choreo::uml::preprocess(choreo::xml::parse_file(input));
+      choreo::uml::Model model = choreo::uml::from_xmi(split.model);
+      if (model.activity_graphs().empty()) {
+        throw choreo::util::Error("--emit-pepanet needs an activity diagram");
+      }
+      choreo::chor::ExtractOptions extract_options;
+      extract_options.default_rate = options.default_rate;
+      const auto extraction = choreo::chor::extract_activity_graph(
+          model.activity_graphs()[0], extract_options);
+      std::ofstream stream(emit_pepanet, std::ios::binary);
+      stream << choreo::pepanet::to_source(extraction.net);
+      std::cout << "extracted PEPA net written to " << emit_pepanet << '\n';
+    }
+    if (!sensitivity_target.empty()) {
+      const choreo::uml::SplitProject split =
+          choreo::uml::preprocess(choreo::xml::parse_file(input));
+      choreo::uml::Model model = choreo::uml::from_xmi(split.model);
+      choreo::chor::SensitivityOptions sensitivity_options;
+      sensitivity_options.analysis = options;
+      const auto sensitivity = choreo::chor::throughput_sensitivity(
+          model, sensitivity_target, sensitivity_options);
+      std::cout << "sensitivity of throughput(" << sensitivity.target
+                << ") = " << sensitivity.base_value << ":\n";
+      choreo::util::TextTable table({"activity", "rate", "elasticity"});
+      for (const auto& entry : sensitivity.entries) {
+        table.add_row_values(entry.activity,
+                             {entry.base_rate, entry.elasticity});
+      }
+      std::cout << table;
+    }
+    return 0;
+  } catch (const choreo::util::Error& error) {
+    std::cerr << "choreographer: " << error.what() << '\n';
+    return 1;
+  }
+}

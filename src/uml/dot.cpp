@@ -1,0 +1,123 @@
+#include "uml/dot.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace choreo::uml {
+
+namespace {
+std::string escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_dot(const ActivityGraph& graph) {
+  std::ostringstream out;
+  out << "digraph activity {\n  rankdir=TB;\n";
+  for (NodeId id = 0; id < graph.nodes().size(); ++id) {
+    const ActivityNode& node = graph.nodes()[id];
+    out << "  n" << id << " [";
+    switch (node.kind) {
+      case ActivityNode::Kind::kInitial:
+        out << "shape=circle, style=filled, fillcolor=black, label=\"\","
+               " width=0.2";
+        break;
+      case ActivityNode::Kind::kFinal:
+        out << "shape=doublecircle, style=filled, fillcolor=black,"
+               " label=\"\", width=0.15";
+        break;
+      case ActivityNode::Kind::kDecision:
+        out << "shape=diamond, label=\"" << escape(node.name) << '"';
+        break;
+      case ActivityNode::Kind::kAction: {
+        std::string label = node.name;
+        if (node.is_move) label += "\\n<<move>>";
+        if (const auto rate = node.tags.get("rate")) {
+          label += "\\nrate=" + *rate;
+        }
+        if (const auto throughput = node.tags.get("throughput")) {
+          label += "\\nthroughput=" + *throughput;
+        }
+        out << "shape=box, style=rounded";
+        if (node.is_move) out << ", style=\"rounded,filled\", fillcolor=lightblue";
+        out << ", label=\"" << escape(label) << '"';
+        break;
+      }
+    }
+    out << "];\n";
+  }
+  for (ObjectNodeId id = 0; id < graph.objects().size(); ++id) {
+    const ObjectBox& box = graph.objects()[id];
+    std::string label = box.name + box.state_mark + ": " + box.class_name;
+    if (!box.location().empty()) label += "\\natloc=" + box.location();
+    out << "  o" << id << " [shape=folder, label=\"" << escape(label)
+        << "\"];\n";
+  }
+  for (const ControlFlow& flow : graph.control_flows()) {
+    out << "  n" << flow.source << " -> n" << flow.target << ";\n";
+  }
+  for (const ObjectFlow& flow : graph.object_flows()) {
+    if (flow.into_action) {
+      out << "  o" << flow.object << " -> n" << flow.action
+          << " [style=dashed];\n";
+    } else {
+      out << "  n" << flow.action << " -> o" << flow.object
+          << " [style=dashed];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const StateMachine& machine) {
+  std::ostringstream out;
+  out << "digraph statemachine {\n  rankdir=LR;\n"
+      << "  init [shape=point];\n";
+  for (StateId id = 0; id < machine.states().size(); ++id) {
+    const SimpleState& state = machine.states()[id];
+    std::string label = state.name;
+    if (const auto probability = state.tags.get("probability")) {
+      label += "\\nP=" + *probability;
+    }
+    out << "  s" << id << " [shape=box, style=rounded, label=\""
+        << escape(label) << "\"];\n";
+  }
+  out << "  init -> s" << machine.initial_state() << ";\n";
+  for (const MachineTransition& t : machine.transitions()) {
+    out << "  s" << t.source << " -> s" << t.target << " [label=\""
+        << escape(t.action) << " / "
+        << (t.passive ? (t.rate == 1.0 ? std::string("infty")
+                                       : std::to_string(t.rate) + "*infty")
+                      : std::to_string(t.rate))
+        << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const InteractionDiagram& diagram) {
+  std::ostringstream out;
+  out << "digraph interaction {\n  rankdir=LR;\n"
+      << "  node [shape=box, style=filled, fillcolor=lightyellow];\n";
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < diagram.lifelines().size(); ++i) {
+    index[diagram.lifelines()[i]] = i;
+    out << "  l" << i << " [label=\"" << escape(diagram.lifelines()[i])
+        << "\"];\n";
+  }
+  for (const Message& message : diagram.messages()) {
+    out << "  l" << index.at(message.sender) << " -> l"
+        << index.at(message.receiver) << " [label=\"" << escape(message.action)
+        << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace choreo::uml

@@ -1,0 +1,22 @@
+// GraphViz (DOT) rendering of UML diagrams — a lightweight stand-in for
+// the Poseidon diagram views, handy for inspecting models and reflected
+// results (throughput / probability tags are drawn on the nodes).
+#pragma once
+
+#include <string>
+
+#include "uml/model.hpp"
+
+namespace choreo::uml {
+
+/// Activity diagram: actions as boxes (moves shaded), pseudo states as the
+/// usual dots/diamonds, object boxes as folders annotated with atloc.
+std::string to_dot(const ActivityGraph& graph);
+
+/// State diagram: rounded states with probability tags, rated transitions.
+std::string to_dot(const StateMachine& machine);
+
+/// Interaction diagram: lifelines as columns, messages as labelled arrows.
+std::string to_dot(const InteractionDiagram& diagram);
+
+}  // namespace choreo::uml

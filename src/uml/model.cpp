@@ -1,0 +1,380 @@
+#include "uml/model.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace choreo::uml {
+
+std::optional<std::string> TaggedValues::get(std::string_view tag) const {
+  for (const auto& [name, value] : items_) {
+    if (name == tag) return value;
+  }
+  return std::nullopt;
+}
+
+std::string TaggedValues::get_or(std::string_view tag,
+                                 std::string_view fallback) const {
+  if (auto value = get(tag)) return *value;
+  return std::string(fallback);
+}
+
+void TaggedValues::set(std::string_view tag, std::string_view value) {
+  for (auto& [name, existing] : items_) {
+    if (name == tag) {
+      existing = std::string(value);
+      return;
+    }
+  }
+  items_.emplace_back(std::string(tag), std::string(value));
+}
+
+double TaggedValues::get_double(std::string_view tag, double fallback) const {
+  const auto text = get(tag);
+  if (!text) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(*text, &consumed);
+    if (consumed != text->size()) throw std::invalid_argument(*text);
+    return value;
+  } catch (const std::exception&) {
+    throw util::ModelError(util::msg("tagged value ", tag, " = '", *text,
+                                     "' is not a number"));
+  }
+}
+
+// --- ActivityGraph ----------------------------------------------------------
+
+NodeId ActivityGraph::add_node(ActivityNode node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId ActivityGraph::add_initial() {
+  ActivityNode node;
+  node.kind = ActivityNode::Kind::kInitial;
+  return add_node(std::move(node));
+}
+
+NodeId ActivityGraph::add_final() {
+  ActivityNode node;
+  node.kind = ActivityNode::Kind::kFinal;
+  return add_node(std::move(node));
+}
+
+NodeId ActivityGraph::add_action(std::string name, double rate, bool is_move) {
+  ActivityNode node;
+  node.kind = ActivityNode::Kind::kAction;
+  node.name = std::move(name);
+  node.is_move = is_move;
+  node.tags.set("rate", util::format_double(rate));
+  return add_node(std::move(node));
+}
+
+NodeId ActivityGraph::add_decision(std::string name) {
+  ActivityNode node;
+  node.kind = ActivityNode::Kind::kDecision;
+  node.name = std::move(name);
+  return add_node(std::move(node));
+}
+
+ObjectNodeId ActivityGraph::add_object(std::string name, std::string class_name,
+                                       std::string location,
+                                       std::string state_mark) {
+  ObjectBox box;
+  box.name = std::move(name);
+  box.class_name = std::move(class_name);
+  box.state_mark = std::move(state_mark);
+  if (!location.empty()) box.tags.set("atloc", location);
+  objects_.push_back(std::move(box));
+  return static_cast<ObjectNodeId>(objects_.size() - 1);
+}
+
+void ActivityGraph::add_control_flow(NodeId source, NodeId target) {
+  CHOREO_ASSERT(source < nodes_.size() && target < nodes_.size());
+  control_flows_.push_back({source, target});
+}
+
+void ActivityGraph::add_object_flow(NodeId action, ObjectNodeId object,
+                                    bool into_action) {
+  CHOREO_ASSERT(action < nodes_.size() && object < objects_.size());
+  object_flows_.push_back({action, object, into_action});
+}
+
+NodeId ActivityGraph::initial_node() const {
+  std::optional<NodeId> found;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].kind == ActivityNode::Kind::kInitial) {
+      if (found) {
+        throw util::ModelError(util::msg("activity graph '", name_,
+                                         "' has several initial nodes"));
+      }
+      found = id;
+    }
+  }
+  if (!found) {
+    throw util::ModelError(
+        util::msg("activity graph '", name_, "' has no initial node"));
+  }
+  return *found;
+}
+
+std::vector<NodeId> ActivityGraph::successors(NodeId node) const {
+  std::vector<NodeId> out;
+  for (const ControlFlow& flow : control_flows_) {
+    if (flow.source == node) out.push_back(flow.target);
+  }
+  return out;
+}
+
+std::vector<NodeId> ActivityGraph::predecessors(NodeId node) const {
+  std::vector<NodeId> out;
+  for (const ControlFlow& flow : control_flows_) {
+    if (flow.target == node) out.push_back(flow.source);
+  }
+  return out;
+}
+
+std::vector<ObjectNodeId> ActivityGraph::inputs_of(NodeId action) const {
+  std::vector<ObjectNodeId> out;
+  for (const ObjectFlow& flow : object_flows_) {
+    if (flow.action == action && flow.into_action) out.push_back(flow.object);
+  }
+  return out;
+}
+
+std::vector<ObjectNodeId> ActivityGraph::outputs_of(NodeId action) const {
+  std::vector<ObjectNodeId> out;
+  for (const ObjectFlow& flow : object_flows_) {
+    if (flow.action == action && !flow.into_action) out.push_back(flow.object);
+  }
+  return out;
+}
+
+std::vector<std::string> ActivityGraph::object_names() const {
+  std::vector<std::string> out;
+  for (const ObjectBox& box : objects_) {
+    if (std::find(out.begin(), out.end(), box.name) == out.end()) {
+      out.push_back(box.name);
+    }
+  }
+  return out;
+}
+
+std::vector<ObjectNodeId> ActivityGraph::boxes_of(
+    std::string_view object_name) const {
+  std::vector<ObjectNodeId> out;
+  for (ObjectNodeId id = 0; id < objects_.size(); ++id) {
+    if (objects_[id].name == object_name) out.push_back(id);
+  }
+  return out;
+}
+
+std::optional<NodeId> ActivityGraph::find_action(std::string_view name) const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].kind == ActivityNode::Kind::kAction && nodes_[id].name == name) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+void ActivityGraph::validate() const {
+  (void)initial_node();  // throws when missing or duplicated
+  std::unordered_set<std::string> action_names;
+  for (const ActivityNode& node : nodes_) {
+    if (node.kind != ActivityNode::Kind::kAction) continue;
+    if (node.name.empty()) {
+      throw util::ModelError(
+          util::msg("activity graph '", name_, "' has an unnamed action state"));
+    }
+    if (!action_names.insert(node.name).second) {
+      throw util::ModelError(util::msg(
+          "activity graph '", name_, "' has two actions named '", node.name,
+          "' (action names become PEPA activity types and must be unique)"));
+    }
+  }
+  for (const ControlFlow& flow : control_flows_) {
+    if (flow.source >= nodes_.size() || flow.target >= nodes_.size()) {
+      throw util::ModelError(
+          util::msg("activity graph '", name_, "' has a dangling control flow"));
+    }
+  }
+  for (const ObjectFlow& flow : object_flows_) {
+    if (flow.action >= nodes_.size() || flow.object >= objects_.size()) {
+      throw util::ModelError(
+          util::msg("activity graph '", name_, "' has a dangling object flow"));
+    }
+    if (nodes_[flow.action].kind != ActivityNode::Kind::kAction) {
+      throw util::ModelError(util::msg("activity graph '", name_,
+                                       "' attaches an object to a pseudo state"));
+    }
+  }
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const ActivityNode& node = nodes_[id];
+    if (node.kind != ActivityNode::Kind::kAction || !node.is_move) continue;
+    const auto inputs = inputs_of(id);
+    const auto outputs = outputs_of(id);
+    if (inputs.empty() || outputs.empty()) {
+      throw util::ModelError(util::msg(
+          "move activity '", node.name,
+          "' needs object flows in and out (it relocates those objects)"));
+    }
+    for (ObjectNodeId in : inputs) {
+      if (objects_[in].location().empty()) {
+        throw util::ModelError(util::msg("move activity '", node.name,
+                                         "' has an input object without atloc"));
+      }
+    }
+    for (ObjectNodeId out : outputs) {
+      if (objects_[out].location().empty()) {
+        throw util::ModelError(util::msg("move activity '", node.name,
+                                         "' has an output object without atloc"));
+      }
+    }
+  }
+}
+
+// --- StateMachine -----------------------------------------------------------
+
+StateId StateMachine::add_state(std::string name) {
+  SimpleState state;
+  state.name = std::move(name);
+  states_.push_back(std::move(state));
+  if (!initial_ && states_.size() == 1) initial_ = 0;
+  return static_cast<StateId>(states_.size() - 1);
+}
+
+void StateMachine::add_transition(StateId source, StateId target,
+                                  std::string action, double rate) {
+  CHOREO_ASSERT(source < states_.size() && target < states_.size());
+  transitions_.push_back({source, target, std::move(action), rate, false});
+}
+
+void StateMachine::add_passive_transition(StateId source, StateId target,
+                                          std::string action, double weight) {
+  CHOREO_ASSERT(source < states_.size() && target < states_.size());
+  transitions_.push_back({source, target, std::move(action), weight, true});
+}
+
+void StateMachine::set_initial(StateId state) {
+  CHOREO_ASSERT(state < states_.size());
+  initial_ = state;
+}
+
+StateId StateMachine::initial_state() const {
+  if (!initial_) {
+    throw util::ModelError(
+        util::msg("state machine '", name_, "' has no initial state"));
+  }
+  return *initial_;
+}
+
+std::optional<StateId> StateMachine::find_state(std::string_view name) const {
+  for (StateId id = 0; id < states_.size(); ++id) {
+    if (states_[id].name == name) return id;
+  }
+  return std::nullopt;
+}
+
+void StateMachine::validate() const {
+  if (states_.empty()) {
+    throw util::ModelError(util::msg("state machine '", name_, "' is empty"));
+  }
+  (void)initial_state();
+  std::unordered_set<std::string> names;
+  for (const SimpleState& state : states_) {
+    if (state.name.empty()) {
+      throw util::ModelError(
+          util::msg("state machine '", name_, "' has an unnamed state"));
+    }
+    if (!names.insert(state.name).second) {
+      throw util::ModelError(util::msg("state machine '", name_,
+                                       "' has two states named '", state.name,
+                                       "'"));
+    }
+  }
+  for (const MachineTransition& t : transitions_) {
+    if (t.source >= states_.size() || t.target >= states_.size()) {
+      throw util::ModelError(
+          util::msg("state machine '", name_, "' has a dangling transition"));
+    }
+    if (t.action.empty()) {
+      throw util::ModelError(util::msg("state machine '", name_,
+                                       "' has a transition without an action"));
+    }
+    if (!(t.rate > 0.0)) {
+      throw util::ModelError(util::msg("state machine '", name_, "' transition '",
+                                       t.action, "' needs a positive ",
+                                       t.passive ? "weight" : "rate"));
+    }
+  }
+}
+
+// --- InteractionDiagram ------------------------------------------------------
+
+void InteractionDiagram::add_lifeline(std::string context) {
+  lifelines_.push_back(std::move(context));
+}
+
+void InteractionDiagram::add_message(std::string sender, std::string receiver,
+                                     std::string action) {
+  messages_.push_back({std::move(sender), std::move(receiver), std::move(action)});
+}
+
+bool InteractionDiagram::has_lifeline(std::string_view context) const {
+  return std::find(lifelines_.begin(), lifelines_.end(), context) !=
+         lifelines_.end();
+}
+
+void InteractionDiagram::validate() const {
+  std::unordered_set<std::string> seen;
+  for (const std::string& lifeline : lifelines_) {
+    if (lifeline.empty()) {
+      throw util::ModelError(
+          util::msg("interaction '", name_, "' has an unnamed lifeline"));
+    }
+    if (!seen.insert(lifeline).second) {
+      throw util::ModelError(util::msg("interaction '", name_,
+                                       "' repeats lifeline '", lifeline, "'"));
+    }
+  }
+  for (const Message& message : messages_) {
+    if (!has_lifeline(message.sender) || !has_lifeline(message.receiver)) {
+      throw util::ModelError(
+          util::msg("interaction '", name_, "' message '", message.action,
+                    "' references a missing lifeline"));
+    }
+    if (message.action.empty()) {
+      throw util::ModelError(
+          util::msg("interaction '", name_, "' has an unnamed message"));
+    }
+  }
+}
+
+// --- Model ------------------------------------------------------------------
+
+ActivityGraph& Model::add_activity_graph(ActivityGraph graph) {
+  activity_graphs_.push_back(std::move(graph));
+  return activity_graphs_.back();
+}
+
+StateMachine& Model::add_state_machine(StateMachine machine) {
+  state_machines_.push_back(std::move(machine));
+  return state_machines_.back();
+}
+
+InteractionDiagram& Model::add_interaction(InteractionDiagram diagram) {
+  interactions_.push_back(std::move(diagram));
+  return interactions_.back();
+}
+
+void Model::validate() const {
+  for (const ActivityGraph& graph : activity_graphs_) graph.validate();
+  for (const StateMachine& machine : state_machines_) machine.validate();
+  for (const InteractionDiagram& diagram : interactions_) diagram.validate();
+}
+
+}  // namespace choreo::uml

@@ -1,0 +1,272 @@
+// The UML metamodel subset Choreographer consumes (UML 1.4 vocabulary, as
+// in the paper's Poseidon/MDR pipeline):
+//
+//   - activity graphs with the Baumeister et al. mobility extensions:
+//     action states (optionally stereotyped <<move>>), initial/final pseudo
+//     states, decision diamonds, object flow states carrying an
+//     "atloc = <location>" tagged value and a state marker (f, f*, f**...),
+//     control flows between activities and object flows linking activities
+//     to the object boxes they require/produce;
+//   - state machines: named simple states with rated transitions (the
+//     client/server diagrams of the paper's Section 5).
+//
+// Tagged values attach quantitative annotations: "rate" on action states
+// and state-machine transitions (model input), "throughput" on action
+// states and "probability" on simple states (reflected results).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace choreo::uml {
+
+using NodeId = std::uint32_t;
+using ObjectNodeId = std::uint32_t;
+using StateId = std::uint32_t;
+
+/// An ordered tag -> value map (order preserved for XMI round-trips).
+class TaggedValues {
+ public:
+  std::optional<std::string> get(std::string_view tag) const;
+  std::string get_or(std::string_view tag, std::string_view fallback) const;
+  void set(std::string_view tag, std::string_view value);
+  bool has(std::string_view tag) const { return get(tag).has_value(); }
+  /// Parses the tag as a double; throws util::ModelError when malformed.
+  double get_double(std::string_view tag, double fallback) const;
+  const std::vector<std::pair<std::string, std::string>>& items() const {
+    return items_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> items_;
+};
+
+// --- activity graphs ------------------------------------------------------
+
+struct ActivityNode {
+  enum class Kind : std::uint8_t { kInitial, kFinal, kAction, kDecision };
+  Kind kind = Kind::kAction;
+  std::string name;  // action name; empty for pseudo states
+  /// The <<move>> stereotype of the mobility notation.
+  bool is_move = false;
+  TaggedValues tags;  // "rate", "priority"; "throughput" after reflection
+};
+
+struct ControlFlow {
+  NodeId source;
+  NodeId target;
+};
+
+/// One object box (UML:ObjectFlowState): the object `name` of class
+/// `class_name`, in the diagram state `state_mark` ("", "*", "**", ...),
+/// located at the value of its "atloc" tag.
+struct ObjectBox {
+  std::string name;        // "f"
+  std::string class_name;  // "FILE"
+  std::string state_mark;  // "*", "**", ... (display only)
+  TaggedValues tags;       // "atloc"
+  std::string location() const { return tags.get_or("atloc", ""); }
+};
+
+/// Links an activity with an object box.  `into_action` distinguishes
+/// object-flow direction: true = the box flows into the activity (the
+/// object is required), false = the activity produces/updates the box.
+struct ObjectFlow {
+  NodeId action;
+  ObjectNodeId object;
+  bool into_action;
+};
+
+class ActivityGraph {
+ public:
+  explicit ActivityGraph(std::string name = "") : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  NodeId add_node(ActivityNode node);
+  /// Convenience constructors.
+  NodeId add_initial();
+  NodeId add_final();
+  NodeId add_action(std::string name, double rate, bool is_move = false);
+  NodeId add_decision(std::string name = "");
+
+  ObjectNodeId add_object(std::string name, std::string class_name,
+                          std::string location, std::string state_mark = "");
+
+  void add_control_flow(NodeId source, NodeId target);
+  void add_object_flow(NodeId action, ObjectNodeId object, bool into_action);
+
+  const std::vector<ActivityNode>& nodes() const noexcept { return nodes_; }
+  std::vector<ActivityNode>& nodes() noexcept { return nodes_; }
+  const std::vector<ControlFlow>& control_flows() const noexcept {
+    return control_flows_;
+  }
+  const std::vector<ObjectBox>& objects() const noexcept { return objects_; }
+  std::vector<ObjectBox>& objects() noexcept { return objects_; }
+  const std::vector<ObjectFlow>& object_flows() const noexcept {
+    return object_flows_;
+  }
+
+  /// The unique initial node; throws util::ModelError when absent.
+  NodeId initial_node() const;
+  std::vector<NodeId> successors(NodeId node) const;
+  std::vector<NodeId> predecessors(NodeId node) const;
+  /// Object boxes flowing into / out of an action.
+  std::vector<ObjectNodeId> inputs_of(NodeId action) const;
+  std::vector<ObjectNodeId> outputs_of(NodeId action) const;
+  /// Distinct object names in diagram order.
+  std::vector<std::string> object_names() const;
+  /// Boxes of one object in diagram order.
+  std::vector<ObjectNodeId> boxes_of(std::string_view object_name) const;
+  /// Action node by name (first match).
+  std::optional<NodeId> find_action(std::string_view name) const;
+
+  /// Structural checks: one initial node, edges in range, move activities
+  /// with object flows on both sides, no duplicate action names (they name
+  /// PEPA activities).  Throws util::ModelError.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<ActivityNode> nodes_;
+  std::vector<ControlFlow> control_flows_;
+  std::vector<ObjectBox> objects_;
+  std::vector<ObjectFlow> object_flows_;
+};
+
+// --- state machines -------------------------------------------------------
+
+struct SimpleState {
+  std::string name;
+  TaggedValues tags;  // "probability" after reflection
+};
+
+struct MachineTransition {
+  StateId source;
+  StateId target;
+  std::string action;  // trigger/effect label, names the PEPA activity
+  /// Rate of the exponential delay, or the weight when `passive` (the
+  /// activity then only proceeds in cooperation with an active partner and
+  /// is serialised as rate="infty" / "w*infty").
+  double rate = 1.0;
+  bool passive = false;
+};
+
+class StateMachine {
+ public:
+  explicit StateMachine(std::string name = "", std::string context = "")
+      : name_(std::move(name)), context_(std::move(context)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  /// The class whose behaviour this machine describes (e.g. "Client").
+  const std::string& context() const noexcept { return context_; }
+
+  StateId add_state(std::string name);
+  void add_transition(StateId source, StateId target, std::string action,
+                      double rate);
+  /// A passive transition (rate set by the cooperating active partner).
+  void add_passive_transition(StateId source, StateId target, std::string action,
+                              double weight = 1.0);
+  void set_initial(StateId state);
+
+  const std::vector<SimpleState>& states() const noexcept { return states_; }
+  std::vector<SimpleState>& states() noexcept { return states_; }
+  const std::vector<MachineTransition>& transitions() const noexcept {
+    return transitions_;
+  }
+  std::vector<MachineTransition>& transitions() noexcept { return transitions_; }
+  StateId initial_state() const;
+  std::optional<StateId> find_state(std::string_view name) const;
+
+  /// Checks: non-empty, initial set, all states reachable appear in range,
+  /// positive rates, unique state names.  Throws util::ModelError.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::string context_;
+  std::vector<SimpleState> states_;
+  std::vector<MachineTransition> transitions_;
+  std::optional<StateId> initial_;
+};
+
+// --- interaction diagrams ---------------------------------------------------
+
+/// One message of an interaction (sequence/collaboration) diagram: the
+/// named action flows between two classifier roles (contexts).
+struct Message {
+  std::string sender;    // context (class) name, e.g. "Client"
+  std::string receiver;  // context name, e.g. "Server"
+  std::string action;    // activity name, e.g. "request"
+};
+
+/// An interaction diagram.  The paper's Section 6 proposes these as the
+/// way to state explicitly which components cooperate; the state-machine
+/// extractor uses them to restrict cooperation sets: two contexts that
+/// both appear as lifelines of some diagram synchronise *only* on the
+/// actions messaged between them.
+class InteractionDiagram {
+ public:
+  explicit InteractionDiagram(std::string name = "") : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  void add_lifeline(std::string context);
+  void add_message(std::string sender, std::string receiver, std::string action);
+
+  const std::vector<std::string>& lifelines() const noexcept { return lifelines_; }
+  const std::vector<Message>& messages() const noexcept { return messages_; }
+  bool has_lifeline(std::string_view context) const;
+
+  /// Checks lifelines are unique and messages reference them.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> lifelines_;
+  std::vector<Message> messages_;
+};
+
+// --- the model ------------------------------------------------------------
+
+class Model {
+ public:
+  explicit Model(std::string name = "model") : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  ActivityGraph& add_activity_graph(ActivityGraph graph);
+  StateMachine& add_state_machine(StateMachine machine);
+  InteractionDiagram& add_interaction(InteractionDiagram diagram);
+
+  const std::vector<ActivityGraph>& activity_graphs() const noexcept {
+    return activity_graphs_;
+  }
+  std::vector<ActivityGraph>& activity_graphs() noexcept {
+    return activity_graphs_;
+  }
+  const std::vector<StateMachine>& state_machines() const noexcept {
+    return state_machines_;
+  }
+  std::vector<StateMachine>& state_machines() noexcept {
+    return state_machines_;
+  }
+  const std::vector<InteractionDiagram>& interactions() const noexcept {
+    return interactions_;
+  }
+
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<ActivityGraph> activity_graphs_;
+  std::vector<StateMachine> state_machines_;
+  std::vector<InteractionDiagram> interactions_;
+};
+
+}  // namespace choreo::uml

@@ -1,0 +1,355 @@
+#include "uml/xmi.hpp"
+
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "xml/parse.hpp"
+#include "xml/query.hpp"
+#include "xml/write.hpp"
+
+namespace choreo::uml {
+
+namespace {
+
+void write_tags(xml::Node& element, const TaggedValues& tags) {
+  for (const auto& [tag, value] : tags.items()) {
+    element.add_element("UML:TaggedValue")
+        .set_attr("tag", tag)
+        .set_attr("value", value);
+  }
+}
+
+TaggedValues read_tags(const xml::Node& element) {
+  TaggedValues tags;
+  for (const xml::Node* tagged : element.find_children("UML:TaggedValue")) {
+    const auto tag = tagged->attr("tag");
+    const auto value = tagged->attr("value");
+    if (!tag || !value) {
+      throw util::ModelError("UML:TaggedValue needs 'tag' and 'value'");
+    }
+    tags.set(*tag, *value);
+  }
+  return tags;
+}
+
+std::string node_id(std::string_view prefix, std::size_t index) {
+  return util::msg(prefix, index);
+}
+
+void write_activity_graph(xml::Node& parent, const ActivityGraph& graph) {
+  xml::Node& element = parent.add_element("UML:ActivityGraph");
+  element.set_attr("name", graph.name());
+  for (NodeId id = 0; id < graph.nodes().size(); ++id) {
+    const ActivityNode& node = graph.nodes()[id];
+    switch (node.kind) {
+      case ActivityNode::Kind::kInitial: {
+        element.add_element("UML:PseudoState")
+            .set_attr("xmi.id", node_id("n", id))
+            .set_attr("kind", "initial");
+        break;
+      }
+      case ActivityNode::Kind::kFinal: {
+        element.add_element("UML:FinalState").set_attr("xmi.id", node_id("n", id));
+        break;
+      }
+      case ActivityNode::Kind::kDecision: {
+        xml::Node& state = element.add_element("UML:PseudoState");
+        state.set_attr("xmi.id", node_id("n", id)).set_attr("kind", "junction");
+        if (!node.name.empty()) state.set_attr("name", node.name);
+        break;
+      }
+      case ActivityNode::Kind::kAction: {
+        xml::Node& state = element.add_element("UML:ActionState");
+        state.set_attr("xmi.id", node_id("n", id)).set_attr("name", node.name);
+        if (node.is_move) {
+          state.add_element("UML:Stereotype").set_attr("name", "move");
+        }
+        write_tags(state, node.tags);
+        break;
+      }
+    }
+  }
+  for (ObjectNodeId id = 0; id < graph.objects().size(); ++id) {
+    const ObjectBox& box = graph.objects()[id];
+    xml::Node& state = element.add_element("UML:ObjectFlowState");
+    state.set_attr("xmi.id", node_id("o", id))
+        .set_attr("name", box.name)
+        .set_attr("classifier", box.class_name);
+    if (!box.state_mark.empty()) state.set_attr("state", box.state_mark);
+    write_tags(state, box.tags);
+  }
+  for (const ControlFlow& flow : graph.control_flows()) {
+    element.add_element("UML:Transition")
+        .set_attr("source", node_id("n", flow.source))
+        .set_attr("target", node_id("n", flow.target));
+  }
+  for (const ObjectFlow& flow : graph.object_flows()) {
+    xml::Node& edge = element.add_element("UML:ObjectFlow");
+    if (flow.into_action) {
+      edge.set_attr("source", node_id("o", flow.object))
+          .set_attr("target", node_id("n", flow.action));
+    } else {
+      edge.set_attr("source", node_id("n", flow.action))
+          .set_attr("target", node_id("o", flow.object));
+    }
+  }
+}
+
+void write_state_machine(xml::Node& parent, const StateMachine& machine) {
+  xml::Node& element = parent.add_element("UML:StateMachine");
+  element.set_attr("name", machine.name());
+  if (!machine.context().empty()) element.set_attr("context", machine.context());
+  for (StateId id = 0; id < machine.states().size(); ++id) {
+    const SimpleState& state = machine.states()[id];
+    xml::Node& node = element.add_element("UML:SimpleState");
+    node.set_attr("xmi.id", node_id("s", id)).set_attr("name", state.name);
+    write_tags(node, state.tags);
+  }
+  element.add_element("UML:Pseudostate")
+      .set_attr("kind", "initial")
+      .set_attr("target", node_id("s", machine.initial_state()));
+  for (const MachineTransition& t : machine.transitions()) {
+    std::string rate_text;
+    if (t.passive) {
+      rate_text = t.rate == 1.0 ? "infty"
+                                : util::format_double(t.rate) + "*infty";
+    } else {
+      rate_text = util::format_double(t.rate);
+    }
+    element.add_element("UML:Transition")
+        .set_attr("source", node_id("s", t.source))
+        .set_attr("target", node_id("s", t.target))
+        .set_attr("trigger", t.action)
+        .set_attr("rate", rate_text);
+  }
+}
+
+void write_interaction(xml::Node& parent, const InteractionDiagram& diagram) {
+  xml::Node& element = parent.add_element("UML:Collaboration");
+  element.set_attr("name", diagram.name());
+  std::unordered_map<std::string, std::string> role_id;
+  for (std::size_t i = 0; i < diagram.lifelines().size(); ++i) {
+    const std::string id = node_id("l", i);
+    role_id[diagram.lifelines()[i]] = id;
+    element.add_element("UML:ClassifierRole")
+        .set_attr("xmi.id", id)
+        .set_attr("base", diagram.lifelines()[i]);
+  }
+  for (const Message& message : diagram.messages()) {
+    element.add_element("UML:Message")
+        .set_attr("sender", role_id.at(message.sender))
+        .set_attr("receiver", role_id.at(message.receiver))
+        .set_attr("action", message.action);
+  }
+}
+
+// --- reading ---------------------------------------------------------------
+
+std::string require_attr(const xml::Node& node, std::string_view name) {
+  const auto value = node.attr(name);
+  if (!value) {
+    throw util::ModelError(
+        util::msg("<", node.name(), "> is missing attribute '", name, "'"));
+  }
+  return *value;
+}
+
+ActivityGraph read_activity_graph(const xml::Node& element) {
+  ActivityGraph graph(element.attr_or("name", ""));
+  std::unordered_map<std::string, NodeId> node_by_id;
+  std::unordered_map<std::string, ObjectNodeId> object_by_id;
+
+  for (const xml::Node* child : element.element_children()) {
+    if (child->name() == "UML:PseudoState") {
+      const std::string kind = child->attr_or("kind", "initial");
+      ActivityNode node;
+      if (kind == "initial") {
+        node.kind = ActivityNode::Kind::kInitial;
+      } else if (kind == "junction" || kind == "choice") {
+        node.kind = ActivityNode::Kind::kDecision;
+        node.name = child->attr_or("name", "");
+      } else {
+        throw util::ModelError(
+            util::msg("unsupported UML:PseudoState kind '", kind, "'"));
+      }
+      node_by_id[require_attr(*child, "xmi.id")] = graph.add_node(std::move(node));
+    } else if (child->name() == "UML:FinalState") {
+      node_by_id[require_attr(*child, "xmi.id")] = graph.add_final();
+    } else if (child->name() == "UML:ActionState") {
+      ActivityNode node;
+      node.kind = ActivityNode::Kind::kAction;
+      node.name = require_attr(*child, "name");
+      node.tags = read_tags(*child);
+      for (const xml::Node* stereotype : child->find_children("UML:Stereotype")) {
+        node.is_move = node.is_move || stereotype->attr_or("name", "") == "move";
+      }
+      node_by_id[require_attr(*child, "xmi.id")] = graph.add_node(std::move(node));
+    } else if (child->name() == "UML:ObjectFlowState") {
+      ObjectBox box;
+      box.name = require_attr(*child, "name");
+      box.class_name = child->attr_or("classifier", "");
+      box.state_mark = child->attr_or("state", "");
+      box.tags = read_tags(*child);
+      const ObjectNodeId id =
+          graph.add_object(box.name, box.class_name, "", box.state_mark);
+      // add_object assembled fresh tags; overwrite with the parsed ones so
+      // atloc and any custom tags survive.
+      graph.objects()[id].tags = box.tags;
+      object_by_id[require_attr(*child, "xmi.id")] = id;
+    }
+  }
+  for (const xml::Node* child : element.element_children()) {
+    if (child->name() == "UML:Transition") {
+      const std::string source = require_attr(*child, "source");
+      const std::string target = require_attr(*child, "target");
+      if (!node_by_id.count(source) || !node_by_id.count(target)) {
+        throw util::ModelError(util::msg("control flow ", source, " -> ", target,
+                                         " references unknown nodes"));
+      }
+      graph.add_control_flow(node_by_id[source], node_by_id[target]);
+    } else if (child->name() == "UML:ObjectFlow") {
+      const std::string source = require_attr(*child, "source");
+      const std::string target = require_attr(*child, "target");
+      if (object_by_id.count(source) && node_by_id.count(target)) {
+        graph.add_object_flow(node_by_id[target], object_by_id[source], true);
+      } else if (node_by_id.count(source) && object_by_id.count(target)) {
+        graph.add_object_flow(node_by_id[source], object_by_id[target], false);
+      } else {
+        throw util::ModelError(util::msg("object flow ", source, " -> ", target,
+                                         " must link an object and an action"));
+      }
+    }
+  }
+  return graph;
+}
+
+StateMachine read_state_machine(const xml::Node& element) {
+  StateMachine machine(element.attr_or("name", ""), element.attr_or("context", ""));
+  std::unordered_map<std::string, StateId> state_by_id;
+  for (const xml::Node* child : element.find_children("UML:SimpleState")) {
+    const StateId id = machine.add_state(require_attr(*child, "name"));
+    machine.states()[id].tags = read_tags(*child);
+    state_by_id[require_attr(*child, "xmi.id")] = id;
+  }
+  for (const xml::Node* child : element.find_children("UML:Pseudostate")) {
+    if (child->attr_or("kind", "") != "initial") continue;
+    const std::string target = require_attr(*child, "target");
+    if (!state_by_id.count(target)) {
+      throw util::ModelError(
+          util::msg("initial pseudostate targets unknown state '", target, "'"));
+    }
+    machine.set_initial(state_by_id[target]);
+  }
+  for (const xml::Node* child : element.find_children("UML:Transition")) {
+    const std::string source = require_attr(*child, "source");
+    const std::string target = require_attr(*child, "target");
+    if (!state_by_id.count(source) || !state_by_id.count(target)) {
+      throw util::ModelError(util::msg("transition ", source, " -> ", target,
+                                       " references unknown states"));
+    }
+    double rate = 1.0;
+    bool passive = false;
+    if (auto text = child->attr("rate")) {
+      // "infty", "T" or "w*infty" mark a passive transition.
+      std::string value = *text;
+      if (value == "infty" || value == "T") {
+        passive = true;
+        value.clear();
+      } else if (const auto star = value.find("*infty");
+                 star != std::string::npos && star + 6 == value.size()) {
+        passive = true;
+        value = value.substr(0, star);
+      }
+      if (!passive || !value.empty()) {
+        try {
+          std::size_t consumed = 0;
+          rate = std::stod(passive ? value : *text, &consumed);
+        } catch (const std::exception&) {
+          throw util::ModelError(util::msg("malformed rate '", *text, "'"));
+        }
+      }
+    }
+    if (passive) {
+      machine.add_passive_transition(state_by_id[source], state_by_id[target],
+                                     child->attr_or("trigger", ""), rate);
+    } else {
+      machine.add_transition(state_by_id[source], state_by_id[target],
+                             child->attr_or("trigger", ""), rate);
+    }
+  }
+  return machine;
+}
+
+InteractionDiagram read_interaction(const xml::Node& element) {
+  InteractionDiagram diagram(element.attr_or("name", ""));
+  std::unordered_map<std::string, std::string> base_of;
+  for (const xml::Node* child : element.find_children("UML:ClassifierRole")) {
+    const std::string base = require_attr(*child, "base");
+    base_of[require_attr(*child, "xmi.id")] = base;
+    diagram.add_lifeline(base);
+  }
+  for (const xml::Node* child : element.find_children("UML:Message")) {
+    const std::string sender = require_attr(*child, "sender");
+    const std::string receiver = require_attr(*child, "receiver");
+    if (!base_of.count(sender) || !base_of.count(receiver)) {
+      throw util::ModelError(util::msg("message '",
+                                       child->attr_or("action", "?"),
+                                       "' references unknown classifier roles"));
+    }
+    diagram.add_message(base_of[sender], base_of[receiver],
+                        require_attr(*child, "action"));
+  }
+  return diagram;
+}
+
+}  // namespace
+
+xml::Document to_xmi(const Model& model) {
+  xml::Node root = xml::Node::element("XMI");
+  root.set_attr("xmi.version", "1.2");
+  root.set_attr("xmlns:UML", "org.omg.xmi.namespace.UML");
+  xml::Node& content = root.add_element("XMI.content");
+  xml::Node& uml_model = content.add_element("UML:Model");
+  uml_model.set_attr("name", model.name());
+  for (const ActivityGraph& graph : model.activity_graphs()) {
+    write_activity_graph(uml_model, graph);
+  }
+  for (const StateMachine& machine : model.state_machines()) {
+    write_state_machine(uml_model, machine);
+  }
+  for (const InteractionDiagram& diagram : model.interactions()) {
+    write_interaction(uml_model, diagram);
+  }
+  return xml::Document(std::move(root));
+}
+
+Model from_xmi(const xml::Document& document) {
+  if (document.root().name() != "XMI") {
+    throw util::ModelError("not an XMI document (root element is not <XMI>)");
+  }
+  const xml::Node& uml_model =
+      xml::require_first(document.root(), "XMI.content/UML:Model");
+  Model model(uml_model.attr_or("name", "model"));
+  for (const xml::Node* child : uml_model.element_children()) {
+    if (child->name() == "UML:ActivityGraph") {
+      model.add_activity_graph(read_activity_graph(*child));
+    } else if (child->name() == "UML:StateMachine") {
+      model.add_state_machine(read_state_machine(*child));
+    } else if (child->name() == "UML:Collaboration") {
+      model.add_interaction(read_interaction(*child));
+    }
+  }
+  model.validate();
+  return model;
+}
+
+void write_xmi_file(const Model& model, const std::string& path) {
+  xml::write_file(to_xmi(model), path);
+}
+
+Model read_xmi_file(const std::string& path) {
+  return from_xmi(xml::parse_file(path));
+}
+
+}  // namespace choreo::uml

@@ -1,0 +1,57 @@
+// XMI serialisation of the UML metamodel subset.
+//
+// The dialect follows the XMI 1.2 / UML 1.4 element vocabulary the paper's
+// toolchain exchanged with Poseidon:
+//
+//   <XMI xmi.version="1.2">
+//     <XMI.content>
+//       <UML:Model name="...">
+//         <UML:ActivityGraph name="...">
+//           <UML:PseudoState xmi.id="n0" kind="initial"/>
+//           <UML:ActionState xmi.id="n1" name="download_file">
+//             <UML:Stereotype name="move"/>           (moves only)
+//             <UML:TaggedValue tag="rate" value="2.0"/>
+//           </UML:ActionState>
+//           <UML:PseudoState xmi.id="n2" kind="junction" name="ok?"/>
+//           <UML:FinalState xmi.id="n3"/>
+//           <UML:ObjectFlowState xmi.id="o0" name="f" classifier="FILE"
+//                                state="*">
+//             <UML:TaggedValue tag="atloc" value="p1"/>
+//           </UML:ObjectFlowState>
+//           <UML:Transition source="n0" target="n1"/> (control flow)
+//           <UML:ObjectFlow  source="o0" target="n1"/> (object flow)
+//         </UML:ActivityGraph>
+//         <UML:StateMachine name="..." context="Client">
+//           <UML:SimpleState xmi.id="s0" name="GenerateRequest"/>
+//           <UML:Pseudostate kind="initial" target="s0"/>
+//           <UML:Transition source="s0" target="s1" trigger="request"
+//                           rate="2.0"/>
+//         </UML:StateMachine>
+//       </UML:Model>
+//     </XMI.content>
+//   </XMI>
+//
+// Elements outside the UML metamodel (e.g. <Poseidon.layout>) are ignored
+// by the reader; layout.hpp handles them explicitly (the Figure-4
+// pre/postprocessor pipeline).
+#pragma once
+
+#include <string>
+
+#include "uml/model.hpp"
+#include "xml/dom.hpp"
+
+namespace choreo::uml {
+
+/// Serialises the model to an XMI document.
+xml::Document to_xmi(const Model& model);
+
+/// Parses an XMI document into the metamodel; validates the result.
+/// Throws util::ModelError / util::Error on malformed content.
+Model from_xmi(const xml::Document& document);
+
+/// File-level conveniences.
+void write_xmi_file(const Model& model, const std::string& path);
+Model read_xmi_file(const std::string& path);
+
+}  // namespace choreo::uml

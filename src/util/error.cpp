@@ -1,0 +1,14 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace choreo::util {
+
+void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "choreo internal invariant violated: %s at %s:%d\n", expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace choreo::util

@@ -1,0 +1,73 @@
+// Error handling primitives shared by every choreo library.
+//
+// All recoverable failures in the toolchain (parse errors, ill-formed
+// models, solver non-convergence, ...) are reported as exceptions derived
+// from choreo::util::Error.  Programming errors (broken invariants) use
+// CHOREO_ASSERT which aborts in all build types: a performance-analysis
+// result computed from a corrupted state space is worse than no result.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace choreo::util {
+
+/// Base class of all recoverable errors thrown by choreo libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+/// Error while parsing a textual artefact (XML, PEPA source, .rates, ...).
+class ParseError : public Error {
+ public:
+  ParseError(std::string artefact, std::size_t line, std::size_t column,
+             const std::string& message)
+      : Error(artefact + ":" + std::to_string(line) + ":" + std::to_string(column) +
+              ": " + message),
+        artefact_(std::move(artefact)),
+        line_(line),
+        column_(column) {}
+
+  const std::string& artefact() const noexcept { return artefact_; }
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::string artefact_;
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// A structurally ill-formed model (undefined process constant, unbalanced
+/// net transition, activity diagram without an initial node, ...).
+class ModelError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A numerical routine failed (singular generator, non-convergence, ...).
+class NumericError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Builds an error message from stream-style pieces:
+///   throw ModelError(msg("undefined constant '", name, "'"));
+template <typename... Parts>
+std::string msg(Parts&&... parts) {
+  std::ostringstream out;
+  (out << ... << parts);
+  return out.str();
+}
+
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+
+}  // namespace choreo::util
+
+#define CHOREO_ASSERT(expr)                                        \
+  do {                                                             \
+    if (!(expr)) ::choreo::util::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (false)

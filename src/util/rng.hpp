@@ -1,0 +1,66 @@
+// Deterministic, fast pseudo-random number generation for the simulation
+// engine.  xoshiro256** with a splitmix64 seeder; every simulation run is
+// reproducible from a single 64-bit seed, and parallel replications use
+// the generator's jump function to obtain non-overlapping streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace choreo::util {
+
+/// splitmix64: used to expand a single seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), public-domain algorithm.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept;
+
+  std::uint64_t next() noexcept;
+  std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in (0, 1]; safe as the argument of log().
+  double uniform_positive() noexcept;
+
+  /// Exponentially distributed sample with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Samples an index with probability weights[i] / sum(weights).
+  /// Weights must be non-negative with a positive sum.
+  std::size_t discrete(std::span<const double> weights) noexcept;
+
+  /// Advances the state by 2^128 steps: yields an independent stream for a
+  /// parallel replication.
+  void jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace choreo::util

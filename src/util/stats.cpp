@@ -1,0 +1,142 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace choreo::util {
+
+void RunningStats::add(double sample) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::std_error() const noexcept {
+  if (count_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+namespace {
+
+// Two-sided Student-t quantiles at selected degrees of freedom; rows are
+// standard table values.  Index 0 of each array is df=1.
+constexpr double kT90[] = {6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895,
+                           1.860, 1.833, 1.812, 1.796, 1.782, 1.771, 1.761,
+                           1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721,
+                           1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701,
+                           1.699, 1.697};
+constexpr double kT95[] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+                           2.306,  2.262, 2.228, 2.201, 2.179, 2.160, 2.145,
+                           2.131,  2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+                           2.074,  2.069, 2.064, 2.060, 2.056, 2.052, 2.048,
+                           2.045,  2.042};
+constexpr double kT99[] = {63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499,
+                           3.355,  3.250, 3.169, 3.106, 3.055, 3.012, 2.977,
+                           2.947,  2.921, 2.898, 2.878, 2.861, 2.845, 2.831,
+                           2.819,  2.807, 2.797, 2.787, 2.779, 2.771, 2.763,
+                           2.756,  2.750};
+
+}  // namespace
+
+double student_t_quantile(std::size_t degrees_of_freedom, double level) {
+  const double* table = nullptr;
+  double asymptote = 0.0;
+  if (level == 0.90) {
+    table = kT90;
+    asymptote = 1.645;
+  } else if (level == 0.95) {
+    table = kT95;
+    asymptote = 1.960;
+  } else if (level == 0.99) {
+    table = kT99;
+    asymptote = 2.576;
+  } else {
+    throw Error(msg("unsupported confidence level ", level,
+                    " (supported: 0.90, 0.95, 0.99)"));
+  }
+  if (degrees_of_freedom == 0) return asymptote;
+  if (degrees_of_freedom <= 30) return table[degrees_of_freedom - 1];
+  return asymptote;
+}
+
+ConfidenceInterval confidence_interval(const RunningStats& stats, double level) {
+  ConfidenceInterval ci;
+  ci.mean = stats.mean();
+  ci.level = level;
+  if (stats.count() >= 2) {
+    ci.half_width = student_t_quantile(stats.count() - 1, level) * stats.std_error();
+  }
+  return ci;
+}
+
+BatchMeans::BatchMeans(std::size_t batch_count)
+    : target_batches_(std::max<std::size_t>(batch_count, 4)) {
+  batch_means_.reserve(target_batches_);
+}
+
+void BatchMeans::add(double sample) {
+  batch_sum_ += sample;
+  if (++in_batch_ == batch_size_) close_batch();
+}
+
+void BatchMeans::close_batch() {
+  batch_means_.push_back(batch_sum_ / static_cast<double>(batch_size_));
+  batch_sum_ = 0.0;
+  in_batch_ = 0;
+  if (batch_means_.size() == target_batches_) {
+    // Collapse adjacent batches so batch size doubles: keeps the number of
+    // batches bounded while the stream grows, in the classic batch-means way.
+    std::vector<double> collapsed;
+    collapsed.reserve(target_batches_ / 2);
+    for (std::size_t i = 0; i + 1 < batch_means_.size(); i += 2) {
+      collapsed.push_back(0.5 * (batch_means_[i] + batch_means_[i + 1]));
+    }
+    batch_means_ = std::move(collapsed);
+    batch_size_ *= 2;
+  }
+}
+
+ConfidenceInterval BatchMeans::interval(double level) const {
+  RunningStats stats;
+  for (double mean : batch_means_) stats.add(mean);
+  return confidence_interval(stats, level);
+}
+
+std::size_t BatchMeans::completed_batches() const noexcept {
+  return batch_means_.size();
+}
+
+}  // namespace choreo::util

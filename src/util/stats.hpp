@@ -1,0 +1,76 @@
+// Online statistics and confidence intervals for the simulation engine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace choreo::util {
+
+/// Welford's online algorithm for mean and variance.
+class RunningStats {
+ public:
+  void add(double sample) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean.
+  double std_error() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A two-sided confidence interval around a point estimate.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  double level = 0.95;
+
+  double low() const noexcept { return mean - half_width; }
+  double high() const noexcept { return mean + half_width; }
+  bool contains(double value) const noexcept {
+    return value >= low() && value <= high();
+  }
+};
+
+/// Student-t confidence interval for the mean of the accumulated samples.
+/// Falls back to the normal quantile for more than 30 degrees of freedom.
+ConfidenceInterval confidence_interval(const RunningStats& stats,
+                                       double level = 0.95);
+
+/// Two-sided Student-t quantile at the given confidence level
+/// (supported levels: 0.90, 0.95, 0.99).
+double student_t_quantile(std::size_t degrees_of_freedom, double level);
+
+/// Batch-means estimator: partitions a correlated sample stream into
+/// `batch_count` contiguous batches and treats batch means as i.i.d.
+class BatchMeans {
+ public:
+  explicit BatchMeans(std::size_t batch_count = 32);
+
+  void add(double sample);
+  /// Confidence interval over the completed batches.
+  ConfidenceInterval interval(double level = 0.95) const;
+  std::size_t completed_batches() const noexcept;
+
+ private:
+  void close_batch();
+
+  std::size_t target_batches_;
+  std::size_t batch_size_ = 1;
+  std::size_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  std::vector<double> batch_means_;
+};
+
+}  // namespace choreo::util

@@ -1,0 +1,31 @@
+// Small string utilities used across the toolchain.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace choreo::util {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on any run of whitespace, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// True if `name` is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool is_identifier(std::string_view name);
+
+/// Renders a double compactly ("0.5", "2", "1e-09") for reports and printers.
+std::string format_double(double value);
+
+}  // namespace choreo::util

@@ -1,0 +1,34 @@
+// Fixed-width text tables for benchmark report modes and examples.
+//
+// Every bench binary prints the paper-style rows through this type so the
+// EXPERIMENTS.md transcripts have a uniform format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace choreo::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with format_double().
+  void add_row_values(const std::string& label, const std::vector<double>& values);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with column alignment and a rule under the header.
+  std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& out, const TextTable& table);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace choreo::util

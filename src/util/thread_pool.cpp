@@ -1,0 +1,98 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace choreo::util {
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  if (worker_count == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    worker_count = hw > 1 ? hw - 1 : 0;  // leave the calling thread a core
+  }
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t lanes = workers_.size() + 1;
+  if (lanes == 1 || count == 1) {
+    body(0, count);
+    return;
+  }
+  const std::size_t chunks = std::min(lanes, count);
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+
+  std::atomic<std::size_t> remaining{chunks - 1};
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  std::condition_variable done;
+  std::mutex done_mutex;
+
+  auto run_chunk = [&](std::size_t begin, std::size_t end) {
+    try {
+      body(begin, end);
+    } catch (...) {
+      std::lock_guard lock(failure_mutex);
+      if (!failure) failure = std::current_exception();
+    }
+  };
+
+  std::size_t begin = 0;
+  for (std::size_t chunk = 0; chunk + 1 < chunks; ++chunk) {
+    const std::size_t size = base + (chunk < extra ? 1 : 0);
+    const std::size_t end = begin + size;
+    {
+      std::lock_guard lock(mutex_);
+      tasks_.push([&, begin, end] {
+        run_chunk(begin, end);
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard done_lock(done_mutex);
+          done.notify_one();
+        }
+      });
+    }
+    wake_.notify_one();
+    begin = end;
+  }
+  run_chunk(begin, count);  // the calling thread takes the final chunk
+
+  std::unique_lock lock(done_mutex);
+  done.wait(lock, [&] { return remaining.load() == 0; });
+  if (failure) std::rethrow_exception(failure);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace choreo::util

@@ -1,0 +1,49 @@
+// A small fixed-size thread pool with a parallel_for convenience wrapper.
+//
+// Used by the sparse CTMC kernels and the simulation engine's independent
+// replications.  Work is partitioned into contiguous chunks, one per worker,
+// which suits the regular, memory-bound loops in this codebase better than
+// work stealing would.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace choreo::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `worker_count` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(std::size_t worker_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Runs body(begin, end) over contiguous chunks of [0, count) across the
+  /// pool (and the calling thread), returning once every chunk completed.
+  /// Exceptions from chunks are rethrown (first one wins).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// The process-wide pool used by library kernels by default.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+};
+
+}  // namespace choreo::util

@@ -1,0 +1,152 @@
+#include "xml/dom.hpp"
+
+#include <algorithm>
+
+namespace choreo::xml {
+
+Node Node::element(std::string name) {
+  Node node;
+  node.kind_ = Kind::Element;
+  node.name_ = std::move(name);
+  return node;
+}
+
+Node Node::text(std::string content) {
+  Node node;
+  node.kind_ = Kind::Text;
+  node.content_ = std::move(content);
+  return node;
+}
+
+Node Node::comment(std::string content) {
+  Node node;
+  node.kind_ = Kind::Comment;
+  node.content_ = std::move(content);
+  return node;
+}
+
+Node Node::cdata(std::string content) {
+  Node node;
+  node.kind_ = Kind::CData;
+  node.content_ = std::move(content);
+  return node;
+}
+
+bool Node::has_attr(std::string_view name) const noexcept {
+  return std::any_of(attributes_.begin(), attributes_.end(),
+                     [&](const Attribute& a) { return a.name == name; });
+}
+
+std::optional<std::string> Node::attr(std::string_view name) const {
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) return a.value;
+  }
+  return std::nullopt;
+}
+
+std::string Node::attr_or(std::string_view name, std::string_view fallback) const {
+  if (auto value = attr(name)) return *value;
+  return std::string(fallback);
+}
+
+Node& Node::set_attr(std::string_view name, std::string_view value) {
+  for (Attribute& a : attributes_) {
+    if (a.name == name) {
+      a.value = std::string(value);
+      return *this;
+    }
+  }
+  attributes_.push_back({std::string(name), std::string(value)});
+  return *this;
+}
+
+bool Node::remove_attr(std::string_view name) {
+  auto it = std::find_if(attributes_.begin(), attributes_.end(),
+                         [&](const Attribute& a) { return a.name == name; });
+  if (it == attributes_.end()) return false;
+  attributes_.erase(it);
+  return true;
+}
+
+Node& Node::add_child(Node child) {
+  children_.push_back(std::move(child));
+  return children_.back();
+}
+
+Node& Node::add_element(std::string name) {
+  return add_child(Node::element(std::move(name)));
+}
+
+Node& Node::add_text(std::string content) {
+  return add_child(Node::text(std::move(content)));
+}
+
+const Node* Node::find_child(std::string_view name) const {
+  for (const Node& child : children_) {
+    if (child.is_element() && child.name() == name) return &child;
+  }
+  return nullptr;
+}
+
+Node* Node::find_child(std::string_view name) {
+  return const_cast<Node*>(static_cast<const Node*>(this)->find_child(name));
+}
+
+std::vector<const Node*> Node::find_children(std::string_view name) const {
+  std::vector<const Node*> out;
+  for (const Node& child : children_) {
+    if (child.is_element() && child.name() == name) out.push_back(&child);
+  }
+  return out;
+}
+
+std::vector<const Node*> Node::element_children() const {
+  std::vector<const Node*> out;
+  for (const Node& child : children_) {
+    if (child.is_element()) out.push_back(&child);
+  }
+  return out;
+}
+
+std::size_t Node::remove_children(std::string_view name) {
+  const auto old_size = children_.size();
+  children_.erase(std::remove_if(children_.begin(), children_.end(),
+                                 [&](const Node& child) {
+                                   return child.is_element() &&
+                                          child.name() == name;
+                                 }),
+                  children_.end());
+  return old_size - children_.size();
+}
+
+std::string Node::text_content() const {
+  if (kind_ == Kind::Text || kind_ == Kind::CData) return content_;
+  std::string out;
+  for (const Node& child : children_) {
+    if (child.kind_ == Kind::Comment) continue;
+    out += child.text_content();
+  }
+  return out;
+}
+
+bool Node::deep_equals(const Node& other) const {
+  if (kind_ != other.kind_ || name_ != other.name_ || content_ != other.content_) {
+    return false;
+  }
+  if (attributes_.size() != other.attributes_.size() ||
+      children_.size() != other.children_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name ||
+        attributes_[i].value != other.attributes_[i].value) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i].deep_equals(other.children_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace choreo::xml

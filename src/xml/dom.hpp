@@ -1,0 +1,114 @@
+// A small Document Object Model for the XMI interchange files used by the
+// Choreographer pipeline (the paper's extractors keep UML models in a DOM
+// or the NetBeans MDR; this is the equivalent substrate).
+//
+// One Node type covers elements, text, comments and CDATA sections: XMI
+// content is element-heavy and a closed node kind keeps traversal simple.
+// Attribute order and child order are preserved so that the Poseidon-style
+// layout postprocessor can re-merge documents deterministically.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace choreo::xml {
+
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+class Node {
+ public:
+  enum class Kind { Element, Text, Comment, CData };
+
+  /// Creates an element node with the given (possibly prefixed) tag name.
+  static Node element(std::string name);
+  static Node text(std::string content);
+  static Node comment(std::string content);
+  static Node cdata(std::string content);
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_element() const noexcept { return kind_ == Kind::Element; }
+  bool is_text() const noexcept { return kind_ == Kind::Text; }
+
+  /// Tag name (elements) — empty for non-elements.
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Raw character content (text / comment / CDATA nodes).
+  const std::string& content() const noexcept { return content_; }
+  void set_content(std::string content) { content_ = std::move(content); }
+
+  // --- attributes (elements only) --------------------------------------
+  const std::vector<Attribute>& attributes() const noexcept { return attributes_; }
+  bool has_attr(std::string_view name) const noexcept;
+  /// Value of the attribute, or std::nullopt when absent.
+  std::optional<std::string> attr(std::string_view name) const;
+  /// Value of the attribute, or `fallback` when absent.
+  std::string attr_or(std::string_view name, std::string_view fallback) const;
+  /// Sets (or replaces) an attribute, preserving first-set order.
+  Node& set_attr(std::string_view name, std::string_view value);
+  /// Removes the attribute if present; returns whether it was removed.
+  bool remove_attr(std::string_view name);
+
+  // --- children ---------------------------------------------------------
+  const std::vector<Node>& children() const noexcept { return children_; }
+  std::vector<Node>& children() noexcept { return children_; }
+  /// Appends a child and returns a reference to the stored copy.
+  Node& add_child(Node child);
+  /// Appends an element child with the given name.
+  Node& add_element(std::string name);
+  /// Appends a text child.
+  Node& add_text(std::string content);
+
+  /// First child element with the given tag name, if any.
+  const Node* find_child(std::string_view name) const;
+  Node* find_child(std::string_view name);
+  /// All child elements with the given tag name.
+  std::vector<const Node*> find_children(std::string_view name) const;
+  /// All child elements regardless of name.
+  std::vector<const Node*> element_children() const;
+  /// Removes all child elements with the given name; returns count removed.
+  std::size_t remove_children(std::string_view name);
+
+  /// Concatenation of all descendant text/CDATA content.
+  std::string text_content() const;
+
+  /// Deep structural equality (names, attributes incl. order, children).
+  bool deep_equals(const Node& other) const;
+
+ private:
+  Node() = default;
+
+  Kind kind_ = Kind::Element;
+  std::string name_;
+  std::string content_;
+  std::vector<Attribute> attributes_;
+  std::vector<Node> children_;
+};
+
+/// An XML document: optional declaration plus exactly one root element.
+class Document {
+ public:
+  Document() : root_(Node::element("root")) {}
+  explicit Document(Node root) : root_(std::move(root)) {}
+
+  const Node& root() const noexcept { return root_; }
+  Node& root() noexcept { return root_; }
+  void set_root(Node root) { root_ = std::move(root); }
+
+  /// The version/encoding attributes of the <?xml ...?> declaration.
+  const std::vector<Attribute>& declaration() const noexcept { return declaration_; }
+  void set_declaration(std::vector<Attribute> declaration) {
+    declaration_ = std::move(declaration);
+  }
+
+ private:
+  std::vector<Attribute> declaration_;
+  Node root_;
+};
+
+}  // namespace choreo::xml

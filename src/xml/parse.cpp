@@ -1,0 +1,340 @@
+#include "xml/parse.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace choreo::xml {
+
+namespace {
+
+bool is_name_start(char c) {
+  auto uc = static_cast<unsigned char>(c);
+  return std::isalpha(uc) || c == '_' || c == ':';
+}
+
+bool is_name_char(char c) {
+  auto uc = static_cast<unsigned char>(c);
+  return std::isalnum(uc) || c == '_' || c == ':' || c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : input_(input), options_(options) {}
+
+  Document run() {
+    Document document;
+    skip_bom();
+    if (lookahead("<?xml")) document.set_declaration(parse_declaration());
+    skip_misc();
+    if (lookahead("<!DOCTYPE")) {
+      skip_doctype();
+      skip_misc();
+    }
+    if (at_end() || peek() != '<') fail("expected root element");
+    document.set_root(parse_element());
+    skip_misc();
+    if (!at_end()) fail("content after the root element");
+    return document;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw util::ParseError(options_.source_name, line_, column_, message);
+  }
+
+  bool at_end() const noexcept { return pos_ >= input_.size(); }
+  char peek() const { return input_[pos_]; }
+
+  char advance() {
+    const char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  bool lookahead(std::string_view token) const {
+    return input_.substr(pos_, token.size()) == token;
+  }
+
+  bool consume(std::string_view token) {
+    if (!lookahead(token)) return false;
+    for (std::size_t i = 0; i < token.size(); ++i) advance();
+    return true;
+  }
+
+  void expect(std::string_view token, const char* what) {
+    if (!consume(token)) fail(util::msg("expected ", what));
+  }
+
+  void skip_bom() {
+    consume("\xEF\xBB\xBF");
+  }
+
+  void skip_ws() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+  }
+
+  /// Skips whitespace and comments between top-level constructs.
+  void skip_misc() {
+    while (true) {
+      skip_ws();
+      if (lookahead("<!--")) {
+        parse_comment();
+      } else if (lookahead("<?")) {
+        skip_processing_instruction();
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::vector<Attribute> parse_declaration() {
+    expect("<?xml", "XML declaration");
+    std::vector<Attribute> attributes;
+    while (true) {
+      skip_ws();
+      if (consume("?>")) return attributes;
+      if (at_end()) fail("unterminated XML declaration");
+      attributes.push_back(parse_attribute());
+    }
+  }
+
+  void skip_processing_instruction() {
+    expect("<?", "processing instruction");
+    while (!at_end()) {
+      if (consume("?>")) return;
+      advance();
+    }
+    fail("unterminated processing instruction");
+  }
+
+  void skip_doctype() {
+    expect("<!DOCTYPE", "DOCTYPE declaration");
+    int depth = 1;
+    while (!at_end() && depth > 0) {
+      const char c = advance();
+      if (c == '<') ++depth;
+      if (c == '>') --depth;
+    }
+    if (depth != 0) fail("unterminated DOCTYPE declaration");
+  }
+
+  std::string parse_name() {
+    if (at_end() || !is_name_start(peek())) fail("expected a name");
+    std::string name;
+    name.push_back(advance());
+    while (!at_end() && is_name_char(peek())) name.push_back(advance());
+    return name;
+  }
+
+  Attribute parse_attribute() {
+    Attribute attribute;
+    attribute.name = parse_name();
+    skip_ws();
+    expect("=", "'=' after attribute name");
+    skip_ws();
+    if (at_end() || (peek() != '"' && peek() != '\'')) {
+      fail("expected a quoted attribute value");
+    }
+    const char quote = advance();
+    std::string raw;
+    while (!at_end() && peek() != quote) {
+      if (peek() == '<') fail("'<' in attribute value");
+      raw.push_back(advance());
+    }
+    if (at_end()) fail("unterminated attribute value");
+    advance();  // closing quote
+    attribute.value = decode_entities(raw);
+    return attribute;
+  }
+
+  Node parse_comment() {
+    expect("<!--", "comment");
+    std::string content;
+    while (!at_end()) {
+      if (consume("-->")) return Node::comment(std::move(content));
+      content.push_back(advance());
+    }
+    fail("unterminated comment");
+  }
+
+  Node parse_cdata() {
+    expect("<![CDATA[", "CDATA section");
+    std::string content;
+    while (!at_end()) {
+      if (consume("]]>")) return Node::cdata(std::move(content));
+      content.push_back(advance());
+    }
+    fail("unterminated CDATA section");
+  }
+
+  Node parse_element() {
+    expect("<", "'<'");
+    Node node = Node::element(parse_name());
+    while (true) {
+      skip_ws();
+      if (consume("/>")) return node;
+      if (consume(">")) break;
+      if (at_end()) fail("unterminated start tag");
+      Attribute attribute = parse_attribute();
+      if (node.has_attr(attribute.name)) {
+        fail(util::msg("duplicate attribute '", attribute.name, "'"));
+      }
+      node.set_attr(attribute.name, attribute.value);
+    }
+    parse_content(node);
+    return node;
+  }
+
+  void parse_content(Node& parent) {
+    std::string pending_text;
+    auto flush_text = [&] {
+      if (pending_text.empty()) return;
+      const bool ignorable =
+          options_.drop_ignorable_whitespace &&
+          util::trim(pending_text).empty();
+      if (!ignorable) parent.add_text(decode_entities(pending_text));
+      pending_text.clear();
+    };
+
+    while (true) {
+      if (at_end()) fail(util::msg("unterminated element <", parent.name(), ">"));
+      if (lookahead("</")) {
+        flush_text();
+        consume("</");
+        const std::string name = parse_name();
+        if (name != parent.name()) {
+          fail(util::msg("mismatched end tag </", name, "> for <", parent.name(),
+                         ">"));
+        }
+        skip_ws();
+        expect(">", "'>' of end tag");
+        return;
+      }
+      if (lookahead("<!--")) {
+        flush_text();
+        parent.add_child(parse_comment());
+        continue;
+      }
+      if (lookahead("<![CDATA[")) {
+        flush_text();
+        parent.add_child(parse_cdata());
+        continue;
+      }
+      if (lookahead("<?")) {
+        flush_text();
+        skip_processing_instruction();
+        continue;
+      }
+      if (peek() == '<') {
+        flush_text();
+        parent.add_child(parse_element());
+        continue;
+      }
+      pending_text.push_back(advance());
+    }
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i++]);
+        continue;
+      }
+      const std::size_t semicolon = raw.find(';', i);
+      if (semicolon == std::string_view::npos) fail("unterminated entity");
+      const std::string_view entity = raw.substr(i + 1, semicolon - i - 1);
+      if (entity == "lt") {
+        out.push_back('<');
+      } else if (entity == "gt") {
+        out.push_back('>');
+      } else if (entity == "amp") {
+        out.push_back('&');
+      } else if (entity == "quot") {
+        out.push_back('"');
+      } else if (entity == "apos") {
+        out.push_back('\'');
+      } else if (!entity.empty() && entity.front() == '#') {
+        out += decode_char_reference(entity.substr(1));
+      } else {
+        fail(util::msg("unknown entity '&", std::string(entity), ";'"));
+      }
+      i = semicolon + 1;
+    }
+    return out;
+  }
+
+  std::string decode_char_reference(std::string_view digits) {
+    unsigned long code = 0;
+    if (!digits.empty() && (digits.front() == 'x' || digits.front() == 'X')) {
+      for (char c : digits.substr(1)) {
+        auto uc = static_cast<unsigned char>(c);
+        if (!std::isxdigit(uc)) fail("malformed hex character reference");
+        code = code * 16 +
+               (std::isdigit(uc) ? uc - '0' : std::tolower(uc) - 'a' + 10);
+      }
+    } else {
+      for (char c : digits) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          fail("malformed character reference");
+        }
+        code = code * 10 + static_cast<unsigned long>(c - '0');
+      }
+    }
+    // UTF-8 encode.
+    std::string out;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x110000) {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      fail("character reference out of range");
+    }
+    return out;
+  }
+
+  std::string_view input_;
+  const ParseOptions& options_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+Document parse_document(std::string_view input, const ParseOptions& options) {
+  return Parser(input, options).run();
+}
+
+Document parse_file(const std::string& path, ParseOptions options) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) throw util::Error(util::msg("cannot open '", path, "'"));
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  if (options.source_name == "<xml>") options.source_name = path;
+  const std::string contents = buffer.str();
+  return parse_document(contents, options);
+}
+
+}  // namespace choreo::xml

@@ -1,0 +1,32 @@
+// XML parser producing choreo::xml::Document trees.
+//
+// Supports the subset of XML 1.0 that XMI interchange files use: elements,
+// attributes (single or double quoted), character data, the five predefined
+// entities plus numeric character references, comments, CDATA sections, the
+// XML declaration, and DOCTYPE declarations (skipped).  Namespace prefixes
+// are kept as part of tag/attribute names ("UML:Model"), which is how the
+// Choreographer extractors address XMI content.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "xml/dom.hpp"
+
+namespace choreo::xml {
+
+struct ParseOptions {
+  /// When true, text nodes consisting only of whitespace between elements
+  /// are dropped (the default for XMI, which is element-structured).
+  bool drop_ignorable_whitespace = true;
+  /// Name used in error messages ("stdin", a file path, ...).
+  std::string source_name = "<xml>";
+};
+
+/// Parses a complete document.  Throws util::ParseError on malformed input.
+Document parse_document(std::string_view input, const ParseOptions& options = {});
+
+/// Parses a document from a file on disk.
+Document parse_file(const std::string& path, ParseOptions options = {});
+
+}  // namespace choreo::xml

@@ -1,0 +1,108 @@
+#include "xml/query.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace choreo::xml {
+
+namespace {
+
+struct Step {
+  std::string name;  // "*" matches any element
+  std::string attr_name;
+  std::string attr_value;
+  bool has_predicate = false;
+};
+
+Step parse_step(std::string_view text, std::string_view full_path) {
+  Step step;
+  const std::size_t bracket = text.find('[');
+  if (bracket == std::string_view::npos) {
+    step.name = std::string(text);
+    return step;
+  }
+  step.name = std::string(text.substr(0, bracket));
+  std::string_view predicate = text.substr(bracket);
+  // Expect [@name='value']
+  if (predicate.size() < 6 || predicate.substr(0, 2) != "[@" ||
+      predicate.back() != ']') {
+    throw util::Error(util::msg("malformed predicate in query '", full_path, "'"));
+  }
+  predicate = predicate.substr(2, predicate.size() - 3);  // name='value'
+  const std::size_t eq = predicate.find('=');
+  if (eq == std::string_view::npos) {
+    throw util::Error(util::msg("malformed predicate in query '", full_path, "'"));
+  }
+  step.attr_name = std::string(predicate.substr(0, eq));
+  std::string_view value = predicate.substr(eq + 1);
+  if (value.size() < 2 || value.front() != '\'' || value.back() != '\'') {
+    throw util::Error(
+        util::msg("predicate value must be single-quoted in '", full_path, "'"));
+  }
+  step.attr_value = std::string(value.substr(1, value.size() - 2));
+  step.has_predicate = true;
+  return step;
+}
+
+bool matches(const Node& node, const Step& step) {
+  if (!node.is_element()) return false;
+  if (step.name != "*" && node.name() != step.name) return false;
+  if (step.has_predicate) {
+    auto value = node.attr(step.attr_name);
+    return value && *value == step.attr_value;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<const Node*> select_all(const Node& root, std::string_view path) {
+  std::vector<const Node*> current{&root};
+  for (const std::string& raw_step : util::split(path, '/')) {
+    if (raw_step.empty()) {
+      throw util::Error(util::msg("empty step in query '", path, "'"));
+    }
+    const Step step = parse_step(raw_step, path);
+    std::vector<const Node*> next;
+    for (const Node* node : current) {
+      for (const Node& child : node->children()) {
+        if (matches(child, step)) next.push_back(&child);
+      }
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+const Node* select_first(const Node& root, std::string_view path) {
+  auto all = select_all(root, path);
+  return all.empty() ? nullptr : all.front();
+}
+
+const Node& require_first(const Node& root, std::string_view path) {
+  const Node* node = select_first(root, path);
+  if (node == nullptr) {
+    throw util::Error(util::msg("no element matches query '", path, "'"));
+  }
+  return *node;
+}
+
+namespace {
+void collect_descendants(const Node& node, std::string_view name,
+                         std::vector<const Node*>& out) {
+  for (const Node& child : node.children()) {
+    if (!child.is_element()) continue;
+    if (child.name() == name) out.push_back(&child);
+    collect_descendants(child, name, out);
+  }
+}
+}  // namespace
+
+std::vector<const Node*> descendants_named(const Node& root,
+                                           std::string_view name) {
+  std::vector<const Node*> out;
+  collect_descendants(root, name, out);
+  return out;
+}
+
+}  // namespace choreo::xml

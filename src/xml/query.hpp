@@ -1,0 +1,32 @@
+// XPath-lite queries over the DOM.
+//
+// The extractors address XMI content with simple child paths, e.g.
+//   "XMI.content/UML:Model/UML:Namespace.ownedElement/UML:ActivityGraph".
+// Grammar:  path     := step ('/' step)*
+//           step     := name-or-* predicate?
+//           predicate:= '[@' attr '=' '\'' value '\'' ']'
+// Each step selects matching *child elements* of the current node set; the
+// query is rooted at (and excludes) the node it is applied to.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/dom.hpp"
+
+namespace choreo::xml {
+
+/// All elements matching the path, in document order.
+std::vector<const Node*> select_all(const Node& root, std::string_view path);
+
+/// First element matching the path, or nullptr.
+const Node* select_first(const Node& root, std::string_view path);
+
+/// First element matching the path; throws util::Error when absent.
+const Node& require_first(const Node& root, std::string_view path);
+
+/// All descendant elements (any depth) with the given tag name.
+std::vector<const Node*> descendants_named(const Node& root, std::string_view name);
+
+}  // namespace choreo::xml

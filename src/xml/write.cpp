@@ -1,0 +1,131 @@
+#include "xml/write.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace choreo::xml {
+
+std::string escape_text(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string escape_attribute(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\n': out += "&#10;"; break;
+      case '\t': out += "&#9;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool has_element_children_only(const Node& node) {
+  bool any = false;
+  for (const Node& child : node.children()) {
+    if (child.is_text() || child.kind() == Node::Kind::CData) return false;
+    any = true;
+  }
+  return any;
+}
+
+void write_node(std::ostringstream& out, const Node& node, int indent, int depth) {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+  switch (node.kind()) {
+    case Node::Kind::Text:
+      out << escape_text(node.content());
+      return;
+    case Node::Kind::Comment:
+      out << pad << "<!--" << node.content() << "-->";
+      if (indent > 0) out << '\n';
+      return;
+    case Node::Kind::CData:
+      out << "<![CDATA[" << node.content() << "]]>";
+      return;
+    case Node::Kind::Element:
+      break;
+  }
+
+  out << pad << '<' << node.name();
+  for (const Attribute& attribute : node.attributes()) {
+    out << ' ' << attribute.name << "=\"" << escape_attribute(attribute.value)
+        << '"';
+  }
+  if (node.children().empty()) {
+    out << "/>";
+    if (indent > 0) out << '\n';
+    return;
+  }
+  out << '>';
+
+  // Mixed or text content is written inline to preserve character data;
+  // element-only content is pretty-printed.
+  const bool structured = indent > 0 && has_element_children_only(node);
+  if (structured) out << '\n';
+  for (const Node& child : node.children()) {
+    write_node(out, child, structured ? indent : 0, depth + 1);
+  }
+  if (structured) out << pad;
+  out << "</" << node.name() << '>';
+  if (indent > 0) out << '\n';
+}
+
+}  // namespace
+
+std::string to_string(const Node& node, const WriteOptions& options) {
+  std::ostringstream out;
+  write_node(out, node, options.indent, 0);
+  return out.str();
+}
+
+std::string to_string(const Document& document, const WriteOptions& options) {
+  std::ostringstream out;
+  if (options.declaration) {
+    out << "<?xml";
+    if (document.declaration().empty()) {
+      out << " version=\"1.0\" encoding=\"UTF-8\"";
+    } else {
+      for (const Attribute& attribute : document.declaration()) {
+        out << ' ' << attribute.name << "=\""
+            << escape_attribute(attribute.value) << '"';
+      }
+    }
+    out << "?>";
+    if (options.indent > 0) out << '\n';
+  }
+  write_node(out, document.root(), options.indent, 0);
+  return out.str();
+}
+
+void write_file(const Document& document, const std::string& path,
+                const WriteOptions& options) {
+  std::ofstream stream(path, std::ios::binary);
+  if (!stream) {
+    throw util::Error(util::msg("cannot open '", path, "' for writing"));
+  }
+  stream << to_string(document, options);
+  if (!stream) throw util::Error(util::msg("failed writing '", path, "'"));
+}
+
+}  // namespace choreo::xml

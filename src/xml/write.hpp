@@ -1,0 +1,32 @@
+// XML serialisation with optional pretty-printing.
+#pragma once
+
+#include <string>
+
+#include "xml/dom.hpp"
+
+namespace choreo::xml {
+
+struct WriteOptions {
+  /// Indent nested elements by this many spaces; 0 writes a compact
+  /// single-line document (except inside mixed content, which is always
+  /// written verbatim to preserve text).
+  int indent = 2;
+  /// Emit the <?xml ...?> declaration stored in the document (or a default
+  /// version="1.0" declaration when none is stored).
+  bool declaration = true;
+};
+
+/// Escapes the five XML special characters in character data.
+std::string escape_text(std::string_view raw);
+/// Escapes character data for use inside a double-quoted attribute.
+std::string escape_attribute(std::string_view raw);
+
+std::string to_string(const Node& node, const WriteOptions& options = {});
+std::string to_string(const Document& document, const WriteOptions& options = {});
+
+/// Writes the document to a file.  Throws util::Error on I/O failure.
+void write_file(const Document& document, const std::string& path,
+                const WriteOptions& options = {});
+
+}  // namespace choreo::xml

@@ -1,0 +1,136 @@
+// Tests for strong-equivalence (action-labelled) aggregation: the quotient
+// must preserve per-action throughputs, collapse symmetric replicas, and
+// distinguish states that bare (unlabelled) lumping would merge.
+#include <gtest/gtest.h>
+
+#include "choreographer/extract_activity.hpp"
+#include "choreographer/paper_models.hpp"
+#include "ctmc/labelled_lumping.hpp"
+#include "ctmc/lumping.hpp"
+#include "ctmc/steady_state.hpp"
+#include "pepa/aggregate.hpp"
+#include "pepa/measures.hpp"
+#include "pepa/parser.hpp"
+#include "pepa/semantics.hpp"
+#include "pepa/statespace.hpp"
+#include "pepanet/netaggregate.hpp"
+#include "pepanet/netsemantics.hpp"
+#include "pepanet/netstatespace.hpp"
+
+namespace cc = choreo::ctmc;
+namespace cp = choreo::pepa;
+namespace cn = choreo::pepanet;
+namespace chor = choreo::chor;
+
+TEST(LabelledLumping, DistinguishesLabelsUnlabelledLumpingMerges) {
+  // Two states with identical total exit rates but different action labels
+  // must stay apart under the labelled refinement.
+  //   0 -a,1-> 2;  1 -b,1-> 2;  2 -c,1-> 0;  2 -c,1-> 1  (as two targets)
+  std::vector<cc::LabelledTransition> lts{{0, 2, /*a=*/1, 1.0},
+                                          {1, 2, /*b=*/2, 1.0},
+                                          {2, 0, /*c=*/3, 1.0},
+                                          {2, 1, /*c=*/3, 1.0}};
+  const auto labelled = cc::compute_labelled_lumping(3, lts);
+  EXPECT_EQ(labelled.block_count, 3u);
+
+  // The unlabelled bisimulation merges 0 and 1 (same rate into {2}).
+  auto generator = cc::Generator::build(
+      3, {{0, 2, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}, {2, 1, 1.0}});
+  const auto unlabelled = cc::compute_lumping(generator);
+  EXPECT_EQ(unlabelled.block_count, 2u);
+}
+
+TEST(LabelledLumping, ReplicasCollapseAndThroughputsSurvive) {
+  auto model = cp::parse_model(R"(
+    C = (req, 1.0).(wait, 2.0).(think, 3.0).C;
+    S = C || C || C;
+    @system S;
+  )");
+  cp::Semantics semantics(model.arena());
+  const auto space = cp::StateSpace::derive(semantics, model.system());
+  ASSERT_EQ(space.state_count(), 27u);
+
+  const auto lumping = cp::aggregate(space);
+  EXPECT_EQ(lumping.block_count, 10u);  // population vector C(3+2, 2)
+
+  const auto pi_full = cc::steady_state(space.generator()).distribution;
+  const auto pi_quotient =
+      cc::steady_state(lumping.quotient_generator()).distribution;
+
+  // Per-action throughput identical on both levels.
+  for (const char* name : {"req", "wait", "think"}) {
+    const auto action = *model.arena().find_action(name);
+    const double full = cp::action_throughput(space, pi_full, action);
+    const double quotient = lumping.throughput(pi_quotient, action);
+    EXPECT_NEAR(full, quotient, 1e-9) << name;
+  }
+}
+
+TEST(LabelledLumping, SelfLoopThroughputPreserved) {
+  // A labelled self-loop carries throughput although it does not move the
+  // chain; the quotient must keep it.
+  auto model = cp::parse_model(R"(
+    P = (spin, 4.0).P + (go, 1.0).Q;
+    Q = (back, 2.0).P;
+    @system P;
+  )");
+  cp::Semantics semantics(model.arena());
+  const auto space = cp::StateSpace::derive(semantics, model.system());
+  const auto lumping = cp::aggregate(space);
+  const auto pi_full = cc::steady_state(space.generator()).distribution;
+  const auto pi_quotient =
+      cc::steady_state(lumping.quotient_generator()).distribution;
+  const auto spin = *model.arena().find_action("spin");
+  EXPECT_NEAR(cp::action_throughput(space, pi_full, spin),
+              lumping.throughput(pi_quotient, spin), 1e-10);
+  EXPECT_GT(lumping.throughput(pi_quotient, spin), 0.0);
+}
+
+TEST(LabelledLumping, PdaMarkingGraphAggregates) {
+  // The handover ring is symmetric under rotation: with identical rates at
+  // every hop, the 10-marking graph of the 2-transmitter ring aggregates
+  // (per-hop action labels differ, so the quotient keeps one block per
+  // (stage, hop) pair -- aggregation is exact but the labelled refinement
+  // cannot merge differently-labelled hops).
+  const choreo::uml::Model model = chor::pda_handover_model();
+  auto extraction = chor::extract_activity_graph(model.activity_graphs()[0]);
+  cn::NetSemantics semantics(extraction.net);
+  const auto space = cn::NetStateSpace::derive(semantics);
+  const auto lumping = cn::aggregate(space);
+  EXPECT_EQ(lumping.block_count, space.marking_count());  // labels pin hops
+
+  // Exactness still holds trivially.
+  const auto pi_full = cc::steady_state(space.generator()).distribution;
+  const auto pi_quotient =
+      cc::steady_state(lumping.quotient_generator()).distribution;
+  const auto handover = *extraction.net.arena().find_action("handover_1");
+  EXPECT_NEAR(cn::action_throughput(space, pi_full, handover),
+              lumping.throughput(pi_quotient, handover), 1e-10);
+}
+
+TEST(LabelledLumping, InitialPartitionRefined) {
+  std::vector<cc::LabelledTransition> lts{{0, 1, 1, 1.0}, {1, 0, 1, 1.0},
+                                          {2, 3, 1, 1.0}, {3, 2, 1, 1.0}};
+  // Two disconnected identical toggles: every state moves to an equivalent
+  // state by the same action at the same rate, so all four merge.
+  const auto merged = cc::compute_labelled_lumping(4, lts);
+  EXPECT_EQ(merged.block_count, 1u);
+  // Pinning state 2 apart propagates: its partner 3 must split from {0,1}
+  // (3 moves into block{2}, 0 and 1 do not).
+  const auto split = cc::compute_labelled_lumping(4, lts, {0, 0, 1, 0});
+  EXPECT_EQ(split.block_count, 3u);
+  EXPECT_EQ(split.block_of[0], split.block_of[1]);
+  EXPECT_NE(split.block_of[2], split.block_of[3]);
+  EXPECT_NE(split.block_of[3], split.block_of[0]);
+}
+
+TEST(LabelledLumping, AggregateDistribution) {
+  std::vector<cc::LabelledTransition> lts{{0, 1, 1, 1.0}, {1, 0, 1, 1.0},
+                                          {2, 3, 1, 1.0}, {3, 2, 1, 1.0}};
+  const auto lumping = cc::compute_labelled_lumping(4, lts, {0, 0, 1, 0});
+  const std::vector<double> uniform{0.25, 0.25, 0.25, 0.25};
+  const auto aggregated = lumping.aggregate(uniform);
+  ASSERT_EQ(aggregated.size(), 3u);
+  EXPECT_DOUBLE_EQ(aggregated[0] + aggregated[1] + aggregated[2], 1.0);
+  EXPECT_DOUBLE_EQ(aggregated[lumping.block_of[0]], 0.5);
+}

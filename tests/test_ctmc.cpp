@@ -1,0 +1,264 @@
+// Unit tests for the CTMC engine: sparse matrices, generators, steady-state
+// solvers (validated against closed-form birth-death results), transient
+// uniformisation, and reward structures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc/generator.hpp"
+#include "ctmc/rewards.hpp"
+#include "ctmc/sparse.hpp"
+#include "ctmc/steady_state.hpp"
+#include "ctmc/transient.hpp"
+#include "util/error.hpp"
+
+namespace cc = choreo::ctmc;
+namespace cu = choreo::util;
+
+TEST(Sparse, FromTripletsAccumulatesDuplicates) {
+  auto m = cc::CsrMatrix::from_triplets(
+      3, {{0, 1, 1.0}, {0, 1, 2.0}, {2, 0, 5.0}, {1, 1, -3.0}});
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.nonzeros(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), -3.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(Sparse, ZeroSumEntriesAreDropped) {
+  auto m = cc::CsrMatrix::from_triplets(2, {{0, 1, 2.0}, {0, 1, -2.0}});
+  EXPECT_EQ(m.nonzeros(), 0u);
+}
+
+TEST(Sparse, TransposeInvolution) {
+  auto m = cc::CsrMatrix::from_triplets(
+      4, {{0, 1, 1.5}, {1, 3, -2.0}, {3, 0, 4.0}, {2, 2, 7.0}});
+  auto twice = m.transposed().transposed();
+  EXPECT_EQ(twice.to_dense(), m.to_dense());
+  EXPECT_DOUBLE_EQ(m.transposed().at(1, 0), 1.5);
+}
+
+TEST(Sparse, MultiplyMatchesDense) {
+  auto m = cc::CsrMatrix::from_triplets(
+      3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}, {2, 0, -1.0}});
+  std::vector<double> x{1.0, 2.0, 3.0}, y(3);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+}
+
+TEST(Generator, DiagonalBalancesRows) {
+  auto g = cc::Generator::build(2, {{0, 1, 3.0}, {1, 0, 1.0}});
+  g.validate();
+  EXPECT_DOUBLE_EQ(g.exit_rate(0), 3.0);
+  EXPECT_DOUBLE_EQ(g.exit_rate(1), 1.0);
+  EXPECT_DOUBLE_EQ(g.max_exit_rate(), 3.0);
+}
+
+TEST(Generator, SelfLoopsIgnored) {
+  auto g = cc::Generator::build(2, {{0, 0, 9.0}, {0, 1, 1.0}, {1, 0, 1.0}});
+  EXPECT_DOUBLE_EQ(g.exit_rate(0), 1.0);
+}
+
+TEST(Generator, RejectsNonPositiveRates) {
+  EXPECT_THROW(cc::Generator::build(2, {{0, 1, 0.0}}), cu::ModelError);
+  EXPECT_THROW(cc::Generator::build(2, {{0, 1, -1.0}}), cu::ModelError);
+}
+
+TEST(Generator, DetectsAbsorbingStates) {
+  auto g = cc::Generator::build(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  const auto absorbing = g.absorbing_states();
+  ASSERT_EQ(absorbing.size(), 1u);
+  EXPECT_EQ(absorbing[0], 2u);
+}
+
+namespace {
+
+/// Two-state chain: pi = (mu, lambda) / (lambda + mu).
+cc::Generator two_state(double lambda, double mu) {
+  return cc::Generator::build(2, {{0, 1, lambda}, {1, 0, mu}});
+}
+
+/// M/M/1/K birth-death chain with arrival lambda and service mu.
+cc::Generator mm1k(std::size_t k, double lambda, double mu) {
+  std::vector<cc::RatedTransition> transitions;
+  for (std::size_t i = 0; i < k; ++i) {
+    transitions.push_back({i, i + 1, lambda});
+    transitions.push_back({i + 1, i, mu});
+  }
+  return cc::Generator::build(k + 1, transitions);
+}
+
+std::vector<double> mm1k_exact(std::size_t k, double lambda, double mu) {
+  const double rho = lambda / mu;
+  std::vector<double> pi(k + 1);
+  double sum = 0.0;
+  for (std::size_t i = 0; i <= k; ++i) {
+    pi[i] = std::pow(rho, static_cast<double>(i));
+    sum += pi[i];
+  }
+  for (double& p : pi) p /= sum;
+  return pi;
+}
+
+}  // namespace
+
+class SteadyStateMethods : public ::testing::TestWithParam<cc::Method> {};
+
+TEST_P(SteadyStateMethods, TwoStateClosedForm) {
+  const double lambda = 2.0, mu = 5.0;
+  cc::SolveOptions options;
+  options.method = GetParam();
+  const auto result = cc::steady_state(two_state(lambda, mu), options);
+  ASSERT_EQ(result.distribution.size(), 2u);
+  EXPECT_NEAR(result.distribution[0], mu / (lambda + mu), 1e-9);
+  EXPECT_NEAR(result.distribution[1], lambda / (lambda + mu), 1e-9);
+  EXPECT_EQ(result.method_used, GetParam());
+}
+
+TEST_P(SteadyStateMethods, Mm1kClosedForm) {
+  const std::size_t k = 12;
+  const double lambda = 1.4, mu = 2.0;
+  cc::SolveOptions options;
+  options.method = GetParam();
+  const auto result = cc::steady_state(mm1k(k, lambda, mu), options);
+  const auto exact = mm1k_exact(k, lambda, mu);
+  for (std::size_t i = 0; i <= k; ++i) {
+    EXPECT_NEAR(result.distribution[i], exact[i], 1e-8) << "state " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, SteadyStateMethods,
+                         ::testing::Values(cc::Method::kDenseLU,
+                                           cc::Method::kJacobi,
+                                           cc::Method::kGaussSeidel,
+                                           cc::Method::kSor, cc::Method::kPower),
+                         [](const auto& info) {
+                           return cc::method_name(info.param) == std::string("dense-lu")
+                                      ? "DenseLU"
+                                  : info.param == cc::Method::kJacobi ? "Jacobi"
+                                  : info.param == cc::Method::kGaussSeidel
+                                      ? "GaussSeidel"
+                                  : info.param == cc::Method::kSor ? "Sor"
+                                                                   : "Power";
+                         });
+
+TEST(SteadyState, AutoPicksDenseForSmallChains) {
+  const auto result = cc::steady_state(two_state(1.0, 1.0));
+  EXPECT_EQ(result.method_used, cc::Method::kDenseLU);
+}
+
+TEST(SteadyState, AutoPicksIterativeForLargeChains) {
+  const auto result = cc::steady_state(mm1k(600, 1.0, 2.0));
+  EXPECT_EQ(result.method_used, cc::Method::kGaussSeidel);
+  const auto exact = mm1k_exact(600, 1.0, 2.0);
+  EXPECT_NEAR(result.distribution[0], exact[0], 1e-8);
+}
+
+TEST(SteadyState, SweepsRejectAbsorbingStates) {
+  auto g = cc::Generator::build(2, {{0, 1, 1.0}});
+  cc::SolveOptions options;
+  options.method = cc::Method::kGaussSeidel;
+  EXPECT_THROW(cc::steady_state(g, options), cu::NumericError);
+}
+
+TEST(SteadyState, PowerHandlesAbsorbingChain) {
+  auto g = cc::Generator::build(3, {{0, 1, 1.0}, {1, 2, 2.0}});
+  cc::SolveOptions options;
+  options.method = cc::Method::kPower;
+  const auto result = cc::steady_state(g, options);
+  EXPECT_NEAR(result.distribution[2], 1.0, 1e-8);
+}
+
+TEST(SteadyState, EmptyChainRejected) {
+  cc::Generator empty;
+  EXPECT_THROW(cc::steady_state(empty), cu::NumericError);
+}
+
+TEST(SteadyState, DistributionSumsToOne) {
+  const auto result = cc::steady_state(mm1k(30, 3.0, 2.0));  // unstable rho>1
+  double sum = 0.0;
+  for (double p : result.distribution) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Transient, ConvergesToSteadyState) {
+  const auto g = mm1k(8, 1.0, 2.0);
+  const auto pi = cc::steady_state(g).distribution;
+  const auto result = cc::transient_from_state(g, 0, 200.0);
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    EXPECT_NEAR(result.distribution[i], pi[i], 1e-6);
+  }
+}
+
+TEST(Transient, TimeZeroIsInitial) {
+  const auto g = two_state(1.0, 1.0);
+  const auto result = cc::transient_from_state(g, 1, 0.0);
+  EXPECT_DOUBLE_EQ(result.distribution[1], 1.0);
+}
+
+TEST(Transient, TwoStateClosedForm) {
+  // pi_1(t) = l/(l+m) (1 - exp(-(l+m) t)) starting from state 0.
+  const double l = 2.0, m = 3.0;
+  const auto g = two_state(l, m);
+  for (double t : {0.1, 0.5, 1.0, 2.0}) {
+    const auto result = cc::transient_from_state(g, 0, t);
+    const double expected = l / (l + m) * (1.0 - std::exp(-(l + m) * t));
+    EXPECT_NEAR(result.distribution[1], expected, 1e-8) << "t=" << t;
+  }
+}
+
+TEST(Transient, LargeMeanDoesNotUnderflow) {
+  const auto g = two_state(100.0, 150.0);
+  const auto result = cc::transient_from_state(g, 0, 50.0);  // lambda*t >> 745
+  EXPECT_NEAR(result.distribution[0] + result.distribution[1], 1.0, 1e-9);
+  EXPECT_NEAR(result.distribution[1], 100.0 / 250.0, 1e-6);
+}
+
+TEST(Transient, RejectsBadInputs) {
+  const auto g = two_state(1.0, 1.0);
+  EXPECT_THROW(cc::transient(g, {1.0}, 1.0), cu::NumericError);
+  EXPECT_THROW(cc::transient(g, {1.0, 0.0}, -1.0), cu::NumericError);
+}
+
+TEST(Rewards, ExpectationAndProbability) {
+  const std::vector<double> pi{0.25, 0.5, 0.25};
+  const std::vector<double> reward{0.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(cc::expectation(pi, reward), 2.0);
+  EXPECT_DOUBLE_EQ(
+      cc::probability(pi, [](std::size_t s) { return s != 1; }), 0.5);
+}
+
+TEST(Rewards, ThroughputSumsSourceWeightedRates) {
+  const std::vector<double> pi{0.5, 0.5};
+  const std::vector<cc::RatedTransition> transitions{{0, 1, 4.0}, {1, 0, 2.0}};
+  EXPECT_DOUBLE_EQ(cc::throughput(pi, transitions), 3.0);
+}
+
+TEST(Rewards, FlowBalanceAtSteadyState) {
+  // In steady state the throughput of the forward action equals the
+  // throughput of the backward action in a two-state cycle.
+  const double l = 2.7, m = 0.9;
+  const auto g = two_state(l, m);
+  const auto pi = cc::steady_state(g).distribution;
+  const double forward = cc::throughput(pi, {{0, 1, l}});
+  const double backward = cc::throughput(pi, {{1, 0, m}});
+  EXPECT_NEAR(forward, backward, 1e-10);
+}
+
+TEST(Transient, TighterEpsilonUsesMoreTerms) {
+  const auto g = mm1k(6, 1.0, 2.0);
+  cc::TransientOptions loose, tight;
+  loose.epsilon = 1e-4;
+  tight.epsilon = 1e-12;
+  std::vector<double> initial(g.state_count(), 0.0);
+  initial[0] = 1.0;
+  const auto coarse = cc::transient(g, initial, 3.0, loose);
+  const auto fine = cc::transient(g, initial, 3.0, tight);
+  EXPECT_GT(fine.terms, coarse.terms);
+  for (std::size_t s = 0; s < g.state_count(); ++s) {
+    EXPECT_NEAR(coarse.distribution[s], fine.distribution[s], 1e-3);
+  }
+}

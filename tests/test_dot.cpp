@@ -1,0 +1,139 @@
+// Tests for the GraphViz exports: well-formedness of the generated DOT
+// (balanced braces, escaped labels, expected node/edge inventory) for
+// derivation graphs, net structures, marking graphs and UML diagrams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "choreographer/extract_activity.hpp"
+#include "choreographer/paper_models.hpp"
+#include "choreographer/pipeline.hpp"
+#include "pepa/dot.hpp"
+#include "pepa/parser.hpp"
+#include "pepa/semantics.hpp"
+#include "pepa/statespace.hpp"
+#include "pepanet/net_dot.hpp"
+#include "pepanet/netsemantics.hpp"
+#include "pepanet/netstatespace.hpp"
+#include "uml/dot.hpp"
+
+namespace cp = choreo::pepa;
+namespace cn = choreo::pepanet;
+namespace cm = choreo::uml;
+namespace chor = choreo::chor;
+
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+void expect_wellformed(const std::string& dot) {
+  EXPECT_EQ(dot.substr(0, 7), "digraph");
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+  EXPECT_EQ(dot.back(), '\n');
+  // Every label is closed: quotes come in pairs (escaped ones excluded by
+  // our writers never emitting raw quotes inside labels).
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '"') % 2, 0);
+}
+
+}  // namespace
+
+TEST(Dot, StateSpaceExport) {
+  auto model = cp::parse_model(
+      "On = (off, 2.0).Off; Off = (on, 3.0).On; @system On;");
+  cp::Semantics semantics(model.arena());
+  const auto space = cp::StateSpace::derive(semantics, model.system());
+  const std::string dot = cp::to_dot(model.arena(), space);
+  expect_wellformed(dot);
+  EXPECT_NE(dot.find("s0 -> s1"), std::string::npos);
+  EXPECT_NE(dot.find("off, 2"), std::string::npos);
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);  // initial marked
+  EXPECT_EQ(count_occurrences(dot, " -> "), 2u);
+}
+
+TEST(Dot, StateSpaceOptions) {
+  auto model = cp::parse_model("P = (a, 1.0).P; @system P;");
+  cp::Semantics semantics(model.arena());
+  const auto space = cp::StateSpace::derive(semantics, model.system());
+  cp::DotOptions options;
+  options.term_labels = false;
+  options.rate_labels = false;
+  options.mark_initial = false;
+  const std::string dot = cp::to_dot(model.arena(), space, options);
+  expect_wellformed(dot);
+  EXPECT_EQ(dot.find("style=bold"), std::string::npos);
+  EXPECT_EQ(dot.find(", 1\""), std::string::npos);
+}
+
+TEST(Dot, EscapesSpecialCharacters) {
+  EXPECT_EQ(cp::dot_escape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(Dot, NetStructureExport) {
+  auto extraction = chor::extract_activity_graph(
+      chor::instant_message_model().activity_graphs()[0]);
+  const std::string dot = cn::structure_to_dot(extraction.net);
+  expect_wellformed(dot);
+  EXPECT_EQ(count_occurrences(dot, "shape=ellipse"), 2u);  // two places
+  EXPECT_EQ(count_occurrences(dot, "shape=box"), 2u);      // two firings
+  EXPECT_NE(dot.find("transmit"), std::string::npos);
+  EXPECT_NE(dot.find("prio 1"), std::string::npos);
+}
+
+TEST(Dot, MarkingGraphExport) {
+  auto extraction = chor::extract_activity_graph(
+      chor::instant_message_model().activity_graphs()[0]);
+  cn::NetSemantics semantics(extraction.net);
+  const auto space = cn::NetStateSpace::derive(semantics);
+  const std::string dot = cn::marking_graph_to_dot(extraction.net, space);
+  expect_wellformed(dot);
+  // The m0 node declaration appears exactly once (edges into m0 also
+  // contain "m0 [", hence the leading indent in the needle).
+  EXPECT_EQ(count_occurrences(dot, "\n  m0 ["), 1u);
+  // Firings are bold.
+  EXPECT_GE(count_occurrences(dot, "style=bold"), 2u);
+}
+
+TEST(Dot, ActivityDiagramExport) {
+  cm::Model model = chor::pda_handover_model();
+  chor::analyse(model);  // reflected throughput tags appear in the labels
+  const std::string dot = cm::to_dot(model.activity_graphs()[0]);
+  expect_wellformed(dot);
+  EXPECT_NE(dot.find("<<move>>"), std::string::npos);
+  EXPECT_NE(dot.find("throughput="), std::string::npos);
+  EXPECT_NE(dot.find("atloc=transmitter_1"), std::string::npos);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // object flows
+}
+
+TEST(Dot, StateMachineExport) {
+  cm::Model model = chor::tomcat_model(false);
+  chor::analyse(model);
+  const std::string dot = cm::to_dot(model.state_machines()[0]);
+  expect_wellformed(dot);
+  EXPECT_NE(dot.find("WaitForResponse"), std::string::npos);
+  EXPECT_NE(dot.find("P="), std::string::npos);       // reflected tag
+  EXPECT_NE(dot.find("infty"), std::string::npos);    // passive response
+  EXPECT_NE(dot.find("init -> s0"), std::string::npos);
+}
+
+TEST(Dot, InteractionDiagramExport) {
+  cm::InteractionDiagram diagram("ab");
+  diagram.add_lifeline("Client");
+  diagram.add_lifeline("Server");
+  diagram.add_message("Client", "Server", "request");
+  diagram.add_message("Server", "Client", "response");
+  const std::string dot = cm::to_dot(diagram);
+  expect_wellformed(dot);
+  EXPECT_NE(dot.find("l0 -> l1"), std::string::npos);
+  EXPECT_NE(dot.find("l1 -> l0"), std::string::npos);
+  EXPECT_NE(dot.find("request"), std::string::npos);
+}

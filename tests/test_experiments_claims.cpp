@@ -1,0 +1,126 @@
+// Integration tests pinning the qualitative claims recorded in
+// EXPERIMENTS.md: if a change to the libraries flips one of the paper's
+// reproduced "shapes", these tests fail even though every unit-level
+// behaviour is still locally consistent.
+#include <gtest/gtest.h>
+
+#include "choreographer/extract_activity.hpp"
+#include "choreographer/extract_statechart.hpp"
+#include "choreographer/paper_models.hpp"
+#include "choreographer/pipeline.hpp"
+#include "ctmc/labelled_lumping.hpp"
+#include "ctmc/steady_state.hpp"
+#include "pepa/aggregate.hpp"
+#include "pepa/semantics.hpp"
+#include "pepa/statespace.hpp"
+#include "pepanet/netsemantics.hpp"
+#include "pepanet/netstatespace.hpp"
+
+namespace chor = choreo::chor;
+namespace cp = choreo::pepa;
+namespace cn = choreo::pepanet;
+namespace cc = choreo::ctmc;
+
+namespace {
+
+double pda_throughput(const chor::PdaParams& params, const char* action) {
+  choreo::uml::Model model = chor::pda_handover_model(params);
+  const auto report = chor::analyse(model);
+  for (const auto& [name, value] : report.activity_graphs[0].throughputs) {
+    if (name == action) return value;
+  }
+  return 0.0;
+}
+
+double tomcat_response(bool cached, std::size_t clients) {
+  chor::TomcatParams params;
+  params.clients = clients;
+  choreo::uml::Model model = chor::tomcat_model(cached, params);
+  const auto report = chor::analyse(model);
+  for (const auto& [name, value] : report.state_machines.at(0).throughputs) {
+    if (name == "response") return value;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+TEST(ExperimentsClaims, E2_TransmitThroughputSaturates) {
+  // Monotone increasing in the transmit rate, with diminishing returns.
+  std::vector<double> series;
+  for (double rate : {0.1, 0.35, 0.7, 2.8, 11.2}) {
+    chor::InstantMessageParams params;
+    params.transmit_rate = rate;
+    choreo::uml::Model model = chor::instant_message_model(params);
+    auto extraction = chor::extract_activity_graph(model.activity_graphs()[0]);
+    cn::NetSemantics semantics(extraction.net);
+    const auto space = cn::NetStateSpace::derive(semantics);
+    const auto pi = cc::steady_state(space.generator()).distribution;
+    series.push_back(cn::action_throughput(
+        space, pi, *extraction.net.arena().find_action("transmit")));
+  }
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i], series[i - 1]);
+  }
+  // Diminishing returns: the last doubling gains less than the first.
+  EXPECT_LT(series[4] - series[3], series[1] - series[0]);
+}
+
+TEST(ExperimentsClaims, E3_HandoverRateThrottlesEverything) {
+  chor::PdaParams slow, fast;
+  slow.handover_rate = 0.125;
+  fast.handover_rate = 8.0;
+  EXPECT_LT(pda_throughput(slow, "download_file_1") * 3,
+            pda_throughput(fast, "download_file_1"));
+  // And the 50/50 claim at every sweep point.
+  for (double rate : {0.125, 1.0, 8.0}) {
+    chor::PdaParams params;
+    params.handover_rate = rate;
+    EXPECT_NEAR(pda_throughput(params, "continue_download_1"),
+                pda_throughput(params, "abort_download_1"), 1e-10);
+  }
+}
+
+TEST(ExperimentsClaims, E4_CacheWinsAndTheGapWidensWithLoad) {
+  const double factor1 = tomcat_response(true, 1) / tomcat_response(false, 1);
+  const double factor4 = tomcat_response(true, 4) / tomcat_response(false, 4);
+  EXPECT_GT(factor1, 3.0);   // "very profitable"
+  EXPECT_GT(factor4, factor1);  // saturation widens the gap
+  // The uncached server saturates: throughput barely moves from 2 to 6.
+  EXPECT_LT(tomcat_response(false, 6) / tomcat_response(false, 2), 1.1);
+}
+
+TEST(ExperimentsClaims, E6_StateSpaceGrowsCombinatorially) {
+  auto states_for = [](std::size_t clients) {
+    chor::TomcatParams params;
+    params.clients = clients;
+    auto extraction =
+        chor::extract_state_machines(chor::tomcat_model(false, params));
+    cp::Semantics semantics(extraction.model.arena());
+    return cp::StateSpace::derive(semantics, extraction.model.system())
+        .state_count();
+  };
+  const auto s2 = states_for(2), s4 = states_for(4), s6 = states_for(6);
+  // Super-linear growth: each +2 clients multiplies the space by > 4.
+  EXPECT_GT(s4, 4 * s2);
+  EXPECT_GT(s6, 4 * s4);
+}
+
+TEST(ExperimentsClaims, E8_QuotientGrowsLinearlyWhileFullExplodes) {
+  auto sizes_for = [](std::size_t clients) {
+    chor::TomcatParams params;
+    params.clients = clients;
+    auto extraction =
+        chor::extract_state_machines(chor::tomcat_model(false, params));
+    cp::Semantics semantics(extraction.model.arena());
+    const auto space =
+        cp::StateSpace::derive(semantics, extraction.model.system());
+    const auto lumping = cp::aggregate(space);
+    return std::make_pair(space.state_count(), lumping.block_count);
+  };
+  const auto [full3, blocks3] = sizes_for(3);
+  const auto [full6, blocks6] = sizes_for(6);
+  EXPECT_GT(full6, 10 * full3);          // combinatorial
+  EXPECT_LT(blocks6, 3 * blocks3);       // ~linear (population vector)
+  EXPECT_LT(blocks6, full6 / 10);        // the quotient is much smaller
+}

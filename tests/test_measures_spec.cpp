@@ -1,0 +1,109 @@
+// Tests for the .measures specification language and its evaluators.
+#include <gtest/gtest.h>
+
+#include "choreographer/extract_activity.hpp"
+#include "choreographer/measures_spec.hpp"
+#include "choreographer/paper_models.hpp"
+#include "ctmc/steady_state.hpp"
+#include "pepa/parser.hpp"
+#include "pepa/semantics.hpp"
+#include "pepa/statespace.hpp"
+#include "pepanet/netsemantics.hpp"
+#include "pepanet/netstatespace.hpp"
+#include "util/error.hpp"
+
+namespace chor = choreo::chor;
+namespace cp = choreo::pepa;
+namespace cn = choreo::pepanet;
+namespace cc = choreo::ctmc;
+namespace cu = choreo::util;
+
+TEST(MeasuresSpec, ParsesAllKinds) {
+  const auto specs = chor::parse_measures(R"(
+    // what we want to know
+    throughput  transmit;
+    probability InStream;
+    population  Busy;
+    occupancy   p2;
+    mean_tokens p1
+    # trailing semicolons optional, comments in all styles
+  )");
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].kind, chor::MeasureSpec::Kind::kThroughput);
+  EXPECT_EQ(specs[0].name, "transmit");
+  EXPECT_EQ(specs[4].kind, chor::MeasureSpec::Kind::kMeanTokens);
+  EXPECT_EQ(specs[1].to_string(), "probability InStream");
+}
+
+TEST(MeasuresSpec, ParseErrors) {
+  EXPECT_THROW(chor::parse_measures("frequency x;"), cu::ParseError);
+  EXPECT_THROW(chor::parse_measures("throughput;"), cu::ParseError);
+  EXPECT_THROW(chor::parse_measures("throughput a b;"), cu::ParseError);
+  EXPECT_THROW(chor::parse_measures("throughput 9bad;"), cu::ParseError);
+}
+
+TEST(MeasuresSpec, EvaluatesOnPepaModel) {
+  auto model = cp::parse_model(R"(
+    File      = (openread, 2.0).InStream + (openwrite, 2.0).OutStream;
+    InStream  = (read, 1.8).InStream + (close, 3.0).File;
+    OutStream = (write, 1.2).OutStream + (close, 3.0).File;
+    @system File;
+  )");
+  cp::Semantics semantics(model.arena());
+  const auto space = cp::StateSpace::derive(semantics, model.system());
+  const auto pi = cc::steady_state(space.generator()).distribution;
+  const auto values = chor::evaluate_measures(
+      chor::parse_measures("throughput read;\nprobability InStream;\n"
+                           "population File;\noccupancy p2;\n"
+                           "throughput unknown_action;"),
+      model.arena(), space, pi);
+  ASSERT_EQ(values.size(), 5u);
+  EXPECT_TRUE(values[0].supported);
+  EXPECT_NEAR(values[0].value, 0.5142857142857143, 1e-12);
+  EXPECT_TRUE(values[1].supported);
+  EXPECT_NEAR(values[1].value, 2.0 / 7.0, 1e-12);
+  EXPECT_TRUE(values[2].supported);
+  EXPECT_NEAR(values[2].value, 3.0 / 7.0, 1e-12);
+  EXPECT_FALSE(values[3].supported);  // place measure on a plain model
+  EXPECT_FALSE(values[4].supported);  // unknown action
+  EXPECT_FALSE(values[4].note.empty());
+}
+
+TEST(MeasuresSpec, EvaluatesOnPepaNet) {
+  auto extraction = chor::extract_activity_graph(
+      chor::instant_message_model().activity_graphs()[0]);
+  cn::NetSemantics semantics(extraction.net);
+  const auto space = cn::NetStateSpace::derive(semantics);
+  const auto pi = cc::steady_state(space.generator()).distribution;
+  const auto values = chor::evaluate_measures(
+      chor::parse_measures("throughput transmit;\noccupancy p2;\n"
+                           "mean_tokens p1;\noccupancy nowhere;\n"
+                           "population f_write;"),
+      extraction.net, space, pi);
+  ASSERT_EQ(values.size(), 5u);
+  EXPECT_TRUE(values[0].supported);
+  EXPECT_GT(values[0].value, 0.0);
+  EXPECT_TRUE(values[1].supported);
+  EXPECT_TRUE(values[2].supported);
+  // Exactly one token: occupancy p1 + occupancy p2 = 1.
+  EXPECT_NEAR(values[1].value + values[2].value, 1.0, 1e-10);
+  EXPECT_FALSE(values[3].supported);  // unknown place
+  EXPECT_FALSE(values[4].supported);  // population on a net
+}
+
+TEST(MeasuresSpec, NetDerivativeProbability) {
+  auto extraction = chor::extract_activity_graph(
+      chor::instant_message_model().activity_graphs()[0]);
+  cn::NetSemantics semantics(extraction.net);
+  const auto space = cn::NetStateSpace::derive(semantics);
+  const auto pi = cc::steady_state(space.generator()).distribution;
+  // The token is always in exactly one named derivative; sum of the
+  // probability measures over all token constants is 1.
+  double total = 0.0;
+  for (cp::ConstantId id = 0; id < extraction.net.arena().constant_count();
+       ++id) {
+    total += cn::derivative_probability_by_constant(extraction.net, space, pi,
+                                                    id);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}

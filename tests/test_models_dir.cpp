@@ -1,0 +1,93 @@
+// Validates every model file shipped in models/: each must parse, derive a
+// deadlock-free state space, and solve; the Tomcat pair must reproduce the
+// optimisation factor of the extracted pipeline (cross-checking the
+// hand-written PEPA encoding against the UML extraction path).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "choreographer/paper_models.hpp"
+#include "choreographer/pipeline.hpp"
+#include "ctmc/steady_state.hpp"
+#include "pepa/measures.hpp"
+#include "pepa/parser.hpp"
+#include "pepa/semantics.hpp"
+#include "pepa/statespace.hpp"
+#include "pepanet/net_parser.hpp"
+#include "pepanet/netsemantics.hpp"
+#include "pepanet/netstatespace.hpp"
+#include "uml/xmi.hpp"
+#include "xml/parse.hpp"
+
+#ifndef CHOREO_MODELS_DIR
+#error "CHOREO_MODELS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+const std::string kModels = CHOREO_MODELS_DIR;
+
+double pepa_throughput(const std::string& path, const char* action) {
+  auto model = choreo::pepa::parse_model_file(path);
+  choreo::pepa::Semantics semantics(model.arena());
+  const auto space =
+      choreo::pepa::StateSpace::derive(semantics, model.system());
+  EXPECT_TRUE(space.deadlock_states().empty()) << path;
+  const auto solved = choreo::ctmc::steady_state(space.generator());
+  return choreo::pepa::action_throughput(space, solved.distribution,
+                                         *model.arena().find_action(action));
+}
+
+}  // namespace
+
+TEST(ModelsDir, FilePepaSolves) {
+  const double read = pepa_throughput(kModels + "/file.pepa", "read");
+  EXPECT_NEAR(read, 0.5142857142857143, 1e-12);
+}
+
+TEST(ModelsDir, InstantMessagePepanetSolves) {
+  auto parsed =
+      choreo::pepanet::parse_net_file(kModels + "/instant_message.pepanet");
+  choreo::pepanet::NetSemantics semantics(parsed.net);
+  const auto space = choreo::pepanet::NetStateSpace::derive(semantics);
+  EXPECT_TRUE(space.deadlock_markings().empty());
+  EXPECT_EQ(space.marking_count(), 6u);
+  const auto solved = choreo::ctmc::steady_state(space.generator());
+  const double transmit = choreo::pepanet::action_throughput(
+      space, solved.distribution, *parsed.net.arena().find_action("transmit"));
+  EXPECT_GT(transmit, 0.0);
+  EXPECT_LT(transmit, 0.7);
+}
+
+TEST(ModelsDir, TomcatPairReproducesExtractedPipeline) {
+  // The hand-written PEPA encodings must agree with the extraction path
+  // from the UML models, to the last digit.
+  const double uncached = pepa_throughput(kModels + "/tomcat.pepa", "response");
+  const double cached =
+      pepa_throughput(kModels + "/tomcat_cached.pepa", "response");
+
+  auto extracted = [](bool use_cache) {
+    choreo::uml::Model model = choreo::chor::tomcat_model(use_cache);
+    const auto report = choreo::chor::analyse(model);
+    for (const auto& [action, value] : report.state_machines.at(0).throughputs) {
+      if (action == "response") return value;
+    }
+    return 0.0;
+  };
+  EXPECT_NEAR(uncached, extracted(false), 1e-12);
+  EXPECT_NEAR(cached, extracted(true), 1e-12);
+  EXPECT_GT(cached / uncached, 3.0);
+}
+
+TEST(ModelsDir, PdaProjectAnalysesEndToEnd) {
+  const auto report = choreo::chor::analyse_project_file(
+      kModels + "/pda_handover.xmi", testing::TempDir() + "/pda_models_out.xmi");
+  ASSERT_EQ(report.activity_graphs.size(), 1u);
+  EXPECT_EQ(report.activity_graphs[0].marking_count, 10u);
+}
+
+TEST(ModelsDir, RatesFileParses) {
+  const auto rates = choreo::chor::parse_rates_file(kModels + "/pda.rates");
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0].second, 0.2);
+}

@@ -1,0 +1,113 @@
+// Unit tests for the hash-consed PEPA term arena.
+#include <gtest/gtest.h>
+
+#include "pepa/ast.hpp"
+#include "pepa/printer.hpp"
+#include "util/error.hpp"
+
+namespace cp = choreo::pepa;
+namespace cu = choreo::util;
+
+namespace {
+struct Arena : ::testing::Test {
+  cp::ProcessArena arena;
+};
+}  // namespace
+
+TEST_F(Arena, ActionInterning) {
+  const auto a = arena.action("read");
+  EXPECT_EQ(arena.action("read"), a);
+  EXPECT_NE(arena.action("write"), a);
+  EXPECT_EQ(arena.action_name(a), "read");
+  EXPECT_EQ(arena.action("tau"), cp::kTau);
+  EXPECT_FALSE(arena.find_action("nothere").has_value());
+}
+
+TEST_F(Arena, HashConsingPrefix) {
+  const auto stop = arena.stop();
+  const auto a = arena.action("a");
+  const auto p1 = arena.prefix(a, cp::Rate::active(1.0), stop);
+  const auto p2 = arena.prefix(a, cp::Rate::active(1.0), stop);
+  const auto p3 = arena.prefix(a, cp::Rate::active(2.0), stop);
+  const auto p4 = arena.prefix(a, cp::Rate::passive(1.0), stop);
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1, p3);
+  EXPECT_NE(p1, p4);
+}
+
+TEST_F(Arena, HashConsingCooperationSetsNormalised) {
+  const auto stop = arena.stop();
+  const auto a = arena.action("a"), b = arena.action("b");
+  const auto c1 = arena.cooperation(stop, {a, b}, stop);
+  const auto c2 = arena.cooperation(stop, {b, a, a}, stop);
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(arena.cooperation(stop, {a}, stop), c1);
+}
+
+TEST_F(Arena, TauForbiddenInSets) {
+  const auto stop = arena.stop();
+  EXPECT_THROW(arena.cooperation(stop, {cp::kTau}, stop), cu::ModelError);
+  EXPECT_THROW(arena.hiding(stop, {cp::kTau}), cu::ModelError);
+}
+
+TEST_F(Arena, ConstantsDeclareDefine) {
+  const auto id = arena.declare("File");
+  EXPECT_EQ(arena.declare("File"), id);
+  EXPECT_FALSE(arena.is_defined(id));
+  EXPECT_THROW(arena.body(id), cu::ModelError);
+  arena.define(id, arena.stop());
+  EXPECT_TRUE(arena.is_defined(id));
+  EXPECT_EQ(arena.body(id), arena.stop());
+  EXPECT_THROW(arena.define(id, arena.stop()), cu::ModelError);
+  EXPECT_EQ(arena.constant("File"), arena.constant(id));
+}
+
+TEST_F(Arena, PrefixRejectsZeroRate) {
+  EXPECT_THROW(arena.prefix(arena.action("a"), cp::Rate(), arena.stop()),
+               cu::ModelError);
+}
+
+TEST_F(Arena, SetOperations) {
+  const cp::ActionId a = 1, b = 2, c = 3;
+  EXPECT_TRUE(cp::set_contains({a, b}, a));
+  EXPECT_FALSE(cp::set_contains({a, b}, c));
+  EXPECT_EQ(cp::set_union({a, c}, {b, c}), (std::vector<cp::ActionId>{a, b, c}));
+  EXPECT_EQ(cp::set_intersection({a, b}, {b, c}), std::vector<cp::ActionId>{b});
+}
+
+TEST_F(Arena, AlphabetThroughConstantsAndHiding) {
+  const auto a = arena.action("a"), b = arena.action("b"), h = arena.action("h");
+  const auto x = arena.declare("X");
+  // X = (a, 1).(h, 1).X
+  arena.define(
+      x, arena.prefix(a, cp::Rate::active(1.0),
+                      arena.prefix(h, cp::Rate::active(1.0), arena.constant(x))));
+  const auto term = arena.cooperation(
+      arena.hiding(arena.constant(x), {h}),
+      {}, arena.prefix(b, cp::Rate::active(1.0), arena.stop()));
+  const auto alpha = cp::alphabet(arena, term);
+  EXPECT_EQ(alpha, (std::vector<cp::ActionId>{a, b}));  // h hidden, tau excluded
+}
+
+TEST_F(Arena, AlphabetOfRecursiveConstantTerminates) {
+  const auto a = arena.action("a");
+  const auto x = arena.declare("Loop");
+  arena.define(x, arena.prefix(a, cp::Rate::active(1.0), arena.constant(x)));
+  EXPECT_EQ(cp::alphabet(arena, arena.constant(x)),
+            std::vector<cp::ActionId>{a});
+}
+
+TEST_F(Arena, PrinterPrecedence) {
+  const auto a = arena.action("a"), b = arena.action("b");
+  const auto stop = arena.stop();
+  const auto p = arena.prefix(a, cp::Rate::active(1.0), stop);
+  const auto q = arena.prefix(b, cp::Rate::passive(1.0), stop);
+  EXPECT_EQ(cp::to_string(arena, arena.choice(p, q)),
+            "(a, 1).Stop + (b, infty).Stop");
+  EXPECT_EQ(cp::to_string(arena, arena.cooperation(p, {a}, q)),
+            "(a, 1).Stop <a> (b, infty).Stop");
+  EXPECT_EQ(cp::to_string(arena, arena.cooperation(arena.choice(p, q), {}, stop)),
+            "((a, 1).Stop + (b, infty).Stop) || Stop");
+  EXPECT_EQ(cp::to_string(arena, arena.hiding(arena.constant("X"), {a, b})),
+            "X/{a, b}");
+}

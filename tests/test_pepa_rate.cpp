@@ -1,0 +1,112 @@
+// Unit tests for the PEPA rate algebra (active / weighted-passive).
+#include <gtest/gtest.h>
+
+#include "pepa/rate.hpp"
+#include "util/error.hpp"
+
+namespace cp = choreo::pepa;
+namespace cu = choreo::util;
+
+TEST(Rate, ActiveConstruction) {
+  const auto r = cp::Rate::active(2.5);
+  EXPECT_TRUE(r.is_active());
+  EXPECT_FALSE(r.is_passive());
+  EXPECT_DOUBLE_EQ(r.value(), 2.5);
+  EXPECT_EQ(r.to_string(), "2.5");
+}
+
+TEST(Rate, PassiveConstruction) {
+  const auto top = cp::Rate::passive();
+  EXPECT_TRUE(top.is_passive());
+  EXPECT_DOUBLE_EQ(top.value(), 1.0);
+  EXPECT_EQ(top.to_string(), "infty");
+  EXPECT_EQ(cp::Rate::passive(2.0).to_string(), "2*infty");
+}
+
+TEST(Rate, RejectsNonPositive) {
+  EXPECT_THROW(cp::Rate::active(0.0), cu::ModelError);
+  EXPECT_THROW(cp::Rate::active(-1.0), cu::ModelError);
+  EXPECT_THROW(cp::Rate::active(std::numeric_limits<double>::infinity()),
+               cu::ModelError);
+  EXPECT_THROW(cp::Rate::passive(0.0), cu::ModelError);
+}
+
+TEST(Rate, ZeroPlaceholderActsAsIdentity) {
+  const cp::Rate zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.plus(cp::Rate::active(3.0)).value(), 3.0);
+  EXPECT_EQ(cp::Rate::passive(2.0).plus(zero).to_string(), "2*infty");
+}
+
+TEST(Rate, SameKindAddition) {
+  EXPECT_DOUBLE_EQ(cp::Rate::active(1.0).plus(cp::Rate::active(2.0)).value(), 3.0);
+  const auto p = cp::Rate::passive(1.0).plus(cp::Rate::passive(2.5));
+  EXPECT_TRUE(p.is_passive());
+  EXPECT_DOUBLE_EQ(p.value(), 3.5);
+}
+
+TEST(Rate, MixedAdditionIsModelError) {
+  EXPECT_THROW(cp::Rate::active(1.0).plus(cp::Rate::passive(), "read"),
+               cu::ModelError);
+}
+
+TEST(Rate, MinOrdering) {
+  // Every active rate is below every passive one.
+  EXPECT_DOUBLE_EQ(
+      cp::Rate::min(cp::Rate::active(5.0), cp::Rate::passive(1.0)).value(), 5.0);
+  EXPECT_TRUE(cp::Rate::min(cp::Rate::active(5.0), cp::Rate::passive(1.0))
+                  .is_active());
+  EXPECT_DOUBLE_EQ(
+      cp::Rate::min(cp::Rate::active(5.0), cp::Rate::active(2.0)).value(), 2.0);
+  const auto pp = cp::Rate::min(cp::Rate::passive(3.0), cp::Rate::passive(2.0));
+  EXPECT_TRUE(pp.is_passive());
+  EXPECT_DOUBLE_EQ(pp.value(), 2.0);
+}
+
+TEST(Rate, CooperationBothActiveTakesMinOfApparent) {
+  // Single activity on each side: R = min(r1, r2).
+  const auto r = cp::cooperation_rate(cp::Rate::active(2.0), cp::Rate::active(2.0),
+                                      cp::Rate::active(5.0), cp::Rate::active(5.0));
+  EXPECT_TRUE(r.is_active());
+  EXPECT_DOUBLE_EQ(r.value(), 2.0);
+}
+
+TEST(Rate, CooperationActivePassiveTakesActiveRate) {
+  const auto r =
+      cp::cooperation_rate(cp::Rate::active(3.0), cp::Rate::active(3.0),
+                           cp::Rate::passive(1.0), cp::Rate::passive(1.0));
+  EXPECT_TRUE(r.is_active());
+  EXPECT_DOUBLE_EQ(r.value(), 3.0);
+}
+
+TEST(Rate, CooperationSplitsByWeights) {
+  // Passive side offers two alternatives with weights 1 and 3; the chosen
+  // one (weight 1) gets a quarter of the active capacity.
+  const auto r =
+      cp::cooperation_rate(cp::Rate::active(8.0), cp::Rate::active(8.0),
+                           cp::Rate::passive(1.0), cp::Rate::passive(4.0));
+  EXPECT_DOUBLE_EQ(r.value(), 2.0);
+}
+
+TEST(Rate, CooperationBothPassiveStaysPassive) {
+  const auto r =
+      cp::cooperation_rate(cp::Rate::passive(1.0), cp::Rate::passive(2.0),
+                           cp::Rate::passive(3.0), cp::Rate::passive(3.0));
+  EXPECT_TRUE(r.is_passive());
+  EXPECT_DOUBLE_EQ(r.value(), 0.5 * 1.0 * 2.0);
+}
+
+TEST(Rate, CooperationApparentRateLaw) {
+  // Two activities of rate r on the left (apparent 2r) against one of rate
+  // s < 2r on the right: each pair gets (r/2r) * s = s/2, totalling s.
+  const auto pair_rate =
+      cp::cooperation_rate(cp::Rate::active(3.0), cp::Rate::active(6.0),
+                           cp::Rate::active(4.0), cp::Rate::active(4.0));
+  EXPECT_DOUBLE_EQ(pair_rate.value(), 2.0);
+}
+
+TEST(Rate, EqualityComparesKindAndValue) {
+  EXPECT_EQ(cp::Rate::active(2.0), cp::Rate::active(2.0));
+  EXPECT_FALSE(cp::Rate::active(2.0) == cp::Rate::passive(2.0));
+  EXPECT_FALSE(cp::Rate::active(2.0) == cp::Rate::active(3.0));
+}

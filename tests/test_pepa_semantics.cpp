@@ -1,0 +1,216 @@
+// Unit tests for the PEPA structured operational semantics: apparent rates
+// and one-step derivatives, including the cooperation apparent-rate law.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pepa/parser.hpp"
+#include "pepa/printer.hpp"
+#include "pepa/semantics.hpp"
+#include "util/error.hpp"
+
+namespace cp = choreo::pepa;
+namespace cu = choreo::util;
+
+namespace {
+
+/// Total rate of derivatives of `term` carrying `action`.
+double total_rate(cp::Semantics& semantics, cp::ProcessId term,
+                  const std::string& action) {
+  const auto id = semantics.arena().find_action(action);
+  if (!id) return 0.0;
+  double sum = 0.0;
+  for (const auto& d : semantics.derivatives(term)) {
+    if (d.action == *id) sum += d.rate.value();
+  }
+  return sum;
+}
+
+std::size_t count_moves(cp::Semantics& semantics, cp::ProcessId term,
+                        const std::string& action) {
+  const auto id = semantics.arena().find_action(action);
+  if (!id) return 0;
+  return static_cast<std::size_t>(std::count_if(
+      semantics.derivatives(term).begin(), semantics.derivatives(term).end(),
+      [&](const cp::Derivative& d) { return d.action == *id; }));
+}
+
+}  // namespace
+
+TEST(Semantics, PrefixHasSingleDerivative) {
+  auto model = cp::parse_model("P = (a, 2.0).Stop;");
+  cp::Semantics semantics(model.arena());
+  const auto& moves = semantics.derivatives(model.term("P"));
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_DOUBLE_EQ(moves[0].rate.value(), 2.0);
+  EXPECT_EQ(semantics.arena().node(moves[0].target).op, cp::Op::kStop);
+}
+
+TEST(Semantics, ChoiceOffersBothBranches) {
+  auto model = cp::parse_model("P = (a, 1.0).Stop + (b, 2.0).Stop;");
+  cp::Semantics semantics(model.arena());
+  EXPECT_EQ(semantics.derivatives(model.term("P")).size(), 2u);
+  EXPECT_DOUBLE_EQ(total_rate(semantics, model.term("P"), "a"), 1.0);
+  EXPECT_DOUBLE_EQ(total_rate(semantics, model.term("P"), "b"), 2.0);
+}
+
+TEST(Semantics, ChoiceMultiplicityPreserved) {
+  // Two syntactic copies of the same activity double the apparent rate.
+  auto model = cp::parse_model("P = (a, 1.5).Stop + (a, 1.5).Stop;");
+  cp::Semantics semantics(model.arena());
+  EXPECT_EQ(count_moves(semantics, model.term("P"), "a"), 2u);
+  const auto a = *model.arena().find_action("a");
+  EXPECT_DOUBLE_EQ(semantics.apparent_rate(model.term("P"), a).value(), 3.0);
+}
+
+TEST(Semantics, ApparentRateOfFileModel) {
+  auto model = cp::parse_model(R"(
+    File      = (openread, 2.0).InStream + (openwrite, 4.0).OutStream;
+    InStream  = (read, 1.8).InStream + (close, 3.0).File;
+    OutStream = (write, 1.2).OutStream + (close, 3.0).File;
+  )");
+  cp::Semantics semantics(model.arena());
+  const auto file = model.term("File");
+  EXPECT_DOUBLE_EQ(
+      semantics.apparent_rate(file, *model.arena().find_action("openread")).value(),
+      2.0);
+  EXPECT_TRUE(
+      semantics.apparent_rate(file, *model.arena().find_action("read")).is_zero());
+}
+
+TEST(Semantics, IndependentInterleaving) {
+  auto model = cp::parse_model("P = (a, 1.0).Stop; S = P || P;");
+  cp::Semantics semantics(model.arena());
+  const auto& moves = semantics.derivatives(model.term("S"));
+  // Both components move independently.
+  ASSERT_EQ(moves.size(), 2u);
+  EXPECT_DOUBLE_EQ(total_rate(semantics, model.term("S"), "a"), 2.0);
+}
+
+TEST(Semantics, SynchronisedActionUsesMin) {
+  auto model = cp::parse_model(R"(
+    P = (a, 2.0).Stop;
+    Q = (a, 5.0).Stop;
+    S = P <a> Q;
+  )");
+  cp::Semantics semantics(model.arena());
+  const auto& moves = semantics.derivatives(model.term("S"));
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_DOUBLE_EQ(moves[0].rate.value(), 2.0);
+}
+
+TEST(Semantics, SynchronisationBlocksLoneParticipant) {
+  auto model = cp::parse_model(R"(
+    P = (a, 2.0).Stop;
+    S = P <a> Stop;
+  )");
+  cp::Semantics semantics(model.arena());
+  EXPECT_TRUE(semantics.derivatives(model.term("S")).empty());
+}
+
+TEST(Semantics, PassiveTakesActivePartnerRate) {
+  auto model = cp::parse_model(R"(
+    P = (a, 3.0).Stop;
+    Q = (a, infty).Stop;
+    S = P <a> Q;
+  )");
+  cp::Semantics semantics(model.arena());
+  const auto& moves = semantics.derivatives(model.term("S"));
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_TRUE(moves[0].rate.is_active());
+  EXPECT_DOUBLE_EQ(moves[0].rate.value(), 3.0);
+}
+
+TEST(Semantics, WeightedPassiveSplitsProportionally) {
+  auto model = cp::parse_model(R"(
+    P = (a, 6.0).Stop;
+    Q = (a, infty).Q1 + (a, 2 * infty).Q2;
+    Q1 = (b, 1.0).Q1;
+    Q2 = (c, 1.0).Q2;
+    S = P <a> Q;
+  )");
+  cp::Semantics semantics(model.arena());
+  const auto& moves = semantics.derivatives(model.term("S"));
+  ASSERT_EQ(moves.size(), 2u);
+  // Weight-1 branch gets 1/3 of 6.0; weight-2 branch gets 2/3.
+  double low = std::min(moves[0].rate.value(), moves[1].rate.value());
+  double high = std::max(moves[0].rate.value(), moves[1].rate.value());
+  EXPECT_DOUBLE_EQ(low, 2.0);
+  EXPECT_DOUBLE_EQ(high, 4.0);
+}
+
+TEST(Semantics, CooperationApparentRateLaw) {
+  // Left offers 'a' twice (rates 3, 3 -> apparent 6); right offers once
+  // (rate 4).  Each pair runs at (3/6)*(4/4)*min(6,4) = 2, total 4.
+  auto model = cp::parse_model(R"(
+    P = (a, 3.0).P1 + (a, 3.0).P2;
+    P1 = (x, 1.0).P1;
+    P2 = (y, 1.0).P2;
+    Q = (a, 4.0).Q;
+    S = P <a> Q;
+  )");
+  cp::Semantics semantics(model.arena());
+  const auto& moves = semantics.derivatives(model.term("S"));
+  ASSERT_EQ(moves.size(), 2u);
+  EXPECT_DOUBLE_EQ(moves[0].rate.value(), 2.0);
+  EXPECT_DOUBLE_EQ(moves[1].rate.value(), 2.0);
+  const auto a = *model.arena().find_action("a");
+  EXPECT_DOUBLE_EQ(semantics.apparent_rate(model.term("S"), a).value(), 4.0);
+}
+
+TEST(Semantics, HidingRenamesToTau) {
+  auto model = cp::parse_model("P = (a, 2.0).(b, 1.0).P; S = P/{a};");
+  cp::Semantics semantics(model.arena());
+  const auto& moves = semantics.derivatives(model.term("S"));
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].action, cp::kTau);
+  EXPECT_DOUBLE_EQ(moves[0].rate.value(), 2.0);
+  // The hidden action's own apparent rate vanishes; tau carries it.
+  const auto a = *model.arena().find_action("a");
+  EXPECT_TRUE(semantics.apparent_rate(model.term("S"), a).is_zero());
+  EXPECT_DOUBLE_EQ(semantics.apparent_rate(model.term("S"), cp::kTau).value(), 2.0);
+}
+
+TEST(Semantics, HidingPersistsThroughDerivation) {
+  auto model = cp::parse_model("P = (a, 2.0).(b, 1.0).P; S = P/{b};");
+  cp::Semantics semantics(model.arena());
+  const auto& first = semantics.derivatives(model.term("S"));
+  ASSERT_EQ(first.size(), 1u);
+  const auto& second = semantics.derivatives(first[0].target);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].action, cp::kTau);  // b is still hidden after a step
+}
+
+TEST(Semantics, UnguardedRecursionDetected) {
+  auto model = cp::parse_model("P = P + (a, 1.0).P;");
+  cp::Semantics semantics(model.arena());
+  EXPECT_THROW(semantics.derivatives(model.term("P")), cu::ModelError);
+}
+
+TEST(Semantics, MutualUnguardedRecursionDetected) {
+  auto model = cp::parse_model("P = Q; Q = P;");
+  cp::Semantics semantics(model.arena());
+  EXPECT_THROW(semantics.derivatives(model.term("P")), cu::ModelError);
+}
+
+TEST(Semantics, MixedActivePassiveApparentRateRejected) {
+  auto model = cp::parse_model("P = (a, 1.0).Stop + (a, infty).Stop; Q = (a, 1.0).Stop; S = P <a> Q;");
+  cp::Semantics semantics(model.arena());
+  EXPECT_THROW(semantics.derivatives(model.term("S")), cu::ModelError);
+}
+
+TEST(Semantics, InstantMessagePepaComponent) {
+  // The paper's InstantMessage = (transmit, r_t).File token.
+  auto model = cp::parse_model(R"(
+    r_t = 0.7;
+    File      = (openread, 2.0).InStream + (openwrite, 2.0).OutStream;
+    InStream  = (read, 1.8).InStream + (close, 3.0).File;
+    OutStream = (write, 1.2).OutStream + (close, 3.0).File;
+    InstantMessage = (transmit, r_t).File;
+  )");
+  cp::Semantics semantics(model.arena());
+  const auto& moves = semantics.derivatives(model.term("InstantMessage"));
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_DOUBLE_EQ(moves[0].rate.value(), 0.7);
+  EXPECT_EQ(moves[0].target, model.term("File"));
+}

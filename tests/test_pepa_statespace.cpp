@@ -1,0 +1,233 @@
+// Integration tests: state-space derivation -> CTMC -> steady state ->
+// measures, including the paper's File protocol properties (Section 2.2)
+// and the client/server state-diagram measures (Section 5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc/steady_state.hpp"
+#include "pepa/measures.hpp"
+#include "pepa/parser.hpp"
+#include "pepa/printer.hpp"
+#include "pepa/statespace.hpp"
+#include "util/error.hpp"
+
+namespace cp = choreo::pepa;
+namespace cc = choreo::ctmc;
+namespace cu = choreo::util;
+
+namespace {
+
+std::vector<double> solve(const cp::StateSpace& space) {
+  return cc::steady_state(space.generator()).distribution;
+}
+
+}  // namespace
+
+TEST(StateSpace, TwoStateToggleMatchesClosedForm) {
+  auto model = cp::parse_model("On = (off, 2.0).Off; Off = (on, 3.0).On; @system On;");
+  cp::Semantics semantics(model.arena());
+  const auto space = cp::StateSpace::derive(semantics, model.system());
+  ASSERT_EQ(space.state_count(), 2u);
+  const auto pi = solve(space);
+  EXPECT_NEAR(pi[0], 3.0 / 5.0, 1e-10);  // On
+  EXPECT_NEAR(pi[1], 2.0 / 5.0, 1e-10);  // Off
+}
+
+TEST(StateSpace, FileProtocolStates) {
+  // Figure 1 / Section 2.2: File, InStream, OutStream.
+  auto model = cp::parse_model(R"(
+    File      = (openread, 2.0).InStream + (openwrite, 2.0).OutStream;
+    InStream  = (read, 1.8).InStream + (close, 3.0).File;
+    OutStream = (write, 1.2).OutStream + (close, 3.0).File;
+    @system File;
+  )");
+  cp::Semantics semantics(model.arena());
+  const auto space = cp::StateSpace::derive(semantics, model.system());
+  EXPECT_EQ(space.state_count(), 3u);
+  EXPECT_TRUE(space.deadlock_states().empty());
+
+  // "It is not possible to write to a closed file": no write transition
+  // leaves the File state, and "read and write operations cannot be
+  // interleaved": no state enables both read and write.
+  const auto write = *model.arena().find_action("write");
+  const auto read = *model.arena().find_action("read");
+  const auto file_state = *space.index_of(model.term("File"));
+  for (const auto& t : space.transitions()) {
+    EXPECT_FALSE(t.source == file_state && t.action == write);
+  }
+  for (std::size_t s = 0; s < space.state_count(); ++s) {
+    bool enables_read = false, enables_write = false;
+    for (const auto& t : space.transitions()) {
+      if (t.source != s) continue;
+      enables_read |= t.action == read;
+      enables_write |= t.action == write;
+    }
+    EXPECT_FALSE(enables_read && enables_write) << "state " << s;
+  }
+}
+
+TEST(StateSpace, ThroughputBalance) {
+  // openread + openwrite throughput must equal close throughput in steady
+  // state (every open is eventually closed).
+  auto model = cp::parse_model(R"(
+    File      = (openread, 2.0).InStream + (openwrite, 2.0).OutStream;
+    InStream  = (read, 1.8).InStream + (close, 3.0).File;
+    OutStream = (write, 1.2).OutStream + (close, 3.0).File;
+    @system File;
+  )");
+  cp::Semantics semantics(model.arena());
+  const auto space = cp::StateSpace::derive(semantics, model.system());
+  const auto pi = solve(space);
+  const double opens =
+      cp::action_throughput(space, pi, *model.arena().find_action("openread")) +
+      cp::action_throughput(space, pi, *model.arena().find_action("openwrite"));
+  const double closes =
+      cp::action_throughput(space, pi, *model.arena().find_action("close"));
+  EXPECT_NEAR(opens, closes, 1e-10);
+}
+
+TEST(StateSpace, SharedActionAppearsOnceInCooperation) {
+  auto model = cp::parse_model(R"(
+    P = (work, 2.0).(sync, 1.0).P;
+    Q = (sync, infty).(other, 3.0).Q;
+    S = P <sync> Q;
+    @system S;
+  )");
+  cp::Semantics semantics(model.arena());
+  const auto space = cp::StateSpace::derive(semantics, model.system());
+  EXPECT_TRUE(space.deadlock_states().empty());
+  const auto pi = solve(space);
+  const double sync_tp =
+      cp::action_throughput(space, pi, *model.arena().find_action("sync"));
+  const double work_tp =
+      cp::action_throughput(space, pi, *model.arena().find_action("work"));
+  const double other_tp =
+      cp::action_throughput(space, pi, *model.arena().find_action("other"));
+  // One sync per work and one other per sync in the long run.
+  EXPECT_NEAR(sync_tp, work_tp, 1e-10);
+  EXPECT_NEAR(sync_tp, other_tp, 1e-10);
+}
+
+TEST(StateSpace, TopLevelPassiveRejected) {
+  auto model = cp::parse_model("P = (a, infty).P; @system P;");
+  cp::Semantics semantics(model.arena());
+  EXPECT_THROW(cp::StateSpace::derive(semantics, model.system()), cu::ModelError);
+}
+
+TEST(StateSpace, TopLevelPassiveDroppedWhenAllowed) {
+  auto model = cp::parse_model(
+      "P = (a, infty).P + (b, 1.0).P2; P2 = (c, 1.0).P; @system P;");
+  cp::Semantics semantics(model.arena());
+  cp::DeriveOptions options;
+  options.allow_top_level_passive = true;
+  const auto space = cp::StateSpace::derive(semantics, model.system(), options);
+  EXPECT_EQ(space.state_count(), 2u);
+  for (const auto& t : space.transitions()) {
+    EXPECT_NE(t.action, *model.arena().find_action("a"));
+  }
+}
+
+TEST(StateSpace, MaxStatesBoundEnforced) {
+  auto model = cp::parse_model(R"(
+    P = (a, 1.0).(b, 1.0).(c, 1.0).(d, 1.0).P;
+    S = P || P || P || P || P;
+    @system S;
+  )");
+  cp::Semantics semantics(model.arena());
+  cp::DeriveOptions options;
+  options.max_states = 100;
+  EXPECT_THROW(cp::StateSpace::derive(semantics, model.system(), options),
+               cu::ModelError);
+}
+
+TEST(StateSpace, DeadlockDetected) {
+  auto model = cp::parse_model("P = (a, 1.0).Stop; @system P;");
+  cp::Semantics semantics(model.arena());
+  const auto space = cp::StateSpace::derive(semantics, model.system());
+  EXPECT_EQ(space.deadlock_states().size(), 1u);
+}
+
+TEST(StateSpace, ReplicatedClientsGrowCombinatorially) {
+  // State-space explosion (paper Section 1.1): N interleaved three-state
+  // clients yield 3^N states.
+  for (int n : {1, 2, 3, 4}) {
+    std::string source = "C = (req, 1.0).(wait, 2.0).(think, 3.0).C;\nS = C";
+    for (int i = 1; i < n; ++i) source += " || C";
+    source += ";\n@system S;";
+    auto model = cp::parse_model(source);
+    cp::Semantics semantics(model.arena());
+    const auto space = cp::StateSpace::derive(semantics, model.system());
+    EXPECT_EQ(space.state_count(), static_cast<std::size_t>(std::pow(3, n)));
+  }
+}
+
+TEST(Measures, OccupiesFindsSequentialPositions) {
+  auto model = cp::parse_model(R"(
+    A = (go, 1.0).B;
+    B = (back, 1.0).A;
+    S = A || B;
+    @system S;
+  )");
+  const auto a = *model.arena().find_constant("A");
+  const auto b = *model.arena().find_constant("B");
+  const auto s = *model.arena().find_constant("S");
+  auto& arena = model.arena();
+  const auto term = arena.cooperation(arena.constant(a), {}, arena.constant(b));
+  EXPECT_TRUE(cp::occupies(arena, term, a));
+  EXPECT_TRUE(cp::occupies(arena, term, b));
+  EXPECT_FALSE(cp::occupies(arena, term, s));
+}
+
+TEST(Measures, StateProbabilitiesSumOverDiagramStates) {
+  // Client state diagram (paper Figure 8): three local states.
+  auto model = cp::parse_model(R"(
+    GenerateRequest = (request, 2.0).WaitForResponse;
+    WaitForResponse = (response, 4.0).ProcessResponse;
+    ProcessResponse = (offlineProcessing, 8.0).GenerateRequest;
+    @system GenerateRequest;
+  )");
+  cp::Semantics semantics(model.arena());
+  const auto space = cp::StateSpace::derive(semantics, model.system());
+  const auto pi = solve(space);
+  double total = 0.0;
+  for (const char* name : {"GenerateRequest", "WaitForResponse", "ProcessResponse"}) {
+    total += cp::state_probability(space, pi, model.arena(),
+                                   *model.arena().find_constant(name));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-10);
+  // Sojourn proportional to 1/rate: P[GenerateRequest] = (1/2)/(1/2+1/4+1/8).
+  EXPECT_NEAR(cp::state_probability(space, pi, model.arena(),
+                                    *model.arena().find_constant("GenerateRequest")),
+              (1.0 / 2.0) / (1.0 / 2.0 + 1.0 / 4.0 + 1.0 / 8.0), 1e-10);
+}
+
+TEST(Measures, MeanPopulationCountsReplicas) {
+  auto model = cp::parse_model(R"(
+    Busy = (rest, 1.0).Idle;
+    Idle = (work, 1.0).Busy;
+    S = Busy || Busy;
+    @system S;
+  )");
+  cp::Semantics semantics(model.arena());
+  const auto space = cp::StateSpace::derive(semantics, model.system());
+  const auto pi = solve(space);
+  const auto busy = *model.arena().find_constant("Busy");
+  // Symmetric rates: each replica is Busy half the time.
+  EXPECT_NEAR(cp::mean_population(space, pi, model.arena(), busy), 1.0, 1e-10);
+}
+
+TEST(Measures, AllThroughputsCoverEveryAction) {
+  auto model = cp::parse_model(R"(
+    P = (a, 1.0).(b, 2.0).P;
+    @system P;
+  )");
+  cp::Semantics semantics(model.arena());
+  const auto space = cp::StateSpace::derive(semantics, model.system());
+  const auto pi = solve(space);
+  const auto throughputs = cp::all_throughputs(space, pi, model.arena());
+  ASSERT_EQ(throughputs.size(), 2u);
+  // In a two-phase cycle both activities have equal throughput 1/(1/1+1/2).
+  EXPECT_NEAR(throughputs[0].second, 1.0 / 1.5, 1e-10);
+  EXPECT_NEAR(throughputs[1].second, 1.0 / 1.5, 1e-10);
+}

@@ -1,0 +1,197 @@
+// Tests for the stochastic simulation engine: trajectory mechanics,
+// agreement with exact CTMC solutions (the paper's Section 1.1 comparison),
+// and parallel replications with confidence intervals.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "choreographer/extract_activity.hpp"
+#include "choreographer/paper_models.hpp"
+#include "ctmc/steady_state.hpp"
+#include "pepa/measures.hpp"
+#include "pepa/parser.hpp"
+#include "pepa/statespace.hpp"
+#include "pepanet/netstatespace.hpp"
+#include "sim/batch.hpp"
+#include "sim/engine.hpp"
+#include "sim/replicate.hpp"
+#include "sim/system.hpp"
+#include "util/error.hpp"
+
+namespace cs = choreo::sim;
+namespace cp = choreo::pepa;
+namespace cn = choreo::pepanet;
+namespace cc = choreo::ctmc;
+namespace cu = choreo::util;
+namespace chor = choreo::chor;
+
+namespace {
+
+const char* kToggleModel =
+    "On = (off, 2.0).Off; Off = (on, 3.0).On; @system On;";
+
+std::unique_ptr<cs::System> toggle_factory() {
+  return std::make_unique<cs::PepaSystem>(cp::parse_model(kToggleModel));
+}
+
+}  // namespace
+
+TEST(SimSystem, PepaSystemStepsThroughStates) {
+  cs::PepaSystem system(cp::parse_model(kToggleModel));
+  const auto& moves = system.enabled();
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_DOUBLE_EQ(moves[0].rate, 2.0);
+  EXPECT_EQ(system.label_name(moves[0].label), "off");
+  EXPECT_TRUE(system.occupies("On"));
+  system.apply(0);
+  EXPECT_TRUE(system.occupies("Off"));
+  EXPECT_FALSE(system.occupies("On"));
+  system.reset();
+  EXPECT_TRUE(system.occupies("On"));
+}
+
+TEST(SimSystem, PassiveAtTopLevelRejected) {
+  cs::PepaSystem system(cp::parse_model("P = (a, infty).P; @system P;"));
+  EXPECT_THROW(system.enabled(), cu::ModelError);
+}
+
+TEST(SimEngine, ThroughputMatchesExactSolution) {
+  // Toggle: exact throughput of 'off' is pi_On * 2 = (3/5)*2 = 1.2.
+  auto system = toggle_factory();
+  cu::Xoshiro256 rng(99);
+  cs::RunOptions options;
+  options.warmup_time = 50.0;
+  options.horizon = 20000.0;
+  const auto result = cs::run_trajectory(*system, rng, options);
+  const auto off = *cp::parse_model(kToggleModel).arena().find_action("off");
+  EXPECT_NEAR(result.throughput(off), 1.2, 0.05);
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_GT(result.steps, 1000u);
+}
+
+TEST(SimEngine, StateRewardMatchesOccupancy) {
+  auto model = cp::parse_model(kToggleModel);
+  cs::PepaSystem system(std::move(model));
+  cu::Xoshiro256 rng(7);
+  cs::RunOptions options;
+  options.warmup_time = 50.0;
+  options.horizon = 20000.0;
+  options.state_reward = [&system] { return system.occupies("On") ? 1.0 : 0.0; };
+  const auto result = cs::run_trajectory(system, rng, options);
+  EXPECT_NEAR(result.mean_reward, 0.6, 0.02);  // pi_On = 3/5
+}
+
+TEST(SimEngine, DeadlockEndsRun) {
+  cs::PepaSystem system(cp::parse_model("P = (a, 5.0).Stop; @system P;"));
+  cu::Xoshiro256 rng(3);
+  cs::RunOptions options;
+  options.horizon = 100.0;
+  const auto result = cs::run_trajectory(system, rng, options);
+  EXPECT_TRUE(result.deadlocked);
+  const auto counts_total = result.steps;
+  EXPECT_EQ(counts_total, 1u);
+}
+
+TEST(SimEngine, NetSystemSimulatesFirings) {
+  auto extraction = chor::extract_activity_graph(
+      chor::instant_message_model().activity_graphs()[0]);
+
+  // Exact answer first.
+  cn::PepaNet net_copy = std::move(extraction.net);
+  cn::NetSemantics semantics(net_copy);
+  const auto space = cn::NetStateSpace::derive(semantics);
+  const auto pi = cc::steady_state(space.generator()).distribution;
+  const auto transmit = *net_copy.arena().find_action("transmit");
+  const double exact = cn::action_throughput(space, pi, transmit);
+
+  // Then a simulated trajectory of the same net.
+  auto extraction2 = chor::extract_activity_graph(
+      chor::instant_message_model().activity_graphs()[0]);
+  cs::NetSystem system(std::move(extraction2.net));
+  cu::Xoshiro256 rng(11);
+  cs::RunOptions options;
+  options.warmup_time = 100.0;
+  options.horizon = 50000.0;
+  const auto result = cs::run_trajectory(system, rng, options);
+  const auto transmit2 = *system.net().arena().find_action("transmit");
+  EXPECT_NEAR(result.throughput(transmit2), exact, 0.05 * exact + 0.01);
+}
+
+TEST(SimReplicate, ConfidenceIntervalCoversExactValue) {
+  cs::ReplicateOptions options;
+  options.replications = 24;
+  options.run.warmup_time = 20.0;
+  options.run.horizon = 2000.0;
+  options.seed = 1234;
+  const auto result = cs::replicate(toggle_factory, options);
+  const auto off = *cp::parse_model(kToggleModel).arena().find_action("off");
+  const auto interval = result.throughput(off);
+  EXPECT_TRUE(interval.contains(1.2))
+      << interval.low() << " .. " << interval.high();
+  EXPECT_LT(interval.half_width, 0.05);
+  EXPECT_EQ(result.deadlocked, 0u);
+}
+
+TEST(SimReplicate, SequentialAndParallelAgree) {
+  cs::ReplicateOptions sequential;
+  sequential.replications = 8;
+  sequential.run.horizon = 500.0;
+  sequential.seed = 77;
+  sequential.parallel = false;
+  cs::ReplicateOptions parallel = sequential;
+  parallel.parallel = true;
+  const auto a = cs::replicate(toggle_factory, sequential);
+  const auto b = cs::replicate(toggle_factory, parallel);
+  const auto off = *cp::parse_model(kToggleModel).arena().find_action("off");
+  // Same seeds, same jump streams: identical estimates.
+  EXPECT_DOUBLE_EQ(a.throughput(off).mean, b.throughput(off).mean);
+}
+
+TEST(SimReplicate, StateRewardAcrossReplications) {
+  cs::ReplicateOptions options;
+  options.replications = 12;
+  options.run.warmup_time = 20.0;
+  options.run.horizon = 2000.0;
+  options.state_reward = [](cs::System& system) {
+    return static_cast<cs::PepaSystem&>(system).occupies("On") ? 1.0 : 0.0;
+  };
+  const auto result = cs::replicate(toggle_factory, options);
+  EXPECT_TRUE(result.reward.interval.contains(0.6))
+      << result.reward.interval.low() << " .. " << result.reward.interval.high();
+}
+
+TEST(SimBatchMeans, SingleRunEstimateCoversExact) {
+  cs::PepaSystem system(cp::parse_model(kToggleModel));
+  cu::Xoshiro256 rng(4242);
+  cs::BatchOptions options;
+  options.warmup_time = 50.0;
+  options.horizon = 40000.0;
+  options.batches = 32;
+  const auto off = *cp::parse_model(kToggleModel).arena().find_action("off");
+  const auto estimate = cs::run_batch_means(
+      system, rng, off, [&system] { return system.occupies("On") ? 1.0 : 0.0; },
+      options);
+  EXPECT_TRUE(estimate.throughput.contains(1.2))
+      << estimate.throughput.low() << " .. " << estimate.throughput.high();
+  EXPECT_TRUE(estimate.reward.contains(0.6))
+      << estimate.reward.low() << " .. " << estimate.reward.high();
+  // Mean sojourn of the toggle: pi-weighted 1/exit = .6/2... the
+  // event-average sojourn is total time / total events = 1/2.4.
+  EXPECT_NEAR(estimate.mean_sojourn.mean, 1.0 / 2.4, 0.02);
+  EXPECT_FALSE(estimate.deadlocked);
+  EXPECT_GT(estimate.steps, 1000u);
+}
+
+TEST(SimBatchMeans, DeadlockIsFlagged) {
+  cs::PepaSystem system(cp::parse_model("P = (a, 5.0).Stop; @system P;"));
+  cu::Xoshiro256 rng(5);
+  cs::BatchOptions options;
+  options.warmup_time = 0.0;
+  options.horizon = 10.0;
+  options.batches = 4;
+  const auto a = *cp::parse_model("P = (a, 5.0).Stop; @system P;")
+                      .arena()
+                      .find_action("a");
+  const auto estimate = cs::run_batch_means(system, rng, a, {}, options);
+  EXPECT_TRUE(estimate.deadlocked);
+}

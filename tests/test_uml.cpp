@@ -1,0 +1,230 @@
+// Unit tests for the UML metamodel, XMI round-trips, and the Figure-4
+// layout preprocessor/postprocessor.
+#include <gtest/gtest.h>
+
+#include "choreographer/paper_models.hpp"
+#include "uml/layout.hpp"
+#include "uml/model.hpp"
+#include "uml/xmi.hpp"
+#include "util/error.hpp"
+#include "xml/parse.hpp"
+#include "xml/query.hpp"
+#include "xml/write.hpp"
+
+namespace cm = choreo::uml;
+namespace cx = choreo::xml;
+namespace cu = choreo::util;
+
+TEST(TaggedValues, SetGetAndOverwrite) {
+  cm::TaggedValues tags;
+  EXPECT_FALSE(tags.has("rate"));
+  tags.set("rate", "2.0");
+  tags.set("atloc", "p1");
+  tags.set("rate", "3.0");
+  EXPECT_EQ(tags.get("rate"), "3.0");
+  EXPECT_EQ(tags.get_or("missing", "x"), "x");
+  EXPECT_DOUBLE_EQ(tags.get_double("rate", 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(tags.get_double("missing", 7.0), 7.0);
+  EXPECT_EQ(tags.items().size(), 2u);
+}
+
+TEST(TaggedValues, MalformedNumberThrows) {
+  cm::TaggedValues tags;
+  tags.set("rate", "fast");
+  EXPECT_THROW(tags.get_double("rate", 0.0), cu::ModelError);
+}
+
+TEST(ActivityGraph, BuildAndNavigate) {
+  cm::ActivityGraph graph("g");
+  const auto initial = graph.add_initial();
+  const auto a = graph.add_action("work", 2.0);
+  const auto d = graph.add_decision("choice");
+  const auto b = graph.add_action("rest", 1.0);
+  const auto final_node = graph.add_final();
+  graph.add_control_flow(initial, a);
+  graph.add_control_flow(a, d);
+  graph.add_control_flow(d, b);
+  graph.add_control_flow(d, final_node);
+  const auto obj = graph.add_object("o", "Thing", "here");
+  graph.add_object_flow(a, obj, true);
+
+  EXPECT_EQ(graph.initial_node(), initial);
+  EXPECT_EQ(graph.successors(d).size(), 2u);
+  EXPECT_EQ(graph.predecessors(b).size(), 1u);
+  EXPECT_EQ(graph.inputs_of(a).size(), 1u);
+  EXPECT_TRUE(graph.outputs_of(a).empty());
+  EXPECT_EQ(graph.object_names(), std::vector<std::string>{"o"});
+  EXPECT_EQ(graph.find_action("rest"), b);
+  EXPECT_FALSE(graph.find_action("nope").has_value());
+  EXPECT_EQ(graph.objects()[obj].location(), "here");
+  graph.validate();
+}
+
+TEST(ActivityGraph, ValidationFailures) {
+  {
+    cm::ActivityGraph graph("no_initial");
+    graph.add_action("a", 1.0);
+    EXPECT_THROW(graph.validate(), cu::ModelError);
+  }
+  {
+    cm::ActivityGraph graph("two_initials");
+    graph.add_initial();
+    graph.add_initial();
+    EXPECT_THROW(graph.validate(), cu::ModelError);
+  }
+  {
+    cm::ActivityGraph graph("dup_actions");
+    graph.add_initial();
+    graph.add_action("x", 1.0);
+    graph.add_action("x", 2.0);
+    EXPECT_THROW(graph.validate(), cu::ModelError);
+  }
+  {
+    cm::ActivityGraph graph("move_without_objects");
+    graph.add_initial();
+    graph.add_action("hop", 1.0, /*is_move=*/true);
+    EXPECT_THROW(graph.validate(), cu::ModelError);
+  }
+  {
+    cm::ActivityGraph graph("move_without_atloc");
+    graph.add_initial();
+    const auto hop = graph.add_action("hop", 1.0, /*is_move=*/true);
+    const auto o1 = graph.add_object("o", "T", "");
+    const auto o2 = graph.add_object("o", "T", "there");
+    graph.add_object_flow(hop, o1, true);
+    graph.add_object_flow(hop, o2, false);
+    EXPECT_THROW(graph.validate(), cu::ModelError);
+  }
+}
+
+TEST(StateMachine, BuildAndValidate) {
+  cm::StateMachine machine("client", "Client");
+  const auto a = machine.add_state("A");
+  const auto b = machine.add_state("B");
+  machine.add_transition(a, b, "go", 2.0);
+  machine.add_passive_transition(b, a, "back");
+  EXPECT_EQ(machine.initial_state(), a);  // first state by default
+  machine.set_initial(b);
+  EXPECT_EQ(machine.initial_state(), b);
+  EXPECT_EQ(machine.find_state("A"), a);
+  EXPECT_TRUE(machine.transitions()[1].passive);
+  machine.validate();
+}
+
+TEST(StateMachine, ValidationFailures) {
+  {
+    cm::StateMachine machine("empty");
+    EXPECT_THROW(machine.validate(), cu::ModelError);
+  }
+  {
+    cm::StateMachine machine("dup");
+    machine.add_state("S");
+    machine.add_state("S");
+    EXPECT_THROW(machine.validate(), cu::ModelError);
+  }
+  {
+    cm::StateMachine machine("noaction");
+    const auto a = machine.add_state("A");
+    machine.add_transition(a, a, "", 1.0);
+    EXPECT_THROW(machine.validate(), cu::ModelError);
+  }
+}
+
+TEST(Xmi, ActivityGraphRoundTrip) {
+  const cm::Model original = choreo::chor::instant_message_model();
+  const cx::Document document = cm::to_xmi(original);
+  const cm::Model loaded = cm::from_xmi(document);
+
+  ASSERT_EQ(loaded.activity_graphs().size(), 1u);
+  const cm::ActivityGraph& graph = loaded.activity_graphs()[0];
+  const cm::ActivityGraph& source = original.activity_graphs()[0];
+  EXPECT_EQ(graph.name(), source.name());
+  EXPECT_EQ(graph.nodes().size(), source.nodes().size());
+  EXPECT_EQ(graph.control_flows().size(), source.control_flows().size());
+  EXPECT_EQ(graph.objects().size(), source.objects().size());
+  EXPECT_EQ(graph.object_flows().size(), source.object_flows().size());
+  const auto transmit = graph.find_action("transmit");
+  ASSERT_TRUE(transmit.has_value());
+  EXPECT_TRUE(graph.nodes()[*transmit].is_move);
+  EXPECT_DOUBLE_EQ(graph.nodes()[*transmit].tags.get_double("rate", 0.0), 0.7);
+  EXPECT_EQ(graph.objects()[0].location(), "p1");
+}
+
+TEST(Xmi, StateMachineRoundTrip) {
+  const cm::Model original = choreo::chor::tomcat_model(false);
+  const cx::Document document = cm::to_xmi(original);
+  const cm::Model loaded = cm::from_xmi(document);
+
+  ASSERT_EQ(loaded.state_machines().size(), original.state_machines().size());
+  const cm::StateMachine& server = loaded.state_machines().back();
+  EXPECT_EQ(server.context(), "Server");
+  EXPECT_EQ(server.states().size(), 6u);
+  EXPECT_EQ(server.initial_state(), *server.find_state("ServerIdle"));
+  // The passive request survived the round trip.
+  bool found_passive_request = false;
+  for (const auto& t : server.transitions()) {
+    if (t.action == "request") found_passive_request = t.passive;
+  }
+  EXPECT_TRUE(found_passive_request);
+}
+
+TEST(Xmi, SecondRoundTripIsIdentical) {
+  const cm::Model original = choreo::chor::pda_handover_model();
+  const cx::Document once = cm::to_xmi(original);
+  const cx::Document twice = cm::to_xmi(cm::from_xmi(once));
+  EXPECT_TRUE(once.root().deep_equals(twice.root()));
+}
+
+TEST(Xmi, RejectsNonXmiDocuments) {
+  EXPECT_THROW(cm::from_xmi(cx::parse_document("<html/>")), cu::ModelError);
+  EXPECT_THROW(cm::from_xmi(cx::parse_document("<XMI><XMI.content/></XMI>")),
+               cu::Error);
+}
+
+TEST(Xmi, WeightedPassiveRateRoundTrip) {
+  cm::Model model("m");
+  cm::StateMachine machine("w", "W");
+  const auto a = machine.add_state("A");
+  const auto b = machine.add_state("B");
+  machine.add_passive_transition(a, b, "in", 2.5);
+  machine.add_transition(b, a, "out", 1.0);
+  model.add_state_machine(std::move(machine));
+  const cm::Model loaded = cm::from_xmi(cm::to_xmi(model));
+  const auto& t = loaded.state_machines()[0].transitions()[0];
+  EXPECT_TRUE(t.passive);
+  EXPECT_DOUBLE_EQ(t.rate, 2.5);
+}
+
+TEST(Layout, PreprocessSplitsToolElements) {
+  const char* source = R"(
+    <XMI xmi.version="1.2">
+      <XMI.content><UML:Model name="m"/></XMI.content>
+      <Poseidon.layout><node ref="n1" x="10" y="20"/></Poseidon.layout>
+      <GentlewareExtras magic="true"/>
+    </XMI>)";
+  const auto project = cx::parse_document(source);
+  const auto split = cm::preprocess(project);
+  EXPECT_EQ(split.layout.size(), 2u);
+  EXPECT_EQ(split.model.root().children().size(), 1u);
+  EXPECT_EQ(split.model.root().children()[0].name(), "XMI.content");
+}
+
+TEST(Layout, PostprocessRestoresLayoutByteForByte) {
+  const char* source = R"(<XMI xmi.version="1.2"><XMI.content><UML:Model name="m"/></XMI.content><Poseidon.layout><node ref="n1" x="10"/></Poseidon.layout></XMI>)";
+  const auto project = cx::parse_document(source);
+  const auto split = cm::preprocess(project);
+  const auto merged = cm::postprocess(split.model, split.layout);
+  // Layout subtree is bit-identical after the round trip.
+  const cx::Node* layout = merged.root().find_child("Poseidon.layout");
+  ASSERT_NE(layout, nullptr);
+  const cx::Node* original_layout = project.root().find_child("Poseidon.layout");
+  EXPECT_TRUE(layout->deep_equals(*original_layout));
+  EXPECT_TRUE(merged.root().deep_equals(project.root()));
+}
+
+TEST(Layout, MetamodelElementPredicate) {
+  EXPECT_TRUE(cm::is_metamodel_element(cx::Node::element("XMI.content")));
+  EXPECT_TRUE(cm::is_metamodel_element(cx::Node::element("UML:Model")));
+  EXPECT_FALSE(cm::is_metamodel_element(cx::Node::element("Poseidon.layout")));
+  EXPECT_TRUE(cm::is_metamodel_element(cx::Node::text("hello")));
+}

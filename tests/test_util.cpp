@@ -1,0 +1,244 @@
+// Unit tests for choreo_util: strings, RNG, statistics, thread pool, tables.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cu = choreo::util;
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = cu::split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmptyFields) {
+  const auto parts = cu::split_ws("  alpha \t beta\ngamma  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "alpha");
+  EXPECT_EQ(parts[1], "beta");
+  EXPECT_EQ(parts[2], "gamma");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(cu::trim("  x y  "), "x y");
+  EXPECT_EQ(cu::trim("\t\n"), "");
+  EXPECT_EQ(cu::trim(""), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(cu::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(cu::join({}, ","), "");
+  EXPECT_EQ(cu::join({"only"}, ","), "only");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(cu::starts_with("UML:Model", "UML:"));
+  EXPECT_FALSE(cu::starts_with("UML", "UML:"));
+  EXPECT_TRUE(cu::ends_with("file.xmi", ".xmi"));
+  EXPECT_FALSE(cu::ends_with("xmi", ".xmi"));
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(cu::is_identifier("openread"));
+  EXPECT_TRUE(cu::is_identifier("_x9"));
+  EXPECT_FALSE(cu::is_identifier("9x"));
+  EXPECT_FALSE(cu::is_identifier(""));
+  EXPECT_FALSE(cu::is_identifier("a-b"));
+}
+
+TEST(Strings, FormatDoubleRoundTrips) {
+  for (double v : {0.5, 2.0, 1e-9, 123456.789, -3.25, 0.1}) {
+    const std::string text = cu::format_double(v);
+    EXPECT_EQ(std::stod(text), v) << text;
+  }
+  EXPECT_EQ(cu::format_double(0.0), "0");
+  EXPECT_EQ(cu::format_double(2.0), "2");
+}
+
+TEST(Error, MsgConcatenatesPieces) {
+  EXPECT_EQ(cu::msg("a", 1, 'b', 2.5), "a1b2.5");
+}
+
+TEST(Error, ParseErrorCarriesPosition) {
+  cu::ParseError error("model.pepa", 3, 14, "boom");
+  EXPECT_EQ(error.artefact(), "model.pepa");
+  EXPECT_EQ(error.line(), 3u);
+  EXPECT_EQ(error.column(), 14u);
+  EXPECT_STREQ(error.what(), "model.pepa:3:14: boom");
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  cu::Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  cu::Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  cu::Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  cu::Xoshiro256 rng(11);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossSmallBound) {
+  cu::Xoshiro256 rng(13);
+  int counts[5] = {0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.below(5)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 5.0, n * 0.01);
+}
+
+TEST(Rng, DiscreteFollowsWeights) {
+  cu::Xoshiro256 rng(17);
+  const double weights[] = {1.0, 3.0, 6.0};
+  int counts[3] = {0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.discrete(weights)]++;
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / double(n), 0.6, 0.015);
+}
+
+TEST(Rng, JumpYieldsDisjointStream) {
+  cu::Xoshiro256 a(42);
+  cu::Xoshiro256 b(42);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Stats, WelfordMeanVariance) {
+  cu::RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(Stats, MergeEqualsSingleStream) {
+  cu::RunningStats whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i * 0.37) * 10 + i * 0.01;
+    whole.add(v);
+    (i < 50 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+}
+
+TEST(Stats, ConfidenceIntervalCoversTrueMean) {
+  // 95% CI over 200 repetitions of a small-sample mean should cover the
+  // true mean roughly 95% of the time.
+  cu::Xoshiro256 rng(23);
+  int covered = 0;
+  const int reps = 400;
+  for (int r = 0; r < reps; ++r) {
+    cu::RunningStats stats;
+    for (int i = 0; i < 20; ++i) stats.add(rng.exponential(1.0));
+    if (cu::confidence_interval(stats, 0.95).contains(1.0)) ++covered;
+  }
+  EXPECT_GT(covered, reps * 0.90);
+  EXPECT_LT(covered, reps * 0.99);
+}
+
+TEST(Stats, StudentQuantilesMonotone) {
+  EXPECT_GT(cu::student_t_quantile(1, 0.95), cu::student_t_quantile(10, 0.95));
+  EXPECT_GT(cu::student_t_quantile(10, 0.99), cu::student_t_quantile(10, 0.95));
+  EXPECT_DOUBLE_EQ(cu::student_t_quantile(1000, 0.95), 1.960);
+  EXPECT_THROW(cu::student_t_quantile(5, 0.5), cu::Error);
+}
+
+TEST(Stats, BatchMeansTracksIidMean) {
+  cu::Xoshiro256 rng(29);
+  cu::BatchMeans batches(16);
+  for (int i = 0; i < 50000; ++i) batches.add(rng.exponential(2.0));
+  const auto ci = batches.interval(0.95);
+  EXPECT_NEAR(ci.mean, 0.5, 0.02);
+  EXPECT_GT(batches.completed_batches(), 4u);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  cu::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  cu::ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  cu::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t begin, std::size_t) {
+                          if (begin == 0) throw cu::Error("boom");
+                        }),
+      cu::Error);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  cu::ThreadPool pool(0);
+  std::vector<int> hits(10, 0);
+  // worker_count may be 0 on a single-core host; parallel_for must still work.
+  pool.parallel_for(10, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  cu::TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row_values("beta", {2.5});
+  EXPECT_EQ(table.row_count(), 2u);
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("2.5"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  cu::TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), cu::Error);
+}

@@ -1,0 +1,203 @@
+// Unit tests for the XML substrate: DOM, parser, writer, queries.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "xml/dom.hpp"
+#include "xml/parse.hpp"
+#include "xml/query.hpp"
+#include "xml/write.hpp"
+
+namespace cx = choreo::xml;
+namespace cu = choreo::util;
+
+TEST(Dom, ElementConstructionAndAttributes) {
+  cx::Node node = cx::Node::element("UML:Class");
+  node.set_attr("name", "File").set_attr("xmi.id", "c1");
+  EXPECT_TRUE(node.is_element());
+  EXPECT_EQ(node.name(), "UML:Class");
+  EXPECT_EQ(node.attr("name"), "File");
+  EXPECT_EQ(node.attr_or("missing", "dflt"), "dflt");
+  EXPECT_FALSE(node.attr("missing").has_value());
+  node.set_attr("name", "File2");  // replace keeps order and arity
+  EXPECT_EQ(node.attributes().size(), 2u);
+  EXPECT_EQ(node.attr("name"), "File2");
+  EXPECT_TRUE(node.remove_attr("xmi.id"));
+  EXPECT_FALSE(node.remove_attr("xmi.id"));
+}
+
+TEST(Dom, ChildManagementAndTextContent) {
+  cx::Node root = cx::Node::element("doc");
+  root.add_element("a").add_text("hello ");
+  root.add_element("a").add_text("world");
+  root.add_element("b");
+  root.add_child(cx::Node::comment("ignored"));
+  EXPECT_EQ(root.find_children("a").size(), 2u);
+  EXPECT_EQ(root.element_children().size(), 3u);
+  EXPECT_NE(root.find_child("b"), nullptr);
+  EXPECT_EQ(root.find_child("zzz"), nullptr);
+  EXPECT_EQ(root.text_content(), "hello world");
+  EXPECT_EQ(root.remove_children("a"), 2u);
+  EXPECT_EQ(root.element_children().size(), 1u);
+}
+
+TEST(Dom, DeepEquals) {
+  cx::Node a = cx::Node::element("x");
+  a.set_attr("k", "v");
+  a.add_element("y").add_text("t");
+  cx::Node b = a;
+  EXPECT_TRUE(a.deep_equals(b));
+  b.find_child("y")->add_text("more");
+  EXPECT_FALSE(a.deep_equals(b));
+}
+
+TEST(Parse, MinimalDocument) {
+  const auto doc = cx::parse_document("<root/>");
+  EXPECT_EQ(doc.root().name(), "root");
+  EXPECT_TRUE(doc.root().children().empty());
+}
+
+TEST(Parse, DeclarationAndNestedElements) {
+  const auto doc = cx::parse_document(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<XMI xmi.version=\"1.2\">\n"
+      "  <XMI.content><UML:Model name=\"m\"/></XMI.content>\n"
+      "</XMI>");
+  ASSERT_EQ(doc.declaration().size(), 2u);
+  EXPECT_EQ(doc.declaration()[0].name, "version");
+  const cx::Node* content = doc.root().find_child("XMI.content");
+  ASSERT_NE(content, nullptr);
+  EXPECT_EQ(content->find_child("UML:Model")->attr("name"), "m");
+}
+
+TEST(Parse, EntitiesInTextAndAttributes) {
+  const auto doc = cx::parse_document(
+      "<a name=\"x &lt; y &amp; z\">1 &gt; 0, &quot;q&quot;, &#65;&#x42;</a>");
+  EXPECT_EQ(doc.root().attr("name"), "x < y & z");
+  EXPECT_EQ(doc.root().text_content(), "1 > 0, \"q\", AB");
+}
+
+TEST(Parse, CommentsAndCdata) {
+  const auto doc = cx::parse_document(
+      "<a><!-- note --><![CDATA[<raw> & stuff]]></a>");
+  ASSERT_EQ(doc.root().children().size(), 2u);
+  EXPECT_EQ(doc.root().children()[0].kind(), cx::Node::Kind::Comment);
+  EXPECT_EQ(doc.root().children()[1].kind(), cx::Node::Kind::CData);
+  EXPECT_EQ(doc.root().text_content(), "<raw> & stuff");
+}
+
+TEST(Parse, SingleQuotedAttributesAndWhitespaceDropping) {
+  const auto doc = cx::parse_document("<a x='1'>\n  <b/>\n</a>");
+  EXPECT_EQ(doc.root().attr("x"), "1");
+  EXPECT_EQ(doc.root().children().size(), 1u);  // whitespace text dropped
+}
+
+TEST(Parse, KeepWhitespaceOption) {
+  cx::ParseOptions options;
+  options.drop_ignorable_whitespace = false;
+  const auto doc = cx::parse_document("<a> <b/> </a>", options);
+  EXPECT_EQ(doc.root().children().size(), 3u);
+}
+
+TEST(Parse, DoctypeIsSkipped) {
+  const auto doc = cx::parse_document(
+      "<?xml version=\"1.0\"?><!DOCTYPE x [<!ELEMENT x ANY>]><x/>");
+  EXPECT_EQ(doc.root().name(), "x");
+}
+
+TEST(Parse, ErrorsCarryPositions) {
+  try {
+    cx::parse_document("<a>\n  <b></c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const cu::ParseError& error) {
+    EXPECT_EQ(error.line(), 2u);
+    EXPECT_NE(std::string(error.what()).find("mismatched end tag"),
+              std::string::npos);
+  }
+}
+
+TEST(Parse, RejectsMalformedInput) {
+  EXPECT_THROW(cx::parse_document(""), cu::ParseError);
+  EXPECT_THROW(cx::parse_document("<a>"), cu::ParseError);
+  EXPECT_THROW(cx::parse_document("<a b></a>"), cu::ParseError);
+  EXPECT_THROW(cx::parse_document("<a>&unknown;</a>"), cu::ParseError);
+  EXPECT_THROW(cx::parse_document("<a/><b/>"), cu::ParseError);
+  EXPECT_THROW(cx::parse_document("<a x=\"1\" x=\"2\"/>"), cu::ParseError);
+}
+
+TEST(Write, EscapesSpecials) {
+  EXPECT_EQ(cx::escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(cx::escape_attribute("\"x\"\n"), "&quot;x&quot;&#10;");
+}
+
+TEST(Write, RoundTripPreservesStructure) {
+  const std::string source =
+      "<XMI xmi.version=\"1.2\"><XMI.content>"
+      "<UML:Model name=\"pda &amp; train\"><UML:Class name=\"PDA\"/>"
+      "<note>text &lt;here&gt;</note></UML:Model>"
+      "</XMI.content></XMI>";
+  const auto doc = cx::parse_document(source);
+  const std::string rendered = cx::to_string(doc);
+  const auto again = cx::parse_document(rendered);
+  EXPECT_TRUE(doc.root().deep_equals(again.root()));
+}
+
+TEST(Write, CompactModeIsSingleLine) {
+  auto doc = cx::parse_document("<a><b/><c x=\"1\"/></a>");
+  cx::WriteOptions options;
+  options.indent = 0;
+  options.declaration = false;
+  EXPECT_EQ(cx::to_string(doc, options), "<a><b/><c x=\"1\"/></a>");
+}
+
+TEST(Write, FileRoundTrip) {
+  auto doc = cx::parse_document("<m><x v=\"1\"/></m>");
+  const std::string path = testing::TempDir() + "/choreo_xml_test.xmi";
+  cx::write_file(doc, path);
+  const auto loaded = cx::parse_file(path);
+  EXPECT_TRUE(doc.root().deep_equals(loaded.root()));
+}
+
+TEST(Query, SelectPathAndPredicate) {
+  const auto doc = cx::parse_document(
+      "<XMI><XMI.content>"
+      "<UML:Model><UML:Class name=\"File\"/><UML:Class name=\"PDA\"/>"
+      "</UML:Model></XMI.content></XMI>");
+  const auto all =
+      cx::select_all(doc.root(), "XMI.content/UML:Model/UML:Class");
+  ASSERT_EQ(all.size(), 2u);
+  const cx::Node* pda = cx::select_first(
+      doc.root(), "XMI.content/UML:Model/UML:Class[@name='PDA']");
+  ASSERT_NE(pda, nullptr);
+  EXPECT_EQ(pda->attr("name"), "PDA");
+  EXPECT_EQ(cx::select_first(doc.root(), "nope/nothing"), nullptr);
+  EXPECT_THROW(cx::require_first(doc.root(), "nope"), cu::Error);
+}
+
+TEST(Query, WildcardStep) {
+  const auto doc =
+      cx::parse_document("<r><a><x/></a><b><x/><x/></b></r>");
+  EXPECT_EQ(cx::select_all(doc.root(), "*/x").size(), 3u);
+}
+
+TEST(Query, DescendantsNamed) {
+  const auto doc = cx::parse_document(
+      "<r><a><deep><tag/></deep></a><tag/><b><tag/></b></r>");
+  EXPECT_EQ(cx::descendants_named(doc.root(), "tag").size(), 3u);
+}
+
+TEST(Query, MalformedPredicateThrows) {
+  const auto doc = cx::parse_document("<r><a/></r>");
+  EXPECT_THROW(cx::select_all(doc.root(), "a[@x=unquoted]"), cu::Error);
+  EXPECT_THROW(cx::select_all(doc.root(), "a[bad]"), cu::Error);
+  EXPECT_THROW(cx::select_all(doc.root(), "a//b"), cu::Error);
+}
+
+TEST(Write, CommentsAndCdataRoundTrip) {
+  const auto doc = cx::parse_document(
+      "<a><!-- keep me --><![CDATA[<raw/>]]><b note=\"x\"/></a>");
+  const auto again = cx::parse_document(cx::to_string(doc));
+  EXPECT_TRUE(doc.root().deep_equals(again.root()));
+  const std::string text = cx::to_string(doc);
+  EXPECT_NE(text.find("<!-- keep me -->"), std::string::npos);
+  EXPECT_NE(text.find("<![CDATA[<raw/>]]>"), std::string::npos);
+}
