@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_file_protocol.dir/bench_file_protocol.cpp.o"
+  "CMakeFiles/bench_file_protocol.dir/bench_file_protocol.cpp.o.d"
+  "bench_file_protocol"
+  "bench_file_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_file_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_handover_ablation.dir/bench_handover_ablation.cpp.o"
+  "CMakeFiles/bench_handover_ablation.dir/bench_handover_ablation.cpp.o.d"
+  "bench_handover_ablation"
+  "bench_handover_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_handover_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instant_message.dir/bench_instant_message.cpp.o"
+  "CMakeFiles/bench_instant_message.dir/bench_instant_message.cpp.o.d"
+  "bench_instant_message"
+  "bench_instant_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instant_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

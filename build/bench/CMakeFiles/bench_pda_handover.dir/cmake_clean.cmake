@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pda_handover.dir/bench_pda_handover.cpp.o"
+  "CMakeFiles/bench_pda_handover.dir/bench_pda_handover.cpp.o.d"
+  "bench_pda_handover"
+  "bench_pda_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pda_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

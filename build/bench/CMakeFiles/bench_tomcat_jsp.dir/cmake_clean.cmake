@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tomcat_jsp.dir/bench_tomcat_jsp.cpp.o"
+  "CMakeFiles/bench_tomcat_jsp.dir/bench_tomcat_jsp.cpp.o.d"
+  "bench_tomcat_jsp"
+  "bench_tomcat_jsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tomcat_jsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tomcat_jsp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_gallery.dir/dot_gallery.cpp.o"
+  "CMakeFiles/dot_gallery.dir/dot_gallery.cpp.o.d"
+  "dot_gallery"
+  "dot_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

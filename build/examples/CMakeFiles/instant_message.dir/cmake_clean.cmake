@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instant_message.dir/instant_message.cpp.o"
+  "CMakeFiles/instant_message.dir/instant_message.cpp.o.d"
+  "instant_message"
+  "instant_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instant_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passage_time.dir/passage_time.cpp.o"
+  "CMakeFiles/passage_time.dir/passage_time.cpp.o.d"
+  "passage_time"
+  "passage_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passage_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pda_handover.dir/pda_handover.cpp.o"
+  "CMakeFiles/pda_handover.dir/pda_handover.cpp.o.d"
+  "pda_handover"
+  "pda_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pda_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

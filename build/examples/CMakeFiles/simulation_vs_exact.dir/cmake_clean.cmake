@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_vs_exact.dir/simulation_vs_exact.cpp.o"
+  "CMakeFiles/simulation_vs_exact.dir/simulation_vs_exact.cpp.o.d"
+  "simulation_vs_exact"
+  "simulation_vs_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_vs_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

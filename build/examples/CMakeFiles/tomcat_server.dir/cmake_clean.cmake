@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomcat_server.dir/tomcat_server.cpp.o"
+  "CMakeFiles/tomcat_server.dir/tomcat_server.cpp.o.d"
+  "tomcat_server"
+  "tomcat_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomcat_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

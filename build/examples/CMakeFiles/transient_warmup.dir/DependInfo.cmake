@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/transient_warmup.cpp" "examples/CMakeFiles/transient_warmup.dir/transient_warmup.cpp.o" "gcc" "examples/CMakeFiles/transient_warmup.dir/transient_warmup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/choreographer/CMakeFiles/choreo_chor.dir/DependInfo.cmake"
+  "/root/repo/build/src/uml/CMakeFiles/choreo_uml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/choreo_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pepanet/CMakeFiles/choreo_pepanet.dir/DependInfo.cmake"
+  "/root/repo/build/src/pepa/CMakeFiles/choreo_pepa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/choreo_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/choreo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_warmup.dir/transient_warmup.cpp.o"
+  "CMakeFiles/transient_warmup.dir/transient_warmup.cpp.o.d"
+  "transient_warmup"
+  "transient_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

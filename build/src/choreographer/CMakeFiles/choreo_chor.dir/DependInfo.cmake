@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/choreographer/dom_extract.cpp" "src/choreographer/CMakeFiles/choreo_chor.dir/dom_extract.cpp.o" "gcc" "src/choreographer/CMakeFiles/choreo_chor.dir/dom_extract.cpp.o.d"
+  "/root/repo/src/choreographer/extract_activity.cpp" "src/choreographer/CMakeFiles/choreo_chor.dir/extract_activity.cpp.o" "gcc" "src/choreographer/CMakeFiles/choreo_chor.dir/extract_activity.cpp.o.d"
+  "/root/repo/src/choreographer/extract_statechart.cpp" "src/choreographer/CMakeFiles/choreo_chor.dir/extract_statechart.cpp.o" "gcc" "src/choreographer/CMakeFiles/choreo_chor.dir/extract_statechart.cpp.o.d"
+  "/root/repo/src/choreographer/measures_spec.cpp" "src/choreographer/CMakeFiles/choreo_chor.dir/measures_spec.cpp.o" "gcc" "src/choreographer/CMakeFiles/choreo_chor.dir/measures_spec.cpp.o.d"
+  "/root/repo/src/choreographer/names.cpp" "src/choreographer/CMakeFiles/choreo_chor.dir/names.cpp.o" "gcc" "src/choreographer/CMakeFiles/choreo_chor.dir/names.cpp.o.d"
+  "/root/repo/src/choreographer/paper_models.cpp" "src/choreographer/CMakeFiles/choreo_chor.dir/paper_models.cpp.o" "gcc" "src/choreographer/CMakeFiles/choreo_chor.dir/paper_models.cpp.o.d"
+  "/root/repo/src/choreographer/pipeline.cpp" "src/choreographer/CMakeFiles/choreo_chor.dir/pipeline.cpp.o" "gcc" "src/choreographer/CMakeFiles/choreo_chor.dir/pipeline.cpp.o.d"
+  "/root/repo/src/choreographer/rates.cpp" "src/choreographer/CMakeFiles/choreo_chor.dir/rates.cpp.o" "gcc" "src/choreographer/CMakeFiles/choreo_chor.dir/rates.cpp.o.d"
+  "/root/repo/src/choreographer/reflect.cpp" "src/choreographer/CMakeFiles/choreo_chor.dir/reflect.cpp.o" "gcc" "src/choreographer/CMakeFiles/choreo_chor.dir/reflect.cpp.o.d"
+  "/root/repo/src/choreographer/sensitivity.cpp" "src/choreographer/CMakeFiles/choreo_chor.dir/sensitivity.cpp.o" "gcc" "src/choreographer/CMakeFiles/choreo_chor.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uml/CMakeFiles/choreo_uml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pepanet/CMakeFiles/choreo_pepanet.dir/DependInfo.cmake"
+  "/root/repo/build/src/pepa/CMakeFiles/choreo_pepa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/choreo_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/choreo_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/choreo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

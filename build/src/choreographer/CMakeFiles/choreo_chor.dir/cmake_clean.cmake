@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choreo_chor.dir/dom_extract.cpp.o"
+  "CMakeFiles/choreo_chor.dir/dom_extract.cpp.o.d"
+  "CMakeFiles/choreo_chor.dir/extract_activity.cpp.o"
+  "CMakeFiles/choreo_chor.dir/extract_activity.cpp.o.d"
+  "CMakeFiles/choreo_chor.dir/extract_statechart.cpp.o"
+  "CMakeFiles/choreo_chor.dir/extract_statechart.cpp.o.d"
+  "CMakeFiles/choreo_chor.dir/measures_spec.cpp.o"
+  "CMakeFiles/choreo_chor.dir/measures_spec.cpp.o.d"
+  "CMakeFiles/choreo_chor.dir/names.cpp.o"
+  "CMakeFiles/choreo_chor.dir/names.cpp.o.d"
+  "CMakeFiles/choreo_chor.dir/paper_models.cpp.o"
+  "CMakeFiles/choreo_chor.dir/paper_models.cpp.o.d"
+  "CMakeFiles/choreo_chor.dir/pipeline.cpp.o"
+  "CMakeFiles/choreo_chor.dir/pipeline.cpp.o.d"
+  "CMakeFiles/choreo_chor.dir/rates.cpp.o"
+  "CMakeFiles/choreo_chor.dir/rates.cpp.o.d"
+  "CMakeFiles/choreo_chor.dir/reflect.cpp.o"
+  "CMakeFiles/choreo_chor.dir/reflect.cpp.o.d"
+  "CMakeFiles/choreo_chor.dir/sensitivity.cpp.o"
+  "CMakeFiles/choreo_chor.dir/sensitivity.cpp.o.d"
+  "libchoreo_chor.a"
+  "libchoreo_chor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choreo_chor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctmc/absorption.cpp" "src/ctmc/CMakeFiles/choreo_ctmc.dir/absorption.cpp.o" "gcc" "src/ctmc/CMakeFiles/choreo_ctmc.dir/absorption.cpp.o.d"
+  "/root/repo/src/ctmc/generator.cpp" "src/ctmc/CMakeFiles/choreo_ctmc.dir/generator.cpp.o" "gcc" "src/ctmc/CMakeFiles/choreo_ctmc.dir/generator.cpp.o.d"
+  "/root/repo/src/ctmc/labelled_lumping.cpp" "src/ctmc/CMakeFiles/choreo_ctmc.dir/labelled_lumping.cpp.o" "gcc" "src/ctmc/CMakeFiles/choreo_ctmc.dir/labelled_lumping.cpp.o.d"
+  "/root/repo/src/ctmc/lumping.cpp" "src/ctmc/CMakeFiles/choreo_ctmc.dir/lumping.cpp.o" "gcc" "src/ctmc/CMakeFiles/choreo_ctmc.dir/lumping.cpp.o.d"
+  "/root/repo/src/ctmc/passage.cpp" "src/ctmc/CMakeFiles/choreo_ctmc.dir/passage.cpp.o" "gcc" "src/ctmc/CMakeFiles/choreo_ctmc.dir/passage.cpp.o.d"
+  "/root/repo/src/ctmc/prism_export.cpp" "src/ctmc/CMakeFiles/choreo_ctmc.dir/prism_export.cpp.o" "gcc" "src/ctmc/CMakeFiles/choreo_ctmc.dir/prism_export.cpp.o.d"
+  "/root/repo/src/ctmc/rewards.cpp" "src/ctmc/CMakeFiles/choreo_ctmc.dir/rewards.cpp.o" "gcc" "src/ctmc/CMakeFiles/choreo_ctmc.dir/rewards.cpp.o.d"
+  "/root/repo/src/ctmc/sparse.cpp" "src/ctmc/CMakeFiles/choreo_ctmc.dir/sparse.cpp.o" "gcc" "src/ctmc/CMakeFiles/choreo_ctmc.dir/sparse.cpp.o.d"
+  "/root/repo/src/ctmc/steady_state.cpp" "src/ctmc/CMakeFiles/choreo_ctmc.dir/steady_state.cpp.o" "gcc" "src/ctmc/CMakeFiles/choreo_ctmc.dir/steady_state.cpp.o.d"
+  "/root/repo/src/ctmc/transient.cpp" "src/ctmc/CMakeFiles/choreo_ctmc.dir/transient.cpp.o" "gcc" "src/ctmc/CMakeFiles/choreo_ctmc.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/choreo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choreo_ctmc.dir/absorption.cpp.o"
+  "CMakeFiles/choreo_ctmc.dir/absorption.cpp.o.d"
+  "CMakeFiles/choreo_ctmc.dir/generator.cpp.o"
+  "CMakeFiles/choreo_ctmc.dir/generator.cpp.o.d"
+  "CMakeFiles/choreo_ctmc.dir/labelled_lumping.cpp.o"
+  "CMakeFiles/choreo_ctmc.dir/labelled_lumping.cpp.o.d"
+  "CMakeFiles/choreo_ctmc.dir/lumping.cpp.o"
+  "CMakeFiles/choreo_ctmc.dir/lumping.cpp.o.d"
+  "CMakeFiles/choreo_ctmc.dir/passage.cpp.o"
+  "CMakeFiles/choreo_ctmc.dir/passage.cpp.o.d"
+  "CMakeFiles/choreo_ctmc.dir/prism_export.cpp.o"
+  "CMakeFiles/choreo_ctmc.dir/prism_export.cpp.o.d"
+  "CMakeFiles/choreo_ctmc.dir/rewards.cpp.o"
+  "CMakeFiles/choreo_ctmc.dir/rewards.cpp.o.d"
+  "CMakeFiles/choreo_ctmc.dir/sparse.cpp.o"
+  "CMakeFiles/choreo_ctmc.dir/sparse.cpp.o.d"
+  "CMakeFiles/choreo_ctmc.dir/steady_state.cpp.o"
+  "CMakeFiles/choreo_ctmc.dir/steady_state.cpp.o.d"
+  "CMakeFiles/choreo_ctmc.dir/transient.cpp.o"
+  "CMakeFiles/choreo_ctmc.dir/transient.cpp.o.d"
+  "libchoreo_ctmc.a"
+  "libchoreo_ctmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choreo_ctmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pepa/aggregate.cpp" "src/pepa/CMakeFiles/choreo_pepa.dir/aggregate.cpp.o" "gcc" "src/pepa/CMakeFiles/choreo_pepa.dir/aggregate.cpp.o.d"
+  "/root/repo/src/pepa/ast.cpp" "src/pepa/CMakeFiles/choreo_pepa.dir/ast.cpp.o" "gcc" "src/pepa/CMakeFiles/choreo_pepa.dir/ast.cpp.o.d"
+  "/root/repo/src/pepa/dot.cpp" "src/pepa/CMakeFiles/choreo_pepa.dir/dot.cpp.o" "gcc" "src/pepa/CMakeFiles/choreo_pepa.dir/dot.cpp.o.d"
+  "/root/repo/src/pepa/measures.cpp" "src/pepa/CMakeFiles/choreo_pepa.dir/measures.cpp.o" "gcc" "src/pepa/CMakeFiles/choreo_pepa.dir/measures.cpp.o.d"
+  "/root/repo/src/pepa/model.cpp" "src/pepa/CMakeFiles/choreo_pepa.dir/model.cpp.o" "gcc" "src/pepa/CMakeFiles/choreo_pepa.dir/model.cpp.o.d"
+  "/root/repo/src/pepa/parser.cpp" "src/pepa/CMakeFiles/choreo_pepa.dir/parser.cpp.o" "gcc" "src/pepa/CMakeFiles/choreo_pepa.dir/parser.cpp.o.d"
+  "/root/repo/src/pepa/printer.cpp" "src/pepa/CMakeFiles/choreo_pepa.dir/printer.cpp.o" "gcc" "src/pepa/CMakeFiles/choreo_pepa.dir/printer.cpp.o.d"
+  "/root/repo/src/pepa/rate.cpp" "src/pepa/CMakeFiles/choreo_pepa.dir/rate.cpp.o" "gcc" "src/pepa/CMakeFiles/choreo_pepa.dir/rate.cpp.o.d"
+  "/root/repo/src/pepa/semantics.cpp" "src/pepa/CMakeFiles/choreo_pepa.dir/semantics.cpp.o" "gcc" "src/pepa/CMakeFiles/choreo_pepa.dir/semantics.cpp.o.d"
+  "/root/repo/src/pepa/statespace.cpp" "src/pepa/CMakeFiles/choreo_pepa.dir/statespace.cpp.o" "gcc" "src/pepa/CMakeFiles/choreo_pepa.dir/statespace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/choreo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/choreo_ctmc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choreo_pepa.dir/aggregate.cpp.o"
+  "CMakeFiles/choreo_pepa.dir/aggregate.cpp.o.d"
+  "CMakeFiles/choreo_pepa.dir/ast.cpp.o"
+  "CMakeFiles/choreo_pepa.dir/ast.cpp.o.d"
+  "CMakeFiles/choreo_pepa.dir/dot.cpp.o"
+  "CMakeFiles/choreo_pepa.dir/dot.cpp.o.d"
+  "CMakeFiles/choreo_pepa.dir/measures.cpp.o"
+  "CMakeFiles/choreo_pepa.dir/measures.cpp.o.d"
+  "CMakeFiles/choreo_pepa.dir/model.cpp.o"
+  "CMakeFiles/choreo_pepa.dir/model.cpp.o.d"
+  "CMakeFiles/choreo_pepa.dir/parser.cpp.o"
+  "CMakeFiles/choreo_pepa.dir/parser.cpp.o.d"
+  "CMakeFiles/choreo_pepa.dir/printer.cpp.o"
+  "CMakeFiles/choreo_pepa.dir/printer.cpp.o.d"
+  "CMakeFiles/choreo_pepa.dir/rate.cpp.o"
+  "CMakeFiles/choreo_pepa.dir/rate.cpp.o.d"
+  "CMakeFiles/choreo_pepa.dir/semantics.cpp.o"
+  "CMakeFiles/choreo_pepa.dir/semantics.cpp.o.d"
+  "CMakeFiles/choreo_pepa.dir/statespace.cpp.o"
+  "CMakeFiles/choreo_pepa.dir/statespace.cpp.o.d"
+  "libchoreo_pepa.a"
+  "libchoreo_pepa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choreo_pepa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pepanet/net.cpp" "src/pepanet/CMakeFiles/choreo_pepanet.dir/net.cpp.o" "gcc" "src/pepanet/CMakeFiles/choreo_pepanet.dir/net.cpp.o.d"
+  "/root/repo/src/pepanet/net_dot.cpp" "src/pepanet/CMakeFiles/choreo_pepanet.dir/net_dot.cpp.o" "gcc" "src/pepanet/CMakeFiles/choreo_pepanet.dir/net_dot.cpp.o.d"
+  "/root/repo/src/pepanet/net_parser.cpp" "src/pepanet/CMakeFiles/choreo_pepanet.dir/net_parser.cpp.o" "gcc" "src/pepanet/CMakeFiles/choreo_pepanet.dir/net_parser.cpp.o.d"
+  "/root/repo/src/pepanet/net_printer.cpp" "src/pepanet/CMakeFiles/choreo_pepanet.dir/net_printer.cpp.o" "gcc" "src/pepanet/CMakeFiles/choreo_pepanet.dir/net_printer.cpp.o.d"
+  "/root/repo/src/pepanet/netaggregate.cpp" "src/pepanet/CMakeFiles/choreo_pepanet.dir/netaggregate.cpp.o" "gcc" "src/pepanet/CMakeFiles/choreo_pepanet.dir/netaggregate.cpp.o.d"
+  "/root/repo/src/pepanet/netsemantics.cpp" "src/pepanet/CMakeFiles/choreo_pepanet.dir/netsemantics.cpp.o" "gcc" "src/pepanet/CMakeFiles/choreo_pepanet.dir/netsemantics.cpp.o.d"
+  "/root/repo/src/pepanet/netstatespace.cpp" "src/pepanet/CMakeFiles/choreo_pepanet.dir/netstatespace.cpp.o" "gcc" "src/pepanet/CMakeFiles/choreo_pepanet.dir/netstatespace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pepa/CMakeFiles/choreo_pepa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/choreo_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/choreo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choreo_pepanet.dir/net.cpp.o"
+  "CMakeFiles/choreo_pepanet.dir/net.cpp.o.d"
+  "CMakeFiles/choreo_pepanet.dir/net_dot.cpp.o"
+  "CMakeFiles/choreo_pepanet.dir/net_dot.cpp.o.d"
+  "CMakeFiles/choreo_pepanet.dir/net_parser.cpp.o"
+  "CMakeFiles/choreo_pepanet.dir/net_parser.cpp.o.d"
+  "CMakeFiles/choreo_pepanet.dir/net_printer.cpp.o"
+  "CMakeFiles/choreo_pepanet.dir/net_printer.cpp.o.d"
+  "CMakeFiles/choreo_pepanet.dir/netaggregate.cpp.o"
+  "CMakeFiles/choreo_pepanet.dir/netaggregate.cpp.o.d"
+  "CMakeFiles/choreo_pepanet.dir/netsemantics.cpp.o"
+  "CMakeFiles/choreo_pepanet.dir/netsemantics.cpp.o.d"
+  "CMakeFiles/choreo_pepanet.dir/netstatespace.cpp.o"
+  "CMakeFiles/choreo_pepanet.dir/netstatespace.cpp.o.d"
+  "libchoreo_pepanet.a"
+  "libchoreo_pepanet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choreo_pepanet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/batch.cpp" "src/sim/CMakeFiles/choreo_sim.dir/batch.cpp.o" "gcc" "src/sim/CMakeFiles/choreo_sim.dir/batch.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/choreo_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/choreo_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/replicate.cpp" "src/sim/CMakeFiles/choreo_sim.dir/replicate.cpp.o" "gcc" "src/sim/CMakeFiles/choreo_sim.dir/replicate.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/sim/CMakeFiles/choreo_sim.dir/system.cpp.o" "gcc" "src/sim/CMakeFiles/choreo_sim.dir/system.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/sim/CMakeFiles/choreo_sim.dir/transient.cpp.o" "gcc" "src/sim/CMakeFiles/choreo_sim.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pepa/CMakeFiles/choreo_pepa.dir/DependInfo.cmake"
+  "/root/repo/build/src/pepanet/CMakeFiles/choreo_pepanet.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/choreo_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/choreo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

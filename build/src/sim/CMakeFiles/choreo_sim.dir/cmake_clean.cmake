@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choreo_sim.dir/batch.cpp.o"
+  "CMakeFiles/choreo_sim.dir/batch.cpp.o.d"
+  "CMakeFiles/choreo_sim.dir/engine.cpp.o"
+  "CMakeFiles/choreo_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/choreo_sim.dir/replicate.cpp.o"
+  "CMakeFiles/choreo_sim.dir/replicate.cpp.o.d"
+  "CMakeFiles/choreo_sim.dir/system.cpp.o"
+  "CMakeFiles/choreo_sim.dir/system.cpp.o.d"
+  "CMakeFiles/choreo_sim.dir/transient.cpp.o"
+  "CMakeFiles/choreo_sim.dir/transient.cpp.o.d"
+  "libchoreo_sim.a"
+  "libchoreo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choreo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choreographer.dir/choreographer_cli.cpp.o"
+  "CMakeFiles/choreographer.dir/choreographer_cli.cpp.o.d"
+  "choreographer"
+  "choreographer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choreographer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

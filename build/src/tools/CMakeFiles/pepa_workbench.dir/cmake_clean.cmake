@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pepa_workbench.dir/pepa_workbench.cpp.o"
+  "CMakeFiles/pepa_workbench.dir/pepa_workbench.cpp.o.d"
+  "pepa_workbench"
+  "pepa_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pepa_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

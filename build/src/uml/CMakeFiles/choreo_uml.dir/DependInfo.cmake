@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uml/dot.cpp" "src/uml/CMakeFiles/choreo_uml.dir/dot.cpp.o" "gcc" "src/uml/CMakeFiles/choreo_uml.dir/dot.cpp.o.d"
+  "/root/repo/src/uml/layout.cpp" "src/uml/CMakeFiles/choreo_uml.dir/layout.cpp.o" "gcc" "src/uml/CMakeFiles/choreo_uml.dir/layout.cpp.o.d"
+  "/root/repo/src/uml/model.cpp" "src/uml/CMakeFiles/choreo_uml.dir/model.cpp.o" "gcc" "src/uml/CMakeFiles/choreo_uml.dir/model.cpp.o.d"
+  "/root/repo/src/uml/xmi.cpp" "src/uml/CMakeFiles/choreo_uml.dir/xmi.cpp.o" "gcc" "src/uml/CMakeFiles/choreo_uml.dir/xmi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/choreo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/choreo_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

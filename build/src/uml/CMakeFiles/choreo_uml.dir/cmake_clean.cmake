@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choreo_uml.dir/dot.cpp.o"
+  "CMakeFiles/choreo_uml.dir/dot.cpp.o.d"
+  "CMakeFiles/choreo_uml.dir/layout.cpp.o"
+  "CMakeFiles/choreo_uml.dir/layout.cpp.o.d"
+  "CMakeFiles/choreo_uml.dir/model.cpp.o"
+  "CMakeFiles/choreo_uml.dir/model.cpp.o.d"
+  "CMakeFiles/choreo_uml.dir/xmi.cpp.o"
+  "CMakeFiles/choreo_uml.dir/xmi.cpp.o.d"
+  "libchoreo_uml.a"
+  "libchoreo_uml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choreo_uml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for choreo_uml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choreo_util.dir/error.cpp.o"
+  "CMakeFiles/choreo_util.dir/error.cpp.o.d"
+  "CMakeFiles/choreo_util.dir/rng.cpp.o"
+  "CMakeFiles/choreo_util.dir/rng.cpp.o.d"
+  "CMakeFiles/choreo_util.dir/stats.cpp.o"
+  "CMakeFiles/choreo_util.dir/stats.cpp.o.d"
+  "CMakeFiles/choreo_util.dir/strings.cpp.o"
+  "CMakeFiles/choreo_util.dir/strings.cpp.o.d"
+  "CMakeFiles/choreo_util.dir/table.cpp.o"
+  "CMakeFiles/choreo_util.dir/table.cpp.o.d"
+  "CMakeFiles/choreo_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/choreo_util.dir/thread_pool.cpp.o.d"
+  "libchoreo_util.a"
+  "libchoreo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choreo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

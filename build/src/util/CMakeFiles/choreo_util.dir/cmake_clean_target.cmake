@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchoreo_util.a"
+)

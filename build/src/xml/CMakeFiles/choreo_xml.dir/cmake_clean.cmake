@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choreo_xml.dir/dom.cpp.o"
+  "CMakeFiles/choreo_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/choreo_xml.dir/parse.cpp.o"
+  "CMakeFiles/choreo_xml.dir/parse.cpp.o.d"
+  "CMakeFiles/choreo_xml.dir/query.cpp.o"
+  "CMakeFiles/choreo_xml.dir/query.cpp.o.d"
+  "CMakeFiles/choreo_xml.dir/write.cpp.o"
+  "CMakeFiles/choreo_xml.dir/write.cpp.o.d"
+  "libchoreo_xml.a"
+  "libchoreo_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choreo_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

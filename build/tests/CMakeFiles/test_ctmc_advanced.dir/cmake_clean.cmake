@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctmc_advanced.dir/test_ctmc_advanced.cpp.o"
+  "CMakeFiles/test_ctmc_advanced.dir/test_ctmc_advanced.cpp.o.d"
+  "test_ctmc_advanced"
+  "test_ctmc_advanced.pdb"
+  "test_ctmc_advanced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctmc_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments_claims.dir/test_experiments_claims.cpp.o"
+  "CMakeFiles/test_experiments_claims.dir/test_experiments_claims.cpp.o.d"
+  "test_experiments_claims"
+  "test_experiments_claims.pdb"
+  "test_experiments_claims[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

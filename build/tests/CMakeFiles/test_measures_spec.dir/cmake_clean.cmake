@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measures_spec.dir/test_measures_spec.cpp.o"
+  "CMakeFiles/test_measures_spec.dir/test_measures_spec.cpp.o.d"
+  "test_measures_spec"
+  "test_measures_spec.pdb"
+  "test_measures_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measures_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models_dir.dir/test_models_dir.cpp.o"
+  "CMakeFiles/test_models_dir.dir/test_models_dir.cpp.o.d"
+  "test_models_dir"
+  "test_models_dir.pdb"
+  "test_models_dir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models_dir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

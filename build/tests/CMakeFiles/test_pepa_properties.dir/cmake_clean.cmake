@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pepa_properties.dir/test_pepa_properties.cpp.o"
+  "CMakeFiles/test_pepa_properties.dir/test_pepa_properties.cpp.o.d"
+  "test_pepa_properties"
+  "test_pepa_properties.pdb"
+  "test_pepa_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pepa_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pepa_rate.dir/test_pepa_rate.cpp.o"
+  "CMakeFiles/test_pepa_rate.dir/test_pepa_rate.cpp.o.d"
+  "test_pepa_rate"
+  "test_pepa_rate.pdb"
+  "test_pepa_rate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pepa_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pepa_statespace.dir/test_pepa_statespace.cpp.o"
+  "CMakeFiles/test_pepa_statespace.dir/test_pepa_statespace.cpp.o.d"
+  "test_pepa_statespace"
+  "test_pepa_statespace.pdb"
+  "test_pepa_statespace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pepa_statespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pepanet.dir/test_pepanet.cpp.o"
+  "CMakeFiles/test_pepanet.dir/test_pepanet.cpp.o.d"
+  "test_pepanet"
+  "test_pepanet.pdb"
+  "test_pepanet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pepanet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pepanet_properties.dir/test_pepanet_properties.cpp.o"
+  "CMakeFiles/test_pepanet_properties.dir/test_pepanet_properties.cpp.o.d"
+  "test_pepanet_properties"
+  "test_pepanet_properties.pdb"
+  "test_pepanet_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pepanet_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uml.dir/test_uml.cpp.o"
+  "CMakeFiles/test_uml.dir/test_uml.cpp.o.d"
+  "test_uml"
+  "test_uml.pdb"
+  "test_uml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
