@@ -1,0 +1,188 @@
+// Service-layer throughput: the concurrent analysis scheduler over a
+// manifest of the two paper case studies (PDA handover, Tomcat JSP).
+//
+// Report: jobs/sec and p50/p99 job latency for a cold cache (every job
+// solves) vs a warm cache (every job replays), at 1..4 workers.  The
+// quantiles come from the service's own choreo_job_seconds histogram,
+// read through the snapshot/quantile API the way a dashboard would.
+// Benchmarks: one scheduler round trip over the manifest, cold and warm.
+#include "bench_common.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "choreographer/paper_models.hpp"
+#include "service/cache.hpp"
+#include "service/metrics.hpp"
+#include "service/scheduler.hpp"
+#include "uml/xmi.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace choreo;
+
+/// `copies` PDA + Tomcat pairs, each pair with its own rate override so
+/// every job has a distinct cache key: a cold round solves every job,
+/// while resubmitting the same manifest replays all of them.
+std::vector<service::JobRequest> paper_manifest(std::size_t copies) {
+  std::vector<service::JobRequest> manifest;
+  for (std::size_t i = 0; i < copies; ++i) {
+    const double rate = 1.0 + 0.25 * static_cast<double>(i);
+
+    service::JobRequest pda;
+    pda.name = "pda-" + std::to_string(i);
+    pda.project = uml::to_xmi(chor::pda_handover_model());
+    pda.options.rates.emplace_back("handover_1", rate);
+    manifest.push_back(std::move(pda));
+
+    service::JobRequest tomcat;
+    tomcat.name = "tomcat-" + std::to_string(i);
+    tomcat.project = uml::to_xmi(chor::tomcat_model(true));
+    tomcat.options.rates.emplace_back("request", rate);
+    manifest.push_back(std::move(tomcat));
+  }
+  return manifest;
+}
+
+/// Submits the whole manifest to `scheduler` and waits for every job.
+/// Returns the wall-clock seconds for the round.
+double run_round(service::Scheduler& scheduler,
+                 const std::vector<service::JobRequest>& manifest) {
+  util::Stopwatch timer;
+  std::vector<service::JobHandle> handles;
+  handles.reserve(manifest.size());
+  for (const service::JobRequest& request : manifest) {
+    handles.push_back(scheduler.submit(request));
+  }
+  for (service::JobHandle& handle : handles) {
+    const service::JobResult result = handle.wait();
+    if (result.status != service::JobStatus::kDone) {
+      std::cerr << "job failed: " << result.error << '\n';
+    }
+  }
+  return timer.seconds();
+}
+
+struct RoundStats {
+  double jobs_per_second = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double hit_rate = 0.0;
+};
+
+/// One measured round against `cache` (primed or not).  The scheduler gets
+/// a registry of its own so the latency histogram holds exactly this
+/// round's observations; the cache hit rate is read as a delta on the
+/// cache's registry, which persists across the priming round.
+RoundStats measure_round(service::ResultCache& cache,
+                         service::Registry& cache_registry,
+                         std::size_t workers,
+                         const std::vector<service::JobRequest>& manifest) {
+  const std::uint64_t hits_before =
+      cache_registry.counter("choreo_cache_hits_total", "").value();
+  const std::uint64_t misses_before =
+      cache_registry.counter("choreo_cache_misses_total", "").value();
+
+  service::Registry round_registry;
+  service::SchedulerOptions options;
+  options.workers = workers;
+  options.queue_capacity = 16;
+  options.cache = &cache;
+  options.registry = &round_registry;
+  double seconds = 0.0;
+  {
+    service::Scheduler scheduler(options);
+    seconds = run_round(scheduler, manifest);
+  }
+
+  const service::Histogram& latency =
+      round_registry.histogram("choreo_job_seconds", "");
+  const std::uint64_t hits =
+      cache_registry.counter("choreo_cache_hits_total", "").value() -
+      hits_before;
+  const std::uint64_t misses =
+      cache_registry.counter("choreo_cache_misses_total", "").value() -
+      misses_before;
+  RoundStats stats;
+  stats.jobs_per_second = static_cast<double>(manifest.size()) / seconds;
+  stats.p50_ms = latency.quantile(0.5) * 1e3;
+  stats.p99_ms = latency.quantile(0.99) * 1e3;
+  const std::uint64_t lookups = hits + misses;
+  stats.hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(hits) / static_cast<double>(lookups);
+  return stats;
+}
+
+void prime_cache(service::ResultCache& cache, std::size_t workers,
+                 const std::vector<service::JobRequest>& manifest) {
+  service::Registry priming_registry;
+  service::SchedulerOptions options;
+  options.workers = workers;
+  options.queue_capacity = 16;
+  options.cache = &cache;
+  options.registry = &priming_registry;
+  service::Scheduler scheduler(options);
+  run_round(scheduler, manifest);
+}
+
+void report() {
+  const std::vector<service::JobRequest> manifest = paper_manifest(16);
+  util::TextTable table(
+      {"config", "jobs", "jobs/s", "p50 (ms)", "p99 (ms)", "hit rate"});
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    for (const bool warm : {false, true}) {
+      service::Registry cache_registry;
+      service::ResultCache cache({.registry = &cache_registry});
+      if (warm) prime_cache(cache, workers, manifest);
+      const RoundStats stats =
+          measure_round(cache, cache_registry, workers, manifest);
+      table.add_row_values(
+          std::to_string(workers) + (warm ? "w warm" : "w cold"),
+          {static_cast<double>(manifest.size()), stats.jobs_per_second,
+           stats.p50_ms, stats.p99_ms, stats.hit_rate});
+    }
+  }
+  std::cout << table << '\n';
+}
+
+void bench_round(benchmark::State& state, bool warm) {
+  const std::vector<service::JobRequest> manifest = paper_manifest(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    service::Registry registry;
+    service::ResultCache cache({.registry = &registry});
+    if (warm) prime_cache(cache, 2, manifest);
+    service::SchedulerOptions options;
+    options.workers = 2;
+    options.cache = &cache;
+    options.registry = &registry;
+    service::Scheduler scheduler(options);
+    state.ResumeTiming();
+
+    run_round(scheduler, manifest);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(manifest.size()));
+}
+
+void BM_ServiceColdCache(benchmark::State& state) {
+  bench_round(state, /*warm=*/false);
+}
+BENCHMARK(BM_ServiceColdCache)->Unit(benchmark::kMillisecond);
+
+void BM_ServiceWarmCache(benchmark::State& state) {
+  bench_round(state, /*warm=*/true);
+}
+BENCHMARK(BM_ServiceWarmCache)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return choreo::bench::run(argc, argv,
+                            "service throughput (scheduler + result cache)",
+                            report);
+}

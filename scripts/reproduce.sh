@@ -1,9 +1,17 @@
 #!/bin/sh
 # Rebuilds everything, runs the full test suite and every experiment bench,
-# and records the transcripts EXPERIMENTS.md refers to.
+# and records the transcripts EXPERIMENTS.md refers to.  The concurrent
+# analysis service is additionally stress-tested under ThreadSanitizer.
 set -e
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+# Data-race check: the service concurrency tests under TSan.
+cmake -B build-tsan -G Ninja -DCHOREO_SANITIZE=thread
+cmake --build build-tsan --target test_service test_metrics test_util
+./build-tsan/tests/test_service 2>&1 | tee tsan_output.txt
+./build-tsan/tests/test_metrics 2>&1 | tee -a tsan_output.txt
+./build-tsan/tests/test_util --gtest_filter='ThreadPool.*' 2>&1 | tee -a tsan_output.txt

@@ -21,23 +21,32 @@ namespace choreo::chor {
 
 namespace {
 
+/// Invokes the caller's cooperative cancellation/deadline hook, if any.
+void checkpoint(const AnalysisOptions& options) {
+  if (options.checkpoint) options.checkpoint();
+}
+
 ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
                                            const AnalysisOptions& options) {
+  util::Stopwatch timer;
   ExtractOptions extract_options;
   extract_options.default_rate = options.default_rate;
   ActivityExtraction extraction = extract_activity_graph(graph, extract_options);
 
+  checkpoint(options);
   pepanet::NetSemantics semantics(extraction.net);
   pepanet::NetDeriveOptions derive_options;
   derive_options.max_markings = options.max_states;
   const auto space = pepanet::NetStateSpace::derive(semantics, derive_options);
 
-  util::Stopwatch timer;
   ActivityGraphResult result;
   result.graph_name = graph.name();
   result.marking_count = space.marking_count();
   result.transition_count = space.transitions().size();
+  result.extract_seconds = timer.seconds();
 
+  checkpoint(options);
+  timer.restart();
   Throughputs throughputs;
   if (options.aggregate) {
     // Exact aggregation: throughput of every action survives the quotient.
@@ -45,6 +54,8 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
     const auto solved =
         ctmc::steady_state(lumping.quotient_generator(), options.solver);
     result.solve_seconds = timer.seconds();
+    checkpoint(options);
+    timer.restart();
     for (const auto& action_name : extraction.action_names) {
       if (!action_name) continue;
       const auto action = extraction.net.arena().find_action(*action_name);
@@ -54,10 +65,13 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
     }
     result.throughputs = throughputs;
     reflect_throughputs(graph, throughputs);
+    result.reflect_seconds = timer.seconds();
     return result;
   }
   const auto solved = ctmc::steady_state(space.generator(), options.solver);
   result.solve_seconds = timer.seconds();
+  checkpoint(options);
+  timer.restart();
   for (const auto& action_name : extraction.action_names) {
     if (!action_name) continue;
     const auto action = extraction.net.arena().find_action(*action_name);
@@ -68,11 +82,13 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
   }
   result.throughputs = throughputs;
   reflect_throughputs(graph, throughputs);
+  result.reflect_seconds = timer.seconds();
   return result;
 }
 
 StateMachineResult analyse_state_machines(uml::Model& model,
                                           const AnalysisOptions& options) {
+  util::Stopwatch timer;
   StatechartExtraction extraction = extract_state_machines(model);
   pepa::Semantics semantics(extraction.model.arena());
   pepa::DeriveOptions derive_options;
@@ -80,14 +96,18 @@ StateMachineResult analyse_state_machines(uml::Model& model,
   const auto space = pepa::StateSpace::derive(
       semantics, extraction.model.system(), derive_options);
 
-  util::Stopwatch timer;
-  const auto solved = ctmc::steady_state(space.generator(), options.solver);
-
   StateMachineResult result;
   result.state_count = space.state_count();
   result.transition_count = space.transitions().size();
+  result.extract_seconds = timer.seconds();
+
+  checkpoint(options);
+  timer.restart();
+  const auto solved = ctmc::steady_state(space.generator(), options.solver);
   result.solve_seconds = timer.seconds();
 
+  checkpoint(options);
+  timer.restart();
   const pepa::ProcessArena& arena = extraction.model.arena();
   for (std::size_t m = 0; m < model.state_machines().size(); ++m) {
     Probabilities probabilities;
@@ -109,6 +129,7 @@ StateMachineResult analyse_state_machines(uml::Model& model,
     result.throughputs.emplace_back(
         extraction.model.arena().action_name(action), value);
   }
+  result.reflect_seconds = timer.seconds();
   return result;
 }
 
@@ -120,9 +141,11 @@ AnalysisReport analyse(uml::Model& model, const AnalysisOptions& options) {
 
   AnalysisReport report;
   for (uml::ActivityGraph& graph : model.activity_graphs()) {
+    checkpoint(options);
     report.activity_graphs.push_back(analyse_activity_graph(graph, options));
   }
   if (!model.state_machines().empty()) {
+    checkpoint(options);
     report.state_machines.push_back(analyse_state_machines(model, options));
   }
   return report;

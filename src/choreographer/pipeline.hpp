@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,12 @@ struct AnalysisOptions {
   /// (exact; throughputs are unaffected).  State-diagram analyses keep the
   /// full chain because per-state probabilities need the full states.
   bool aggregate = false;
+  /// Cooperative cancellation/deadline hook.  When set, the pipeline calls
+  /// it at stage boundaries (before extraction, derivation, solving and
+  /// reflection of every graph); throwing from it abandons the analysis
+  /// and the exception propagates to the caller.  Long derivations between
+  /// checkpoints are still bounded by `max_states`.
+  std::function<void()> checkpoint;
 };
 
 /// Per-activity-graph results.
@@ -40,7 +47,11 @@ struct ActivityGraphResult {
   std::size_t transition_count = 0;
   /// (action name, throughput), extraction order.
   std::vector<std::pair<std::string, double>> throughputs;
+  /// Stage timing breakdown: extraction + state-space derivation, CTMC
+  /// solution, and measure computation + reflection.
+  double extract_seconds = 0.0;
   double solve_seconds = 0.0;
+  double reflect_seconds = 0.0;
 };
 
 /// Joint result for all state machines of the model.
@@ -51,7 +62,10 @@ struct StateMachineResult {
   std::vector<std::vector<double>> probabilities;
   /// (action name, throughput) over the composed system.
   std::vector<std::pair<std::string, double>> throughputs;
+  /// Stage timing breakdown, as in ActivityGraphResult.
+  double extract_seconds = 0.0;
   double solve_seconds = 0.0;
+  double reflect_seconds = 0.0;
 };
 
 struct AnalysisReport {

@@ -1,0 +1,31 @@
+#include "service/job.hpp"
+
+namespace choreo::service {
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kTimedOut: return "timed_out";
+  }
+  return "unknown";
+}
+
+bool is_terminal(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued:
+    case JobStatus::kRunning:
+      return false;
+    case JobStatus::kDone:
+    case JobStatus::kFailed:
+    case JobStatus::kCancelled:
+    case JobStatus::kTimedOut:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace choreo::service

@@ -1,0 +1,86 @@
+// Analysis jobs: the unit of work of the concurrent analysis service.
+//
+// A JobRequest wraps one Figure-4 pipeline run — a project document (or the
+// path of one) plus AnalysisOptions — and a JobResult carries everything a
+// client needs back: the AnalysisReport, the annotated project XMI as
+// serialised bytes (so repeated runs can be compared byte-for-byte and the
+// cache can replay them), the error string for failed jobs and a timing
+// breakdown of the queue/run/pipeline stages.
+//
+// Lifecycle (JobStatus):
+//
+//   queued --> running --> done
+//                      \-> failed      (pipeline threw; see JobResult.error)
+//                      \-> timed_out   (wall-clock deadline passed)
+//          \----------\-> cancelled    (JobHandle::cancel, before or during)
+//
+// All transitions are driven by the Scheduler; JobHandle (scheduler.hpp) is
+// the client-side view.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "choreographer/pipeline.hpp"
+#include "xml/dom.hpp"
+
+namespace choreo::service {
+
+enum class JobStatus {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+  kTimedOut,
+};
+
+const char* to_string(JobStatus status);
+
+/// True for the four states that end a job's lifecycle.
+bool is_terminal(JobStatus status);
+
+struct JobRequest {
+  /// Display name used by reports and the batch tool; defaults to the
+  /// input path or "<inline>".
+  std::string name;
+  /// The project document to analyse.  Ignored when `input_path` is set
+  /// (the scheduler then parses the file inside the job).
+  xml::Document project;
+  std::optional<std::string> input_path;
+  /// When set, the annotated project XMI is also written to this path.
+  std::optional<std::string> output_path;
+  chor::AnalysisOptions options;
+  /// Wall-clock budget measured from submission, spanning queue wait,
+  /// retries and backoff.  Negative means "use the scheduler default";
+  /// 0 disables the deadline.
+  double timeout_seconds = -1.0;
+};
+
+struct JobTimings {
+  /// Submission to first execution attempt.
+  double queued_seconds = 0.0;
+  /// Execution (including retries and backoff sleeps).
+  double run_seconds = 0.0;
+  /// Pipeline stage totals summed over the report's graphs.
+  double extract_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double reflect_seconds = 0.0;
+};
+
+struct JobResult {
+  JobStatus status = JobStatus::kQueued;
+  chor::AnalysisReport report;
+  /// The annotated project document, serialised with the default
+  /// xml::WriteOptions.  Byte-identical across cache hits.
+  std::string annotated_xmi;
+  /// Human-readable failure reason (failed / timed_out / cancelled).
+  std::string error;
+  JobTimings timings;
+  /// Execution attempts (0 for cache hits and never-ran jobs).
+  std::size_t attempts = 0;
+  /// Whether the result was served from the content-addressed cache.
+  bool from_cache = false;
+};
+
+}  // namespace choreo::service

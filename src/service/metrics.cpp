@@ -1,0 +1,172 @@
+#include "service/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace choreo::service {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  CHOREO_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+const std::vector<double>& Histogram::default_latency_bounds() {
+  static const std::vector<double> bounds = {
+      0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+      0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0, 30.0};
+  return bounds;
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double upper = bounds_[i];
+    const double fraction =
+        (target - static_cast<double>(before)) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = metrics_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = MetricSample::Kind::kCounter;
+    it->second.help = help;
+    it->second.counter = std::make_unique<Counter>();
+  } else if (it->second.kind != MetricSample::Kind::kCounter) {
+    throw util::Error(util::msg("metric '", name, "' is not a counter"));
+  }
+  return *it->second.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = metrics_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = MetricSample::Kind::kGauge;
+    it->second.help = help;
+    it->second.gauge = std::make_unique<Gauge>();
+  } else if (it->second.kind != MetricSample::Kind::kGauge) {
+    throw util::Error(util::msg("metric '", name, "' is not a gauge"));
+  }
+  return *it->second.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help,
+                               const std::vector<double>& bounds) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = metrics_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = MetricSample::Kind::kHistogram;
+    it->second.help = help;
+    it->second.histogram = std::make_unique<Histogram>(bounds);
+  } else if (it->second.kind != MetricSample::Kind::kHistogram) {
+    throw util::Error(util::msg("metric '", name, "' is not a histogram"));
+  }
+  return *it->second.histogram;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<MetricSample> samples;
+  samples.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.help = entry.help;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricSample::Kind::kCounter:
+        sample.value = static_cast<double>(entry.counter->value());
+        break;
+      case MetricSample::Kind::kGauge:
+        sample.value = static_cast<double>(entry.gauge->value());
+        break;
+      case MetricSample::Kind::kHistogram: {
+        const Histogram& histogram = *entry.histogram;
+        sample.bounds = histogram.bounds();
+        sample.bucket_counts.resize(sample.bounds.size() + 1);
+        for (std::size_t i = 0; i < sample.bucket_counts.size(); ++i) {
+          sample.bucket_counts[i] = histogram.bucket_count(i);
+        }
+        sample.count = histogram.count();
+        sample.sum = histogram.sum();
+        break;
+      }
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+std::string Registry::exposition() const {
+  std::ostringstream out;
+  for (const MetricSample& sample : snapshot()) {
+    if (!sample.help.empty()) {
+      out << "# HELP " << sample.name << ' ' << sample.help << '\n';
+    }
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        out << "# TYPE " << sample.name << " counter\n"
+            << sample.name << ' '
+            << static_cast<std::uint64_t>(sample.value) << '\n';
+        break;
+      case MetricSample::Kind::kGauge:
+        out << "# TYPE " << sample.name << " gauge\n"
+            << sample.name << ' '
+            << static_cast<std::int64_t>(sample.value) << '\n';
+        break;
+      case MetricSample::Kind::kHistogram: {
+        out << "# TYPE " << sample.name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < sample.bounds.size(); ++i) {
+          cumulative += sample.bucket_counts[i];
+          out << sample.name << "_bucket{le=\""
+              << util::format_double(sample.bounds[i]) << "\"} " << cumulative
+              << '\n';
+        }
+        out << sample.name << "_bucket{le=\"+Inf\"} " << sample.count << '\n'
+            << sample.name << "_sum " << util::format_double(sample.sum) << '\n'
+            << sample.name << "_count " << sample.count << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+void Registry::clear() {
+  std::lock_guard lock(mutex_);
+  metrics_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace choreo::service

@@ -1,0 +1,134 @@
+// Process-wide observability for the analysis service: counters, gauges and
+// fixed-bucket latency histograms behind a named registry.
+//
+// The paper's Choreographer is interactive — a designer submits a model and
+// waits for the reflected results — so the service layer needs to answer
+// "how long do analyses take, how deep is the queue, how often does the
+// cache save a solve?" without a debugger.  The registry renders in the
+// Prometheus text exposition format (counters end in _total, histograms
+// emit cumulative _bucket{le=...} series plus _sum/_count) so the output
+// can be scraped as-is, and offers a structured snapshot() for tests and
+// in-process consumers such as the throughput bench.
+//
+// All mutation paths are lock-free atomics; registration takes a mutex but
+// returns stable references, so callers register once and update hot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace choreo::service {
+
+/// A monotonically increasing count (events, hits, retries, ...).
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// An instantaneous signed level (queue depth, cache bytes, ...).
+class Gauge {
+ public:
+  void set(std::int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// A cumulative histogram over fixed upper bounds (Prometheus `le` style):
+/// bucket i counts observations <= bounds[i], with an implicit +Inf bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Upper bounds suited to analysis latencies: 100us .. 30s.
+  static const std::vector<double>& default_latency_bounds();
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket `i` (bounds().size() + 1 buckets).
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Estimates the q-quantile (q in [0,1]) by linear interpolation within
+  /// the bucket that crosses the target rank; returns 0 when empty.  The
+  /// +Inf bucket reports its lower bound (the largest finite bound).
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// A point-in-time copy of one metric, used by Registry::snapshot().
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+  /// Counter/gauge value (histograms use the fields below).
+  double value = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;  // per-bucket, non-cumulative
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// A named family of metrics.  Lookup-or-create is idempotent: asking for
+/// an existing name with the same kind returns the same object; a kind
+/// mismatch throws util::Error.
+class Registry {
+ public:
+  Counter& counter(const std::string& name, const std::string& help);
+  Gauge& gauge(const std::string& name, const std::string& help);
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       const std::vector<double>& bounds =
+                           Histogram::default_latency_bounds());
+
+  /// Prometheus text exposition (# HELP / # TYPE preambles, _bucket series
+  /// with cumulative counts and an explicit +Inf bucket).  Metrics appear
+  /// in name order.
+  std::string exposition() const;
+
+  /// Point-in-time copy of every registered metric, in name order.
+  std::vector<MetricSample> snapshot() const;
+
+  /// Drops every registered metric (outstanding references dangle; meant
+  /// for test isolation, not for live registries).
+  void clear();
+
+  /// The process-wide registry the service components default to.
+  static Registry& global();
+
+ private:
+  struct Entry {
+    MetricSample::Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace choreo::service

@@ -1,0 +1,372 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "uml/layout.hpp"
+#include "uml/xmi.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+#include "xml/parse.hpp"
+#include "xml/write.hpp"
+
+namespace choreo::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Internal control-flow signals thrown from the pipeline checkpoint.
+/// Deliberately not util::Error subclasses so that pipeline-level catch
+/// blocks (none today) could never swallow them.
+struct CancelledSignal {};
+struct DeadlineSignal {};
+
+/// The retryable failure: the max_states safety bound tripped.
+bool is_state_bound_failure(const util::Error& error) {
+  return std::string_view(error.what()).find("state-space explosion") !=
+         std::string_view::npos;
+}
+
+}  // namespace
+
+namespace detail {
+
+struct JobState {
+  JobRequest request;
+  Clock::time_point submitted;
+  /// Clock::time_point::max() when the job has no deadline.
+  Clock::time_point deadline = Clock::time_point::max();
+  std::atomic<bool> cancel_requested{false};
+
+  mutable std::mutex mutex;
+  std::condition_variable terminal_cv;
+  JobStatus status = JobStatus::kQueued;  // guarded by mutex
+  JobResult result;                       // valid once status is terminal
+};
+
+}  // namespace detail
+
+using detail::JobState;
+
+JobStatus JobHandle::status() const {
+  std::lock_guard lock(state_->mutex);
+  return state_->status;
+}
+
+void JobHandle::cancel() { state_->cancel_requested.store(true); }
+
+JobResult JobHandle::wait() {
+  std::unique_lock lock(state_->mutex);
+  state_->terminal_cv.wait(lock,
+                           [&] { return is_terminal(state_->status); });
+  return state_->result;
+}
+
+struct Scheduler::Impl {
+  explicit Impl(const SchedulerOptions& scheduler_options)
+      : options(scheduler_options),
+        registry(scheduler_options.registry ? *scheduler_options.registry
+                                            : Registry::global()),
+        submitted_total(registry.counter("choreo_jobs_submitted_total",
+                                         "Jobs accepted by the scheduler")),
+        done_total(registry.counter("choreo_jobs_done_total",
+                                    "Jobs finished successfully")),
+        failed_total(registry.counter("choreo_jobs_failed_total",
+                                      "Jobs finished with an error")),
+        cancelled_total(registry.counter("choreo_jobs_cancelled_total",
+                                         "Jobs cancelled by the client")),
+        timed_out_total(registry.counter("choreo_jobs_timed_out_total",
+                                         "Jobs that exceeded their deadline")),
+        retries_total(registry.counter(
+            "choreo_job_retries_total",
+            "Re-runs after the max_states safety bound tripped")),
+        queue_depth(registry.gauge("choreo_queue_depth",
+                                   "Jobs waiting for a worker")),
+        running_gauge(registry.gauge("choreo_jobs_running",
+                                     "Jobs currently executing")),
+        queue_seconds(registry.histogram("choreo_job_queue_seconds",
+                                         "Submission-to-execution wait")),
+        run_seconds(registry.histogram("choreo_job_run_seconds",
+                                       "Execution time incl. retries")),
+        total_seconds(registry.histogram("choreo_job_seconds",
+                                         "Submission-to-terminal latency")),
+        extract_seconds(registry.histogram(
+            "choreo_stage_extract_seconds",
+            "Extraction + state-space derivation per job")),
+        solve_seconds(registry.histogram("choreo_stage_solve_seconds",
+                                         "CTMC solution per job")),
+        reflect_seconds(registry.histogram(
+            "choreo_stage_reflect_seconds",
+            "Measure computation + reflection per job")),
+        pool(scheduler_options.workers != 0
+                 ? scheduler_options.workers
+                 : std::max<std::size_t>(
+                       1, std::thread::hardware_concurrency())) {}
+
+  void run_job(const std::shared_ptr<JobState>& state);
+  void execute(const std::shared_ptr<JobState>& state, JobResult& result);
+  /// The cooperative checkpoint: client hook first, then cancel/deadline.
+  void check(const JobState& state) const;
+  /// Sleeps `seconds` in small slices, aborting on cancel/deadline.
+  void backoff_sleep(const JobState& state, double seconds) const;
+  void finish(const std::shared_ptr<JobState>& state, JobResult result);
+
+  SchedulerOptions options;
+  Registry& registry;
+
+  Counter& submitted_total;
+  Counter& done_total;
+  Counter& failed_total;
+  Counter& cancelled_total;
+  Counter& timed_out_total;
+  Counter& retries_total;
+  Gauge& queue_depth;
+  Gauge& running_gauge;
+  Histogram& queue_seconds;
+  Histogram& run_seconds;
+  Histogram& total_seconds;
+  Histogram& extract_seconds;
+  Histogram& solve_seconds;
+  Histogram& reflect_seconds;
+
+  mutable std::mutex flight_mutex;
+  std::condition_variable space_cv;
+  std::size_t in_flight = 0;
+
+  /// Declared last: destroyed (drained and joined) first, while the
+  /// members its tasks touch are still alive.
+  util::ThreadPool pool;
+};
+
+void Scheduler::Impl::check(const JobState& state) const {
+  if (state.request.options.checkpoint) state.request.options.checkpoint();
+  if (state.cancel_requested.load()) throw CancelledSignal{};
+  if (Clock::now() > state.deadline) throw DeadlineSignal{};
+}
+
+void Scheduler::Impl::backoff_sleep(const JobState& state,
+                                    double seconds) const {
+  const Clock::time_point until =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  while (Clock::now() < until) {
+    if (state.cancel_requested.load()) throw CancelledSignal{};
+    if (Clock::now() > state.deadline) throw DeadlineSignal{};
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void Scheduler::Impl::execute(const std::shared_ptr<JobState>& state,
+                              JobResult& result) {
+  const JobRequest& request = state->request;
+  const xml::Document project =
+      request.input_path ? xml::parse_file(*request.input_path)
+                         : request.project;
+
+  // The Figure-4 pipeline, opened up so the cache can sit between the
+  // Poseidon pre- and postprocessor: the cache stores the reflected
+  // *model* half, and every requester — hit or miss — gets their own
+  // layout merged back.
+  const uml::SplitProject split = uml::preprocess(project);
+
+  std::string key;
+  xml::Document reflected;
+  if (options.cache != nullptr) {
+    key = cache_key_for_model(split.model, request.options);
+    if (std::optional<CachedAnalysis> cached = options.cache->get(key)) {
+      result.report = std::move(cached->report);
+      reflected = std::move(cached->reflected_model);
+      result.from_cache = true;
+      result.attempts = 0;
+    }
+  }
+
+  if (!result.from_cache) {
+    chor::AnalysisOptions attempt_options = request.options;
+    attempt_options.checkpoint = [this, &state] { check(*state); };
+    double backoff = options.retry_backoff_seconds;
+    for (std::size_t attempt = 0;; ++attempt) {
+      ++result.attempts;
+      try {
+        // A failed attempt leaves the model partially annotated, so each
+        // attempt re-reads it from the pristine split document.
+        uml::Model model = uml::from_xmi(split.model);
+        result.report = chor::analyse(model, attempt_options);
+        reflected = uml::to_xmi(model);
+        break;
+      } catch (const util::Error& error) {
+        if (attempt < options.max_retries &&
+            is_state_bound_failure(error)) {
+          retries_total.increment();
+          backoff_sleep(*state, backoff);
+          backoff *= 2.0;
+          // The lower aggregation setting: solve the strong-equivalence
+          // quotient, optionally with a scaled state budget.
+          attempt_options.aggregate = true;
+          attempt_options.max_states = static_cast<std::size_t>(
+              static_cast<double>(attempt_options.max_states) *
+              std::max(1.0, options.retry_state_budget_factor));
+          continue;
+        }
+        result.status = JobStatus::kFailed;
+        result.error = error.what();
+        return;
+      }
+    }
+    for (const auto& graph : result.report.activity_graphs) {
+      result.timings.extract_seconds += graph.extract_seconds;
+      result.timings.solve_seconds += graph.solve_seconds;
+      result.timings.reflect_seconds += graph.reflect_seconds;
+    }
+    for (const auto& machines : result.report.state_machines) {
+      result.timings.extract_seconds += machines.extract_seconds;
+      result.timings.solve_seconds += machines.solve_seconds;
+      result.timings.reflect_seconds += machines.reflect_seconds;
+    }
+    extract_seconds.observe(result.timings.extract_seconds);
+    solve_seconds.observe(result.timings.solve_seconds);
+    reflect_seconds.observe(result.timings.reflect_seconds);
+    if (options.cache != nullptr) {
+      options.cache->put(key, CachedAnalysis{result.report, reflected});
+    }
+  }
+
+  const xml::Document annotated = uml::postprocess(reflected, split.layout);
+  result.annotated_xmi = xml::to_string(annotated);
+  result.status = JobStatus::kDone;
+
+  if (request.output_path) {
+    std::ofstream stream(*request.output_path, std::ios::binary);
+    if (!stream || !(stream << result.annotated_xmi) || !stream.flush()) {
+      result.status = JobStatus::kFailed;
+      result.error =
+          util::msg("cannot write annotated project to '",
+                    *request.output_path, "'");
+    }
+  }
+}
+
+void Scheduler::Impl::run_job(const std::shared_ptr<JobState>& state) {
+  queue_depth.add(-1);
+  const Clock::time_point started = Clock::now();
+  JobResult result;
+  result.timings.queued_seconds =
+      std::chrono::duration<double>(started - state->submitted).count();
+  queue_seconds.observe(result.timings.queued_seconds);
+
+  if (state->cancel_requested.load()) {
+    result.status = JobStatus::kCancelled;
+    result.error = "cancelled before running";
+    finish(state, std::move(result));
+    return;
+  }
+  if (started > state->deadline) {
+    result.status = JobStatus::kTimedOut;
+    result.error = "deadline passed while queued";
+    finish(state, std::move(result));
+    return;
+  }
+
+  {
+    std::lock_guard lock(state->mutex);
+    state->status = JobStatus::kRunning;
+  }
+  running_gauge.add(1);
+  try {
+    execute(state, result);
+  } catch (const CancelledSignal&) {
+    result.status = JobStatus::kCancelled;
+    result.error = "cancelled while running";
+  } catch (const DeadlineSignal&) {
+    result.status = JobStatus::kTimedOut;
+    result.error = "deadline passed while running";
+  } catch (const std::exception& error) {
+    result.status = JobStatus::kFailed;
+    result.error = error.what();
+  }
+  running_gauge.add(-1);
+  result.timings.run_seconds =
+      std::chrono::duration<double>(Clock::now() - started).count();
+  run_seconds.observe(result.timings.run_seconds);
+  finish(state, std::move(result));
+}
+
+void Scheduler::Impl::finish(const std::shared_ptr<JobState>& state,
+                             JobResult result) {
+  switch (result.status) {
+    case JobStatus::kDone: done_total.increment(); break;
+    case JobStatus::kFailed: failed_total.increment(); break;
+    case JobStatus::kCancelled: cancelled_total.increment(); break;
+    case JobStatus::kTimedOut: timed_out_total.increment(); break;
+    case JobStatus::kQueued:
+    case JobStatus::kRunning: CHOREO_ASSERT(false);
+  }
+  total_seconds.observe(
+      std::chrono::duration<double>(Clock::now() - state->submitted).count());
+  // Release the backpressure slot before signalling the waiter, so that
+  // once every handle's wait() returned, in_flight() reads 0.
+  {
+    std::lock_guard lock(flight_mutex);
+    --in_flight;
+  }
+  space_cv.notify_one();
+  {
+    std::lock_guard lock(state->mutex);
+    state->status = result.status;
+    state->result = std::move(result);
+  }
+  state->terminal_cv.notify_all();
+}
+
+Scheduler::Scheduler(const SchedulerOptions& options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+Scheduler::~Scheduler() = default;
+
+JobHandle Scheduler::submit(JobRequest request) {
+  if (request.name.empty()) {
+    request.name = request.input_path ? *request.input_path : "<inline>";
+  }
+  auto state = std::make_shared<JobState>();
+  state->request = std::move(request);
+
+  {
+    std::unique_lock lock(impl_->flight_mutex);
+    impl_->space_cv.wait(lock, [&] {
+      return impl_->in_flight < impl_->options.queue_capacity;
+    });
+    ++impl_->in_flight;
+  }
+  state->submitted = Clock::now();
+  const double timeout = state->request.timeout_seconds < 0
+                             ? impl_->options.default_timeout_seconds
+                             : state->request.timeout_seconds;
+  if (timeout > 0) {
+    state->deadline =
+        state->submitted + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(timeout));
+  }
+  impl_->submitted_total.increment();
+  impl_->queue_depth.add(1);
+  impl_->pool.submit([impl = impl_.get(), state] { impl->run_job(state); });
+  return JobHandle(state);
+}
+
+std::size_t Scheduler::in_flight() const {
+  std::lock_guard lock(impl_->flight_mutex);
+  return impl_->in_flight;
+}
+
+std::size_t Scheduler::worker_count() const {
+  return impl_->pool.worker_count();
+}
+
+}  // namespace choreo::service

@@ -1,0 +1,251 @@
+// The analysis service as a command-line tool: a manifest of jobs driven
+// through the concurrent scheduler, the content-addressed result cache and
+// the metrics registry.
+//
+//   choreographer_batch MANIFEST [--workers N] [--queue N] [--repeat N]
+//                       [--cache-bytes BYTES] [--timeout SECONDS]
+//                       [--retries N] [--no-metrics]
+//
+// Manifest format, one job per line (# and // start comments):
+//
+//   INPUT.xmi [out=OUTPUT.xmi] [rates=FILE.rates] [solver=METHOD]
+//             [default-rate=R] [aggregate=0|1] [timeout=SECONDS]
+//             [name=LABEL]
+//
+// Every manifest pass submits all jobs, waits, and prints a per-job table
+// (status, attempts, cache hit, markings/states, timings).  --repeat N
+// runs the manifest N times against the same warm cache: with N >= 2 the
+// second pass is served entirely from the cache and the annotated XMI
+// bytes are identical to the first pass.  After the last pass the
+// Prometheus-style metrics exposition is printed (suppress with
+// --no-metrics).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "choreographer/rates.hpp"
+#include "service/cache.hpp"
+#include "service/job.hpp"
+#include "service/metrics.hpp"
+#include "service/scheduler.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+namespace cs = choreo::service;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " MANIFEST [--workers N] [--queue N] [--repeat N]\n"
+               "       [--cache-bytes BYTES] [--timeout SECONDS]"
+               " [--retries N] [--no-metrics]\n"
+               "manifest lines: INPUT.xmi [out=F] [rates=F] [solver=M]"
+               " [default-rate=R]\n"
+               "                [aggregate=0|1] [timeout=S] [name=LABEL]\n";
+  return 2;
+}
+
+double parse_double(const std::string& what, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw choreo::util::Error("expected a number for " + what + ", got '" +
+                              value + "'");
+  }
+}
+
+std::size_t parse_size(const std::string& what, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const unsigned long parsed = std::stoul(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw choreo::util::Error("expected a count for " + what + ", got '" +
+                              value + "'");
+  }
+}
+
+choreo::ctmc::Method parse_method(const std::string& name) {
+  using choreo::ctmc::Method;
+  if (name == "auto") return Method::kAuto;
+  if (name == "dense-lu") return Method::kDenseLU;
+  if (name == "jacobi") return Method::kJacobi;
+  if (name == "gauss-seidel") return Method::kGaussSeidel;
+  if (name == "sor") return Method::kSor;
+  if (name == "power") return Method::kPower;
+  throw choreo::util::Error("unknown solver method '" + name + "'");
+}
+
+std::vector<cs::JobRequest> parse_manifest(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream) {
+    throw choreo::util::Error("cannot open manifest '" + path + "'");
+  }
+  std::vector<cs::JobRequest> requests;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const auto comment = std::min(line.find('#'), line.find("//"));
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    const std::vector<std::string> fields = choreo::util::split_ws(line);
+    if (fields.empty()) continue;
+
+    cs::JobRequest request;
+    request.input_path = fields[0];
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      const auto equals = fields[i].find('=');
+      if (equals == std::string::npos) {
+        throw choreo::util::Error(choreo::util::msg(
+            path, ":", line_number, ": expected key=value, got '", fields[i],
+            "'"));
+      }
+      const std::string key = fields[i].substr(0, equals);
+      const std::string value = fields[i].substr(equals + 1);
+      if (key == "out") {
+        request.output_path = value;
+      } else if (key == "rates") {
+        request.options.rates = choreo::chor::parse_rates_file(value);
+      } else if (key == "solver") {
+        request.options.solver.method = parse_method(value);
+      } else if (key == "default-rate") {
+        request.options.default_rate = parse_double("default-rate", value);
+      } else if (key == "aggregate") {
+        request.options.aggregate = value != "0";
+      } else if (key == "timeout") {
+        request.timeout_seconds = parse_double("timeout", value);
+      } else if (key == "name") {
+        request.name = value;
+      } else {
+        throw choreo::util::Error(choreo::util::msg(
+            path, ":", line_number, ": unknown manifest key '", key, "'"));
+      }
+    }
+    if (request.name.empty()) request.name = *request.input_path;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+std::string describe_sizes(const choreo::chor::AnalysisReport& report) {
+  std::size_t markings = 0;
+  for (const auto& graph : report.activity_graphs) {
+    markings += graph.marking_count;
+  }
+  std::size_t states = 0;
+  for (const auto& machines : report.state_machines) {
+    states += machines.state_count;
+  }
+  std::ostringstream out;
+  out << markings;
+  if (states != 0) out << '+' << states;
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string manifest_path;
+  cs::SchedulerOptions scheduler_options;
+  cs::CacheOptions cache_options;
+  std::size_t repeat = 1;
+  bool print_metrics = true;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next_value = [&](const char* flag) -> std::string {
+        if (i + 1 >= argc) {
+          throw choreo::util::Error(std::string(flag) + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--workers") {
+        scheduler_options.workers = parse_size("--workers", next_value("--workers"));
+      } else if (arg == "--queue") {
+        scheduler_options.queue_capacity =
+            parse_size("--queue", next_value("--queue"));
+      } else if (arg == "--repeat") {
+        repeat = parse_size("--repeat", next_value("--repeat"));
+      } else if (arg == "--cache-bytes") {
+        cache_options.max_bytes =
+            parse_size("--cache-bytes", next_value("--cache-bytes"));
+      } else if (arg == "--timeout") {
+        scheduler_options.default_timeout_seconds =
+            parse_double("--timeout", next_value("--timeout"));
+      } else if (arg == "--retries") {
+        scheduler_options.max_retries =
+            parse_size("--retries", next_value("--retries"));
+      } else if (arg == "--no-metrics") {
+        print_metrics = false;
+      } else if (arg == "-h" || arg == "--help") {
+        return usage(argv[0]);
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::cerr << "unknown option '" << arg << "'\n";
+        return usage(argv[0]);
+      } else if (manifest_path.empty()) {
+        manifest_path = arg;
+      } else {
+        std::cerr << "unexpected argument '" << arg << "'\n";
+        return usage(argv[0]);
+      }
+    }
+    if (manifest_path.empty()) return usage(argv[0]);
+
+    const std::vector<cs::JobRequest> manifest =
+        parse_manifest(manifest_path);
+    if (manifest.empty()) {
+      throw choreo::util::Error("manifest '" + manifest_path +
+                                "' contains no jobs");
+    }
+
+    cs::ResultCache cache(cache_options);
+    scheduler_options.cache = &cache;
+    cs::Scheduler scheduler(scheduler_options);
+
+    bool any_failed = false;
+    for (std::size_t pass = 1; pass <= repeat; ++pass) {
+      std::vector<cs::JobHandle> handles;
+      handles.reserve(manifest.size());
+      for (const cs::JobRequest& request : manifest) {
+        handles.push_back(scheduler.submit(request));
+      }
+      std::cout << "pass " << pass << '/' << repeat << " ("
+                << manifest.size() << " jobs, " << scheduler.worker_count()
+                << " workers)\n";
+      choreo::util::TextTable table({"job", "status", "attempts", "cache",
+                                     "markings", "queue (ms)", "run (ms)"});
+      for (std::size_t i = 0; i < handles.size(); ++i) {
+        const cs::JobResult& result = handles[i].wait();
+        any_failed |= result.status != cs::JobStatus::kDone;
+        table.add_row({manifest[i].name, cs::to_string(result.status),
+                       std::to_string(result.attempts),
+                       result.from_cache ? "hit" : "miss",
+                       describe_sizes(result.report),
+                       choreo::util::format_double(
+                           result.timings.queued_seconds * 1e3),
+                       choreo::util::format_double(
+                           result.timings.run_seconds * 1e3)});
+        if (!result.error.empty()) {
+          std::cerr << manifest[i].name << ": " << result.error << '\n';
+        }
+      }
+      std::cout << table << '\n';
+    }
+
+    if (print_metrics) {
+      std::cout << cs::Registry::global().exposition();
+    }
+    return any_failed ? 1 : 0;
+  } catch (const choreo::util::Error& error) {
+    std::cerr << "choreographer_batch: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -39,6 +39,18 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::enqueue(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  wake_.notify_one();
+}
+
 void ThreadPool::parallel_for(
     std::size_t count, const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;

@@ -1,17 +1,23 @@
-// A small fixed-size thread pool with a parallel_for convenience wrapper.
+// A small fixed-size thread pool with a parallel_for convenience wrapper
+// and a submit() entry point for irregular, long-lived tasks.
 //
-// Used by the sparse CTMC kernels and the simulation engine's independent
-// replications.  Work is partitioned into contiguous chunks, one per worker,
-// which suits the regular, memory-bound loops in this codebase better than
-// work stealing would.
+// parallel_for is used by the sparse CTMC kernels and the simulation
+// engine's independent replications.  Work is partitioned into contiguous
+// chunks, one per worker, which suits the regular, memory-bound loops in
+// this codebase better than work stealing would.  submit() serves the
+// analysis service's scheduler, whose jobs are neither regular nor
+// short-lived and need an individually waitable completion handle.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace choreo::util {
@@ -20,6 +26,9 @@ class ThreadPool {
  public:
   /// Spawns `worker_count` workers; 0 means std::thread::hardware_concurrency.
   explicit ThreadPool(std::size_t worker_count = 0);
+
+  /// Drains every queued task (workers finish outstanding work before
+  /// exiting), then joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -33,11 +42,42 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t, std::size_t)>& body);
 
+  /// Enqueues one task for asynchronous execution and returns a future that
+  /// becomes ready when it completes (exceptions propagate through the
+  /// future).  Unlike parallel_for, the caller does not participate: tasks
+  /// may be long-lived and irregular.  On a pool with no workers the task
+  /// runs inline, so submit() never deadlocks.
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using Result = std::invoke_result_t<std::decay_t<F>>;
+    auto packaged = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<F>(task));
+    std::future<Result> future = packaged->get_future();
+    enqueue([packaged] { (*packaged)(); });
+    return future;
+  }
+
   /// The process-wide pool used by library kernels by default.
+  ///
+  /// Static-destruction contract: the pool is a function-local static, so
+  /// it is constructed on first call and destroyed during static
+  /// destruction in reverse order of construction relative to other
+  /// function-local statics.  Code that can run during static destruction
+  /// (destructors of objects with static storage, atexit handlers) may use
+  /// shared() safely provided shared() was first called before that object
+  /// finished constructing/registering — the pool is then older and is
+  /// destroyed later.  Constructing such an object is easiest done by
+  /// touching shared() in its own constructor.  Calling shared() for the
+  /// very first time during static destruction is undefined (it would
+  /// construct a pool that is never destroyed before process teardown
+  /// joins it).
   static ThreadPool& shared();
 
  private:
   void worker_loop();
+  /// Pushes a type-erased task and wakes a worker (runs inline when the
+  /// pool has no workers).
+  void enqueue(std::function<void()> task);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

@@ -1,0 +1,124 @@
+// Unit tests for the service metrics registry: counters, gauges,
+// fixed-bucket histograms and the Prometheus text exposition.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/metrics.hpp"
+#include "util/error.hpp"
+
+namespace cs = choreo::service;
+
+TEST(Metrics, CounterAccumulates) {
+  cs::Registry registry;
+  cs::Counter& counter = registry.counter("jobs_total", "jobs");
+  counter.increment();
+  counter.increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  // Lookup is idempotent: same name, same object.
+  EXPECT_EQ(&registry.counter("jobs_total", "jobs"), &counter);
+}
+
+TEST(Metrics, GaugeMovesBothWays) {
+  cs::Registry registry;
+  cs::Gauge& gauge = registry.gauge("queue_depth", "depth");
+  gauge.set(10);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  cs::Registry registry;
+  registry.counter("metric", "");
+  EXPECT_THROW(registry.gauge("metric", ""), choreo::util::Error);
+  EXPECT_THROW(registry.histogram("metric", ""), choreo::util::Error);
+}
+
+TEST(Metrics, HistogramBucketsAndSum) {
+  cs::Histogram histogram({0.1, 1.0, 10.0});
+  histogram.observe(0.05);   // bucket 0 (<= 0.1)
+  histogram.observe(0.1);    // bucket 0 (le is inclusive)
+  histogram.observe(0.5);    // bucket 1
+  histogram.observe(100.0);  // +Inf bucket
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 100.65);
+  EXPECT_EQ(histogram.bucket_count(0), 2u);
+  EXPECT_EQ(histogram.bucket_count(1), 1u);
+  EXPECT_EQ(histogram.bucket_count(2), 0u);
+  EXPECT_EQ(histogram.bucket_count(3), 1u);
+}
+
+TEST(Metrics, HistogramQuantileInterpolates) {
+  cs::Histogram histogram({1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) histogram.observe(1.5);  // all in (1, 2]
+  const double median = histogram.quantile(0.5);
+  EXPECT_GE(median, 1.0);
+  EXPECT_LE(median, 2.0);
+  EXPECT_DOUBLE_EQ(cs::Histogram({1.0}).quantile(0.5), 0.0);  // empty
+}
+
+TEST(Metrics, HistogramQuantileOrdering) {
+  cs::Histogram histogram(cs::Histogram::default_latency_bounds());
+  for (int i = 1; i <= 1000; ++i) histogram.observe(i * 1e-4);  // 0.1ms..100ms
+  EXPECT_LE(histogram.quantile(0.5), histogram.quantile(0.99));
+  EXPECT_GT(histogram.quantile(0.99), 0.0);
+}
+
+TEST(Metrics, ConcurrentUpdatesAreLossless) {
+  cs::Registry registry;
+  cs::Counter& counter = registry.counter("hits", "");
+  cs::Histogram& histogram = registry.histogram("latency", "");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        counter.increment();
+        histogram.observe(0.001);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), 40000u);
+  EXPECT_EQ(histogram.count(), 40000u);
+}
+
+TEST(Metrics, ExpositionFollowsPrometheusTextFormat) {
+  cs::Registry registry;
+  registry.counter("choreo_jobs_done_total", "Jobs finished").increment(3);
+  registry.gauge("choreo_queue_depth", "Queue depth").set(2);
+  registry.histogram("choreo_job_seconds", "Latency", {0.5, 1.0})
+      .observe(0.25);
+  const std::string text = registry.exposition();
+  EXPECT_NE(text.find("# TYPE choreo_jobs_done_total counter\n"
+                      "choreo_jobs_done_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE choreo_queue_depth gauge\n"
+                      "choreo_queue_depth 2\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf, _sum, _count.
+  EXPECT_NE(text.find("choreo_job_seconds_bucket{le=\"0.5\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("choreo_job_seconds_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("choreo_job_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("choreo_job_seconds_sum 0.25"), std::string::npos);
+  EXPECT_NE(text.find("choreo_job_seconds_count 1"), std::string::npos);
+  // HELP lines precede their TYPE lines.
+  EXPECT_LT(text.find("# HELP choreo_job_seconds"),
+            text.find("# TYPE choreo_job_seconds"));
+}
+
+TEST(Metrics, SnapshotIsNameOrderedAndComplete) {
+  cs::Registry registry;
+  registry.gauge("b_gauge", "").set(5);
+  registry.counter("a_counter", "").increment(7);
+  const auto samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "a_counter");
+  EXPECT_DOUBLE_EQ(samples[0].value, 7.0);
+  EXPECT_EQ(samples[1].name, "b_gauge");
+  EXPECT_DOUBLE_EQ(samples[1].value, 5.0);
+}
