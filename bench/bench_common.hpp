@@ -4,15 +4,88 @@
 // (see DESIGN.md section 4): it first prints the paper-style report table,
 // then runs its google-benchmark timings.  `for b in build/bench/*; do $b;
 // done` therefore regenerates every table and figure of EXPERIMENTS.md.
+//
+// Machine-readable output: report code may append records via json_record();
+// when the CHOREO_BENCH_JSON environment variable names a file, run() writes
+// the collected records there as a JSON array after the report.  An
+// environment variable is used instead of a flag because google-benchmark
+// rejects argv it does not recognise.  scripts/bench_report.sh drives this
+// to regenerate the committed BENCH_*.json artefacts.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace choreo::bench {
+
+/// Builder for one flat JSON record ({"key": value, ...}).
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, const std::string& value) {
+    return raw(key, '"' + value + '"');
+  }
+  JsonObject& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonObject& field(const std::string& key, double value) {
+    std::ostringstream formatted;
+    formatted.precision(17);
+    formatted << value;
+    return raw(key, formatted.str());
+  }
+  JsonObject& field(const std::string& key, std::size_t value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonObject& field(const std::string& key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonObject& raw(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += '"' + key + "\": " + value;
+    return *this;
+  }
+  std::string body_;
+};
+
+/// Records collected during the report, flushed by run().
+inline std::vector<std::string>& json_records() {
+  static std::vector<std::string> records;
+  return records;
+}
+
+inline void json_record(const JsonObject& object) {
+  json_records().push_back(object.str());
+}
+
+/// Writes the collected records to $CHOREO_BENCH_JSON, if set.
+inline void flush_json_records() {
+  const char* path = std::getenv("CHOREO_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write CHOREO_BENCH_JSON file '" << path << "'\n";
+    return;
+  }
+  out << "[\n";
+  for (std::size_t i = 0; i < json_records().size(); ++i) {
+    out << "  " << json_records()[i]
+        << (i + 1 < json_records().size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  std::cout << "wrote " << json_records().size() << " records to " << path
+            << '\n';
+}
 
 /// Prints the experiment banner, runs `report`, then google-benchmark.
 inline int run(int argc, char** argv, const std::string& experiment,
@@ -21,6 +94,7 @@ inline int run(int argc, char** argv, const std::string& experiment,
             << "  " << experiment << '\n'
             << "==================================================\n";
   report();
+  flush_json_records();
   std::cout.flush();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -4,6 +4,10 @@
 // handover ring, tokens in a multi-message net, and clients against the
 // Tomcat server -- demonstrating the "susceptibility to state-space
 // explosion" the paper names as the cost of exact numerical solution.
+// A final table sweeps the exploration lane count over the largest models;
+// the derived graphs are identical at every lane count, only the wall
+// clock changes (and only on hosts with spare cores -- see
+// docs/performance.md).
 // Benchmarks: marking-graph derivation throughput.
 #include "bench_common.hpp"
 
@@ -18,6 +22,7 @@
 #include "pepanet/netstatespace.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 using namespace choreo;
@@ -57,10 +62,20 @@ void report() {
     pepanet::NetSemantics semantics(extraction.net);
     util::Stopwatch timer;
     const auto space = pepanet::NetStateSpace::derive(semantics);
+    const double seconds = timer.seconds();
     ring.add_row_values(std::to_string(n),
                         {static_cast<double>(space.marking_count()),
                          static_cast<double>(space.transitions().size()),
-                         timer.milliseconds()});
+                         seconds * 1e3});
+    bench::json_record(
+        bench::JsonObject()
+            .field("model", "pda_handover[" + std::to_string(n) + "tx]")
+            .field("threads", std::size_t{1})
+            .field("states", space.marking_count())
+            .field("transitions", space.transitions().size())
+            .field("seconds", seconds)
+            .field("states_per_second",
+                   static_cast<double>(space.marking_count()) / seconds));
   }
   std::cout << "one mobile token (linear):\n" << ring << '\n';
 
@@ -71,10 +86,20 @@ void report() {
     pepanet::NetSemantics semantics(parsed.net);
     util::Stopwatch timer;
     const auto space = pepanet::NetStateSpace::derive(semantics);
+    const double seconds = timer.seconds();
     tokens.add_row_values(std::to_string(t),
                           {static_cast<double>(space.marking_count()),
                            static_cast<double>(space.transitions().size()),
-                           timer.milliseconds()});
+                           seconds * 1e3});
+    bench::json_record(
+        bench::JsonObject()
+            .field("model", "ring3[" + std::to_string(t) + "tok]")
+            .field("threads", std::size_t{1})
+            .field("states", space.marking_count())
+            .field("transitions", space.transitions().size())
+            .field("seconds", seconds)
+            .field("states_per_second",
+                   static_cast<double>(space.marking_count()) / seconds));
   }
   std::cout << "token population on a 3-place ring (combinatorial):\n"
             << tokens << '\n';
@@ -90,12 +115,82 @@ void report() {
     util::Stopwatch timer;
     const auto space =
         pepa::StateSpace::derive(semantics, extraction.model.system());
+    const double seconds = timer.seconds();
     clients.add_row_values(std::to_string(c),
                            {static_cast<double>(space.state_count()),
                             static_cast<double>(space.transitions().size()),
-                            timer.milliseconds()});
+                            seconds * 1e3});
+    bench::json_record(
+        bench::JsonObject()
+            .field("model", "tomcat[" + std::to_string(c) + "cl]")
+            .field("threads", std::size_t{1})
+            .field("states", space.state_count())
+            .field("transitions", space.transitions().size())
+            .field("seconds", seconds)
+            .field("states_per_second",
+                   static_cast<double>(space.state_count()) / seconds));
   }
   std::cout << "Tomcat client population:\n" << clients << '\n';
+
+  // 4. Exploration lanes over the largest models.  Derivation is
+  // level-synchronous and deterministic: every lane count yields the same
+  // graph, so only "derive ms" may move.
+  util::ThreadPool pool(4);
+  util::TextTable lanes({"model", "lanes", "states", "derive ms",
+                         "states/s"});
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    chor::PdaParams params;
+    params.transmitters = 128;
+    uml::Model model = chor::pda_handover_model(params);
+    auto extraction = chor::extract_activity_graph(model.activity_graphs()[0]);
+    pepanet::NetSemantics semantics(extraction.net);
+    pepanet::NetDeriveOptions options;
+    options.threads = threads;
+    options.pool = threads > 1 ? &pool : nullptr;
+    util::Stopwatch timer;
+    const auto space = pepanet::NetStateSpace::derive(semantics, options);
+    const double seconds = timer.seconds();
+    const double rate = static_cast<double>(space.marking_count()) / seconds;
+    lanes.add_row_values("pda_handover[128tx] x" + std::to_string(threads),
+                         {static_cast<double>(threads),
+                          static_cast<double>(space.marking_count()),
+                          seconds * 1e3, rate});
+    bench::json_record(bench::JsonObject()
+                           .field("model", "pda_handover[128tx]")
+                           .field("threads", threads)
+                           .field("states", space.marking_count())
+                           .field("transitions", space.transitions().size())
+                           .field("seconds", seconds)
+                           .field("states_per_second", rate));
+  }
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    chor::TomcatParams params;
+    params.clients = 8;
+    const uml::Model model = chor::tomcat_model(false, params);
+    auto extraction = chor::extract_state_machines(model);
+    pepa::Semantics semantics(extraction.model.arena());
+    pepa::DeriveOptions options;
+    options.threads = threads;
+    options.pool = threads > 1 ? &pool : nullptr;
+    util::Stopwatch timer;
+    const auto space = pepa::StateSpace::derive(
+        semantics, extraction.model.system(), options);
+    const double seconds = timer.seconds();
+    const double rate = static_cast<double>(space.state_count()) / seconds;
+    lanes.add_row_values("tomcat[8cl] x" + std::to_string(threads),
+                         {static_cast<double>(threads),
+                          static_cast<double>(space.state_count()),
+                          seconds * 1e3, rate});
+    bench::json_record(bench::JsonObject()
+                           .field("model", "tomcat[8cl]")
+                           .field("threads", threads)
+                           .field("states", space.state_count())
+                           .field("transitions", space.transitions().size())
+                           .field("seconds", seconds)
+                           .field("states_per_second", rate));
+  }
+  std::cout << "exploration lanes (identical graphs at every lane count):\n"
+            << lanes << '\n';
 }
 
 void BM_DeriveRing(benchmark::State& state) {

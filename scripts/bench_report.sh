@@ -1,0 +1,23 @@
+#!/bin/sh
+# Regenerates the committed machine-readable benchmark artefacts:
+#
+#   BENCH_statespace.json  -- state-space exploration (model, states,
+#                             seconds, states/sec, lane-count sweep)
+#   BENCH_service.json     -- service scheduler throughput (workers,
+#                             cold/warm cache, jobs/sec, p50/p99 latency)
+#
+# The bench binaries emit the records themselves when CHOREO_BENCH_JSON
+# names a file (an env var because google-benchmark rejects unknown argv);
+# --benchmark_filter skips the google-benchmark timing loops so only the
+# report sections run.  See docs/performance.md for how to read the numbers.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build --target bench_statespace bench_service_throughput
+
+CHOREO_BENCH_JSON="$PWD/BENCH_statespace.json" \
+  ./build/bench/bench_statespace "--benchmark_filter=^$"
+CHOREO_BENCH_JSON="$PWD/BENCH_service.json" \
+  ./build/bench/bench_service_throughput "--benchmark_filter=^$"
+
+echo "wrote BENCH_statespace.json and BENCH_service.json"

@@ -9,9 +9,17 @@ cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
 
-# Data-race check: the service concurrency tests under TSan.
+# Data-race check: parallel exploration and the service concurrency tests
+# under TSan.  test_parallel_statespace is the heaviest workload: many
+# exploration lanes over one shared arena + semantics, plus concurrent
+# service jobs each deriving with multiple lanes.
 cmake -B build-tsan -G Ninja -DCHOREO_SANITIZE=thread
-cmake --build build-tsan --target test_service test_metrics test_util
-./build-tsan/tests/test_service 2>&1 | tee tsan_output.txt
+cmake --build build-tsan --target test_parallel_statespace test_service \
+  test_metrics test_util
+./build-tsan/tests/test_parallel_statespace 2>&1 | tee tsan_output.txt
+./build-tsan/tests/test_service 2>&1 | tee -a tsan_output.txt
 ./build-tsan/tests/test_metrics 2>&1 | tee -a tsan_output.txt
 ./build-tsan/tests/test_util --gtest_filter='ThreadPool.*' 2>&1 | tee -a tsan_output.txt
+
+# Machine-readable bench artefacts (BENCH_statespace.json, BENCH_service.json).
+scripts/bench_report.sh

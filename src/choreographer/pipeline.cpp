@@ -33,17 +33,21 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
   extract_options.default_rate = options.default_rate;
   ActivityExtraction extraction = extract_activity_graph(graph, extract_options);
 
+  ActivityGraphResult result;
+  result.graph_name = graph.name();
+  result.extract_seconds = timer.seconds();
+
   checkpoint(options);
   pepanet::NetSemantics semantics(extraction.net);
   pepanet::NetDeriveOptions derive_options;
   derive_options.max_markings = options.max_states;
+  derive_options.threads = options.derive_threads;
+  derive_options.pool = options.derive_pool;
   const auto space = pepanet::NetStateSpace::derive(semantics, derive_options);
 
-  ActivityGraphResult result;
-  result.graph_name = graph.name();
   result.marking_count = space.marking_count();
   result.transition_count = space.transitions().size();
-  result.extract_seconds = timer.seconds();
+  result.derive_stats = space.stats();
 
   checkpoint(options);
   timer.restart();
@@ -90,16 +94,22 @@ StateMachineResult analyse_state_machines(uml::Model& model,
                                           const AnalysisOptions& options) {
   util::Stopwatch timer;
   StatechartExtraction extraction = extract_state_machines(model);
+
+  StateMachineResult result;
+  result.extract_seconds = timer.seconds();
+
+  checkpoint(options);
   pepa::Semantics semantics(extraction.model.arena());
   pepa::DeriveOptions derive_options;
   derive_options.max_states = options.max_states;
+  derive_options.threads = options.derive_threads;
+  derive_options.pool = options.derive_pool;
   const auto space = pepa::StateSpace::derive(
       semantics, extraction.model.system(), derive_options);
 
-  StateMachineResult result;
   result.state_count = space.state_count();
   result.transition_count = space.transitions().size();
-  result.extract_seconds = timer.seconds();
+  result.derive_stats = space.stats();
 
   checkpoint(options);
   timer.restart();

@@ -15,6 +15,7 @@
 
 #include "choreographer/rates.hpp"
 #include "ctmc/steady_state.hpp"
+#include "pepa/statespace.hpp"
 #include "uml/model.hpp"
 #include "xml/dom.hpp"
 
@@ -38,6 +39,12 @@ struct AnalysisOptions {
   /// and the exception propagates to the caller.  Long derivations between
   /// checkpoints are still bounded by `max_states`.
   std::function<void()> checkpoint;
+  /// Exploration lanes for state-space derivation: 1 forces the sequential
+  /// path, 0 sizes to the pool.  Results are identical for every setting
+  /// (see pepa::DeriveOptions::threads).
+  std::size_t derive_threads = 0;
+  /// Pool derivation lanes run on; nullptr means util::ThreadPool::shared().
+  util::ThreadPool* derive_pool = nullptr;
 };
 
 /// Per-activity-graph results.
@@ -47,11 +54,13 @@ struct ActivityGraphResult {
   std::size_t transition_count = 0;
   /// (action name, throughput), extraction order.
   std::vector<std::pair<std::string, double>> throughputs;
-  /// Stage timing breakdown: extraction + state-space derivation, CTMC
-  /// solution, and measure computation + reflection.
+  /// Stage timing breakdown: extraction, CTMC solution, and measure
+  /// computation + reflection.  Derivation time lives in derive_stats.
   double extract_seconds = 0.0;
   double solve_seconds = 0.0;
   double reflect_seconds = 0.0;
+  /// State-space derivation counters and wall clock (derive_stats.seconds).
+  pepa::DeriveStats derive_stats;
 };
 
 /// Joint result for all state machines of the model.
@@ -66,6 +75,8 @@ struct StateMachineResult {
   double extract_seconds = 0.0;
   double solve_seconds = 0.0;
   double reflect_seconds = 0.0;
+  /// State-space derivation counters and wall clock (derive_stats.seconds).
+  pepa::DeriveStats derive_stats;
 };
 
 struct AnalysisReport {

@@ -1,8 +1,10 @@
 #include "ctmc/sparse.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "util/error.hpp"
+#include "util/parallel_sort.hpp"
 #include "util/thread_pool.hpp"
 
 namespace choreo::ctmc {
@@ -11,30 +13,90 @@ CsrMatrix CsrMatrix::from_triplets(std::size_t n, std::vector<Triplet> triplets)
   for (const Triplet& t : triplets) {
     CHOREO_ASSERT(t.row < n && t.col < n);
   }
-  std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
-    return a.row != b.row ? a.row < b.row : a.col < b.col;
-  });
+  const std::size_t m = triplets.size();
+  util::ThreadPool& pool = util::ThreadPool::shared();
+  // Below this the fork/join overhead dominates the assembly passes.
+  const bool parallel = pool.worker_count() > 0 && m >= (1u << 15);
+
+  // Sort a permutation of the triplets by (row, col, original index).  The
+  // index tie-break makes the order total, so the sorted permutation is
+  // unique: duplicates are summed in insertion order whatever sort runs, and
+  // the parallel and sequential assemblies agree to the last bit.
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  auto by_coordinate = [&](std::size_t a, std::size_t b) {
+    const Triplet& ta = triplets[a];
+    const Triplet& tb = triplets[b];
+    if (ta.row != tb.row) return ta.row < tb.row;
+    if (ta.col != tb.col) return ta.col < tb.col;
+    return a < b;
+  };
+  if (parallel) {
+    util::parallel_sort(order.begin(), order.end(), by_coordinate, pool);
+  } else {
+    std::sort(order.begin(), order.end(), by_coordinate);
+  }
+
+  // Triplet range of each row within the sorted permutation.
+  std::vector<std::size_t> trip_ptr(n + 1, 0);
+  for (const Triplet& t : triplets) ++trip_ptr[t.row + 1];
+  std::partial_sum(trip_ptr.begin(), trip_ptr.end(), trip_ptr.begin());
 
   CsrMatrix matrix;
   matrix.row_ptr_.assign(n + 1, 0);
-  matrix.col_.reserve(triplets.size());
-  matrix.values_.reserve(triplets.size());
 
-  std::size_t i = 0;
-  for (std::size_t row = 0; row < n; ++row) {
-    while (i < triplets.size() && triplets[i].row == row) {
-      const std::size_t col = triplets[i].col;
-      double value = 0.0;
-      while (i < triplets.size() && triplets[i].row == row && triplets[i].col == col) {
-        value += triplets[i].value;
-        ++i;
+  // Pass one (row-chunked): unique nonzero entries per row.  Each row is
+  // compressed by exactly one lane, so chunking cannot change any sum.
+  auto count_rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t row = begin; row < end; ++row) {
+      std::size_t k = trip_ptr[row];
+      std::size_t unique = 0;
+      while (k < trip_ptr[row + 1]) {
+        const std::size_t col = triplets[order[k]].col;
+        double value = 0.0;
+        while (k < trip_ptr[row + 1] && triplets[order[k]].col == col) {
+          value += triplets[order[k]].value;
+          ++k;
+        }
+        if (value != 0.0) ++unique;
       }
-      if (value != 0.0) {
-        matrix.col_.push_back(col);
-        matrix.values_.push_back(value);
+      matrix.row_ptr_[row + 1] = unique;
+    }
+  };
+  if (parallel) {
+    pool.parallel_for(n, count_rows);
+  } else {
+    count_rows(0, n);
+  }
+  std::partial_sum(matrix.row_ptr_.begin(), matrix.row_ptr_.end(),
+                   matrix.row_ptr_.begin());
+
+  // Pass two (row-chunked): write each row's entries at its offset.
+  matrix.col_.resize(matrix.row_ptr_[n]);
+  matrix.values_.resize(matrix.row_ptr_[n]);
+  auto fill_rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t row = begin; row < end; ++row) {
+      std::size_t k = trip_ptr[row];
+      std::size_t out = matrix.row_ptr_[row];
+      while (k < trip_ptr[row + 1]) {
+        const std::size_t col = triplets[order[k]].col;
+        double value = 0.0;
+        while (k < trip_ptr[row + 1] && triplets[order[k]].col == col) {
+          value += triplets[order[k]].value;
+          ++k;
+        }
+        if (value != 0.0) {
+          matrix.col_[out] = col;
+          matrix.values_[out] = value;
+          ++out;
+        }
       }
     }
-    matrix.row_ptr_[row + 1] = matrix.col_.size();
+  };
+  if (parallel) {
+    pool.parallel_for(n, fill_rows);
+  } else {
+    fill_rows(0, n);
   }
   return matrix;
 }

@@ -26,7 +26,10 @@ class CsrMatrix {
   CsrMatrix() = default;
 
   /// Builds an n-by-n CSR matrix from triplets; duplicate (row, col) entries
-  /// are summed.  Entries within each row are ordered by column.
+  /// are summed in insertion order.  Entries within each row are ordered by
+  /// column.  Large inputs are assembled in parallel (total-order sort plus
+  /// row-chunked compression); the result is bit-identical to the sequential
+  /// assembly.
   static CsrMatrix from_triplets(std::size_t n, std::vector<Triplet> triplets);
 
   std::size_t size() const noexcept { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }

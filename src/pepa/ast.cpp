@@ -42,74 +42,84 @@ std::vector<ActionId> normalise_set(std::vector<ActionId> set) {
 
 }  // namespace
 
-ProcessArena::ProcessArena() {
-  action_names_.emplace_back("tau");
-  action_ids_.emplace("tau", kTau);
+ProcessArena::ProcessArena() : state_(std::make_unique<State>()) {
+  state_->action_names.push_back(std::string("tau"));
+  state_->action_ids.emplace("tau", kTau);
 }
 
 ActionId ProcessArena::action(std::string_view name) {
-  auto it = action_ids_.find(std::string(name));
-  if (it != action_ids_.end()) return it->second;
-  const ActionId id = static_cast<ActionId>(action_names_.size());
-  action_names_.emplace_back(name);
-  action_ids_.emplace(std::string(name), id);
+  std::lock_guard lock(state_->names_mutex);
+  auto it = state_->action_ids.find(std::string(name));
+  if (it != state_->action_ids.end()) return it->second;
+  const ActionId id =
+      static_cast<ActionId>(state_->action_names.push_back(std::string(name)));
+  state_->action_ids.emplace(std::string(name), id);
   return id;
 }
 
 std::optional<ActionId> ProcessArena::find_action(std::string_view name) const {
-  auto it = action_ids_.find(std::string(name));
-  if (it == action_ids_.end()) return std::nullopt;
+  std::lock_guard lock(state_->names_mutex);
+  auto it = state_->action_ids.find(std::string(name));
+  if (it == state_->action_ids.end()) return std::nullopt;
   return it->second;
 }
 
 const std::string& ProcessArena::action_name(ActionId id) const {
-  CHOREO_ASSERT(id < action_names_.size());
-  return action_names_[id];
+  CHOREO_ASSERT(id < state_->action_names.size());
+  return state_->action_names[id];
 }
 
 ConstantId ProcessArena::declare(std::string_view name) {
-  auto it = constant_ids_.find(std::string(name));
-  if (it != constant_ids_.end()) return it->second;
-  const ConstantId id = static_cast<ConstantId>(constant_names_.size());
-  constant_names_.emplace_back(name);
-  constant_bodies_.push_back(kInvalidProcess);
-  constant_ids_.emplace(std::string(name), id);
+  std::lock_guard lock(state_->names_mutex);
+  auto it = state_->constant_ids.find(std::string(name));
+  if (it != state_->constant_ids.end()) return it->second;
+  const ConstantId id = static_cast<ConstantId>(
+      state_->constant_names.push_back(std::string(name)));
+  const std::size_t body_slot = state_->constant_bodies.push_back(kInvalidProcess);
+  CHOREO_ASSERT(body_slot == id);
+  state_->constant_ids.emplace(std::string(name), id);
   return id;
 }
 
 std::optional<ConstantId> ProcessArena::find_constant(std::string_view name) const {
-  auto it = constant_ids_.find(std::string(name));
-  if (it == constant_ids_.end()) return std::nullopt;
+  std::lock_guard lock(state_->names_mutex);
+  auto it = state_->constant_ids.find(std::string(name));
+  if (it == state_->constant_ids.end()) return std::nullopt;
   return it->second;
 }
 
 const std::string& ProcessArena::constant_name(ConstantId id) const {
-  CHOREO_ASSERT(id < constant_names_.size());
-  return constant_names_[id];
+  CHOREO_ASSERT(id < state_->constant_names.size());
+  return state_->constant_names[id];
 }
 
 bool ProcessArena::is_defined(ConstantId id) const {
-  CHOREO_ASSERT(id < constant_bodies_.size());
-  return constant_bodies_[id] != kInvalidProcess;
+  CHOREO_ASSERT(id < state_->constant_bodies.size());
+  return state_->constant_bodies[id].load(std::memory_order_acquire) !=
+         kInvalidProcess;
 }
 
 void ProcessArena::define(ConstantId id, ProcessId body) {
-  CHOREO_ASSERT(id < constant_bodies_.size());
-  CHOREO_ASSERT(body < nodes_.size());
-  if (constant_bodies_[id] != kInvalidProcess) {
-    throw util::ModelError(
-        util::msg("constant '", constant_names_[id], "' is defined twice"));
+  CHOREO_ASSERT(id < state_->constant_bodies.size());
+  CHOREO_ASSERT(body < state_->nodes.size());
+  std::lock_guard lock(state_->names_mutex);
+  if (state_->constant_bodies[id].load(std::memory_order_relaxed) !=
+      kInvalidProcess) {
+    throw util::ModelError(util::msg("constant '", constant_name(id),
+                                     "' is defined twice"));
   }
-  constant_bodies_[id] = body;
+  state_->constant_bodies[id].store(body, std::memory_order_release);
 }
 
 ProcessId ProcessArena::body(ConstantId id) const {
-  CHOREO_ASSERT(id < constant_bodies_.size());
-  if (constant_bodies_[id] == kInvalidProcess) {
-    throw util::ModelError(
-        util::msg("constant '", constant_names_[id], "' is used but never defined"));
+  CHOREO_ASSERT(id < state_->constant_bodies.size());
+  const ProcessId body =
+      state_->constant_bodies[id].load(std::memory_order_acquire);
+  if (body == kInvalidProcess) {
+    throw util::ModelError(util::msg("constant '", constant_name(id),
+                                     "' is used but never defined"));
   }
-  return constant_bodies_[id];
+  return body;
 }
 
 ProcessId ProcessArena::stop() {
@@ -119,7 +129,7 @@ ProcessId ProcessArena::stop() {
 }
 
 ProcessId ProcessArena::prefix(ActionId action, Rate rate, ProcessId continuation) {
-  CHOREO_ASSERT(continuation < nodes_.size());
+  CHOREO_ASSERT(continuation < state_->nodes.size());
   if (rate.is_zero()) {
     throw util::ModelError("prefix activities require a positive rate");
   }
@@ -132,7 +142,7 @@ ProcessId ProcessArena::prefix(ActionId action, Rate rate, ProcessId continuatio
 }
 
 ProcessId ProcessArena::choice(ProcessId left, ProcessId right) {
-  CHOREO_ASSERT(left < nodes_.size() && right < nodes_.size());
+  CHOREO_ASSERT(left < state_->nodes.size() && right < state_->nodes.size());
   ProcessNode node;
   node.op = Op::kChoice;
   node.left = left;
@@ -142,7 +152,7 @@ ProcessId ProcessArena::choice(ProcessId left, ProcessId right) {
 
 ProcessId ProcessArena::cooperation(ProcessId left, std::vector<ActionId> set,
                                     ProcessId right) {
-  CHOREO_ASSERT(left < nodes_.size() && right < nodes_.size());
+  CHOREO_ASSERT(left < state_->nodes.size() && right < state_->nodes.size());
   ProcessNode node;
   node.op = Op::kCooperation;
   node.left = left;
@@ -152,7 +162,7 @@ ProcessId ProcessArena::cooperation(ProcessId left, std::vector<ActionId> set,
 }
 
 ProcessId ProcessArena::hiding(ProcessId process, std::vector<ActionId> set) {
-  CHOREO_ASSERT(process < nodes_.size());
+  CHOREO_ASSERT(process < state_->nodes.size());
   ProcessNode node;
   node.op = Op::kHiding;
   node.left = process;
@@ -161,7 +171,7 @@ ProcessId ProcessArena::hiding(ProcessId process, std::vector<ActionId> set) {
 }
 
 ProcessId ProcessArena::constant(ConstantId id) {
-  CHOREO_ASSERT(id < constant_names_.size());
+  CHOREO_ASSERT(id < state_->constant_names.size());
   ProcessNode node;
   node.op = Op::kConstant;
   node.constant = id;
@@ -173,18 +183,29 @@ ProcessId ProcessArena::constant(std::string_view name) {
 }
 
 const ProcessNode& ProcessArena::node(ProcessId id) const {
-  CHOREO_ASSERT(id < nodes_.size());
-  return nodes_[id];
+  CHOREO_ASSERT(id < state_->nodes.size());
+  return state_->nodes[id];
 }
 
 ProcessId ProcessArena::intern(ProcessNode node) {
   const std::size_t hash = hash_node(node);
-  auto& bucket = buckets_[hash];
+  // Mix before striping so integer-heavy hashes spread across stripes.
+  std::size_t mixed = hash;
+  mixed ^= mixed >> 33;
+  mixed *= 0xff51afd7ed558ccdULL;
+  mixed ^= mixed >> 33;
+  Stripe& stripe = state_->stripes[mixed % kStripes];
+
+  std::lock_guard lock(stripe.mutex);
+  auto& bucket = stripe.buckets[hash];
   for (ProcessId candidate : bucket) {
-    if (nodes_equal(nodes_[candidate], node)) return candidate;
+    if (nodes_equal(state_->nodes[candidate], node)) return candidate;
   }
-  const ProcessId id = static_cast<ProcessId>(nodes_.size());
-  nodes_.push_back(std::move(node));
+  // Publication: push_back stores under the stripe mutex; every reader that
+  // learns this id does so via a stripe mutex (or a fork/join handoff), so
+  // the node contents are visible before the id is.
+  const ProcessId id =
+      static_cast<ProcessId>(state_->nodes.push_back(std::move(node)));
   bucket.push_back(id);
   return id;
 }

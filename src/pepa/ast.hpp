@@ -5,6 +5,14 @@
 // making equality an integer comparison and enabling memoised semantics
 // (apparent rates, one-step derivatives) keyed by node id.
 //
+// The arena is safe for concurrent interning and lookup: intern buckets are
+// lock-striped by node hash, node storage is append-only with stable ids
+// and lock-free reads (util::SegmentedVector), and the action/constant name
+// tables publish through the same mechanism.  This is what lets parallel
+// state-space exploration workers derive targets concurrently.  The
+// single-threaded fast path is unchanged: looking up an existing node takes
+// one uncontended stripe mutex and allocates nothing.
+//
 // The grammar (paper Figure 3, sequential/concurrent levels merged into one
 // node type; well-formedness checks enforce the stratification):
 //
@@ -16,7 +24,11 @@
 //       | Stop           the inert process (also used for empty net cells)
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -24,6 +36,7 @@
 #include <vector>
 
 #include "pepa/rate.hpp"
+#include "util/segmented_vector.hpp"
 
 namespace choreo::pepa {
 
@@ -63,7 +76,7 @@ class ProcessArena {
   ActionId action(std::string_view name);
   std::optional<ActionId> find_action(std::string_view name) const;
   const std::string& action_name(ActionId id) const;
-  std::size_t action_count() const noexcept { return action_names_.size(); }
+  std::size_t action_count() const noexcept { return state_->action_names.size(); }
 
   // --- constants (named definitions) ------------------------------------
   /// Declares (or returns the existing) constant with this name.
@@ -75,7 +88,9 @@ class ProcessArena {
   void define(ConstantId id, ProcessId body);
   /// Body of a defined constant; throws util::ModelError when undefined.
   ProcessId body(ConstantId id) const;
-  std::size_t constant_count() const noexcept { return constant_names_.size(); }
+  std::size_t constant_count() const noexcept {
+    return state_->constant_names.size();
+  }
 
   // --- term constructors (hash-consed) -----------------------------------
   ProcessId stop();
@@ -89,20 +104,36 @@ class ProcessArena {
   ProcessId constant(std::string_view name);
 
   const ProcessNode& node(ProcessId id) const;
-  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t node_count() const noexcept { return state_->nodes.size(); }
 
  private:
+  /// Intern buckets are partitioned into this many stripes by node hash.
+  static constexpr std::size_t kStripes = 64;
+
+  struct Stripe {
+    std::mutex mutex;
+    /// hash -> interned ids with that hash (collision chain).
+    std::unordered_map<std::size_t, std::vector<ProcessId>> buckets;
+  };
+
+  /// The concurrently-shared core lives behind one pointer so the arena
+  /// stays movable (mutexes and atomics pin their own addresses).
+  struct State {
+    util::SegmentedVector<ProcessNode> nodes;
+    std::array<Stripe, kStripes> stripes;
+
+    /// Serialises name/constant registration (cold: parse time only).
+    std::mutex names_mutex;
+    util::SegmentedVector<std::string> action_names;
+    std::unordered_map<std::string, ActionId> action_ids;
+    util::SegmentedVector<std::string> constant_names;
+    util::SegmentedVector<std::atomic<ProcessId>> constant_bodies;
+    std::unordered_map<std::string, ConstantId> constant_ids;
+  };
+
   ProcessId intern(ProcessNode node);
 
-  std::vector<ProcessNode> nodes_;
-  std::unordered_map<std::size_t, std::vector<ProcessId>> buckets_;
-
-  std::vector<std::string> action_names_;
-  std::unordered_map<std::string, ActionId> action_ids_;
-
-  std::vector<std::string> constant_names_;
-  std::vector<ProcessId> constant_bodies_;
-  std::unordered_map<std::string, ConstantId> constant_ids_;
+  std::unique_ptr<State> state_;
 };
 
 /// True when `action` belongs to the sorted action set.

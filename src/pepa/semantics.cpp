@@ -7,19 +7,35 @@
 namespace choreo::pepa {
 
 namespace {
+
 std::uint64_t apparent_key(ProcessId process, ActionId action) {
   return (static_cast<std::uint64_t>(process) << 32) | action;
 }
+
+/// The stack of constants currently being expanded, for unguarded-recursion
+/// detection.  One stack per thread: exploration workers recurse through the
+/// shared Semantics concurrently, and the stack is empty between top-level
+/// calls, so a thread_local is exactly the per-call-tree state needed.
+thread_local std::vector<ConstantId> t_expanding;
+
+/// Exception-safe push/pop on the per-thread expansion stack.
+struct ExpandingGuard {
+  explicit ExpandingGuard(ConstantId id) { t_expanding.push_back(id); }
+  ~ExpandingGuard() { t_expanding.pop_back(); }
+};
+
+bool currently_expanding(ConstantId id) {
+  return std::find(t_expanding.begin(), t_expanding.end(), id) !=
+         t_expanding.end();
+}
+
 }  // namespace
 
 Rate Semantics::apparent_rate(ProcessId process, ActionId action) {
   const std::uint64_t key = apparent_key(process, action);
-  if (auto it = apparent_cache_.find(key); it != apparent_cache_.end()) {
-    return it->second;
-  }
+  if (const Rate* hit = apparent_cache_.find(key)) return *hit;
   const Rate rate = compute_apparent(process, action);
-  apparent_cache_.emplace(key, rate);
-  return rate;
+  return *apparent_cache_.try_emplace(key, rate).first;
 }
 
 Rate Semantics::compute_apparent(ProcessId process, ActionId action) {
@@ -53,16 +69,13 @@ Rate Semantics::compute_apparent(ProcessId process, ActionId action) {
       return left.plus(right, arena_.action_name(action));
     }
     case Op::kConstant: {
-      if (std::find(expanding_.begin(), expanding_.end(), node.constant) !=
-          expanding_.end()) {
+      if (currently_expanding(node.constant)) {
         throw util::ModelError(
             util::msg("unguarded recursion through constant '",
                       arena_.constant_name(node.constant), "'"));
       }
-      expanding_.push_back(node.constant);
-      const Rate rate = apparent_rate(arena_.body(node.constant), action);
-      expanding_.pop_back();
-      return rate;
+      ExpandingGuard guard(node.constant);
+      return apparent_rate(arena_.body(node.constant), action);
     }
   }
   CHOREO_ASSERT(false);
@@ -70,11 +83,11 @@ Rate Semantics::compute_apparent(ProcessId process, ActionId action) {
 }
 
 const std::vector<Derivative>& Semantics::derivatives(ProcessId process) {
-  if (auto it = derivative_cache_.find(process); it != derivative_cache_.end()) {
-    return it->second;
+  if (const std::vector<Derivative>* hit = derivative_cache_.find(process)) {
+    return *hit;
   }
   std::vector<Derivative> computed = compute_derivatives(process);
-  return derivative_cache_.emplace(process, std::move(computed)).first->second;
+  return *derivative_cache_.try_emplace(process, std::move(computed)).first;
 }
 
 std::vector<Derivative> Semantics::compute_derivatives(ProcessId process) {
@@ -144,15 +157,13 @@ std::vector<Derivative> Semantics::compute_derivatives(ProcessId process) {
       return out;
     }
     case Op::kConstant: {
-      if (std::find(expanding_.begin(), expanding_.end(), node.constant) !=
-          expanding_.end()) {
+      if (currently_expanding(node.constant)) {
         throw util::ModelError(
             util::msg("unguarded recursion through constant '",
                       arena_.constant_name(node.constant), "'"));
       }
-      expanding_.push_back(node.constant);
+      ExpandingGuard guard(node.constant);
       out = derivatives(arena_.body(node.constant));
-      expanding_.pop_back();
       return out;
     }
   }

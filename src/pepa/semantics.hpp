@@ -5,16 +5,23 @@
 // semantically-identical subterm is evaluated once, which is what makes
 // state-space derivation of cooperating replicas tractable.
 //
+// Both caches are lock-striped (util::StripedMap) with publish-on-miss:
+// parallel exploration workers call derivatives()/apparent_rate()
+// concurrently, compute misses outside the stripe locks, and the first
+// publisher wins (the computations are deterministic, so racing results
+// are identical).  Returned references are stable for the lifetime of the
+// Semantics object.
+//
 // Derivative lists preserve multiplicity: (a, r).P + (a, r).P yields two
 // entries, so downstream CTMC construction (which sums parallel transitions)
 // sees the correct apparent rate 2r.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "pepa/ast.hpp"
+#include "util/striped_map.hpp"
 
 namespace choreo::pepa {
 
@@ -36,10 +43,11 @@ class Semantics {
   /// Apparent rate of `action` in `process` (total capacity for the action,
   /// Rate() when the action is not enabled).  Throws util::ModelError on
   /// unguarded recursion and on mixed active/passive offerings.
+  /// Thread-safe.
   Rate apparent_rate(ProcessId process, ActionId action);
 
-  /// All enabled activities of `process` (cached; do not hold the reference
-  /// across further arena mutation).
+  /// All enabled activities of `process`.  Thread-safe; the returned
+  /// reference stays valid for the lifetime of this Semantics.
   const std::vector<Derivative>& derivatives(ProcessId process);
 
  private:
@@ -47,10 +55,8 @@ class Semantics {
   Rate compute_apparent(ProcessId process, ActionId action);
 
   ProcessArena& arena_;
-  std::unordered_map<std::uint64_t, Rate> apparent_cache_;
-  std::unordered_map<ProcessId, std::vector<Derivative>> derivative_cache_;
-  /// Constants currently being expanded (unguarded-recursion detection).
-  std::vector<ConstantId> expanding_;
+  util::StripedMap<std::uint64_t, Rate> apparent_cache_;
+  util::StripedMap<ProcessId, std::vector<Derivative>> derivative_cache_;
 };
 
 }  // namespace choreo::pepa

@@ -1,19 +1,46 @@
 #include "pepa/statespace.hpp"
 
-#include <deque>
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <limits>
 
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace choreo::pepa {
 
+namespace {
+
+/// Sentinel for "target not yet numbered" in the expansion buffers.
+constexpr std::size_t kUnresolved = std::numeric_limits<std::size_t>::max();
+
+/// One derivative recorded by an expansion worker: the move itself plus the
+/// target's state index when it was already numbered in an earlier level.
+struct PendingMove {
+  Derivative move;
+  std::size_t resolved = kUnresolved;
+};
+
+}  // namespace
+
 StateSpace StateSpace::derive(Semantics& semantics, ProcessId initial,
                               const DeriveOptions& options) {
+  util::Stopwatch timer;
   StateSpace space;
-  std::deque<std::size_t> frontier;
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : util::ThreadPool::shared();
+  const std::size_t lanes =
+      options.threads == 0 ? pool.worker_count() + 1 : options.threads;
+
+  // The states of the level being expanded, in canonical (index) order.
+  std::vector<std::size_t> frontier;
 
   auto index_of_term = [&](ProcessId term) {
-    auto it = space.index_.find(term);
-    if (it != space.index_.end()) return it->second;
+    if (const std::size_t* known = space.index_.find(term)) {
+      ++space.stats_.dedup_hits;
+      return *known;
+    }
     if (space.states_.size() >= options.max_states) {
       throw util::ModelError(util::msg(
           "state space exceeds the configured bound of ", options.max_states,
@@ -21,37 +48,93 @@ StateSpace StateSpace::derive(Semantics& semantics, ProcessId initial,
     }
     const std::size_t index = space.states_.size();
     space.states_.push_back(term);
-    space.index_.emplace(term, index);
+    space.index_.try_emplace(term, index);
+    ++space.stats_.dedup_misses;
     frontier.push_back(index);
     return index;
   };
 
   index_of_term(expand_static(semantics.arena(), initial));
   while (!frontier.empty()) {
-    const std::size_t source = frontier.front();
-    frontier.pop_front();
-    // Copy: target interning may extend the arena and the derivative cache.
-    const std::vector<Derivative> moves =
-        semantics.derivatives(space.states_[source]);
-    for (const Derivative& move : moves) {
-      if (move.rate.is_passive()) {
-        if (options.allow_top_level_passive) continue;
-        throw util::ModelError(util::msg(
-            "activity '", semantics.arena().action_name(move.action),
-            "' occurs passively at the top level of the model: it would never",
-            " be performed; synchronise it with an active partner"));
+    ++space.stats_.levels;
+    space.stats_.peak_frontier =
+        std::max(space.stats_.peak_frontier, frontier.size());
+    const std::vector<std::size_t> level = std::move(frontier);
+    frontier.clear();
+
+    // Parallel phase: expand every level state into its move buffer.  The
+    // workers intern derivative terms (the arena and the semantics caches
+    // are thread-safe) and pre-resolve targets against the index, which
+    // only the serial phase below mutates.  Errors are captured per state
+    // so the canonically-first one can be rethrown deterministically.
+    std::vector<std::vector<PendingMove>> moves(level.size());
+    std::vector<std::exception_ptr> errors(level.size());
+    auto expand = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          // Copy: concurrent workers may grow the cache under the ref.
+          const std::vector<Derivative> derivatives =
+              semantics.derivatives(space.states_[level[i]]);
+          moves[i].reserve(derivatives.size());
+          for (const Derivative& d : derivatives) {
+            const std::size_t* known = space.index_.find(d.target);
+            moves[i].push_back({d, known != nullptr ? *known : kUnresolved});
+          }
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
       }
-      const std::size_t target = index_of_term(move.target);
-      space.transitions_.push_back({source, target, move.action, move.rate.value()});
+    };
+    const std::size_t chunks = std::min(lanes, level.size());
+    if (chunks <= 1) {
+      expand(0, level.size());
+    } else {
+      std::vector<std::future<void>> pending;
+      pending.reserve(chunks - 1);
+      for (std::size_t c = 1; c < chunks; ++c) {
+        const std::size_t begin = level.size() * c / chunks;
+        const std::size_t end = level.size() * (c + 1) / chunks;
+        pending.push_back(pool.submit([&, begin, end] { expand(begin, end); }));
+      }
+      expand(0, level.size() / chunks);
+      for (std::future<void>& f : pending) f.get();
+    }
+
+    // Serial phase: number the discovered states and emit transitions in
+    // canonical order — source index, then derivative order — which is the
+    // order the sequential FIFO exploration produces.
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      if (errors[i]) std::rethrow_exception(errors[i]);
+      const std::size_t source = level[i];
+      for (const PendingMove& pending_move : moves[i]) {
+        const Derivative& move = pending_move.move;
+        if (move.rate.is_passive()) {
+          if (options.allow_top_level_passive) continue;
+          throw util::ModelError(util::msg(
+              "activity '", semantics.arena().action_name(move.action),
+              "' occurs passively at the top level of the model: it would never",
+              " be performed; synchronise it with an active partner"));
+        }
+        std::size_t target;
+        if (pending_move.resolved != kUnresolved) {
+          target = pending_move.resolved;
+          ++space.stats_.dedup_hits;
+        } else {
+          target = index_of_term(move.target);
+        }
+        space.transitions_.push_back(
+            {source, target, move.action, move.rate.value()});
+      }
     }
   }
+  space.stats_.seconds = timer.seconds();
   return space;
 }
 
 std::optional<std::size_t> StateSpace::index_of(ProcessId term) const {
-  auto it = index_.find(term);
-  if (it == index_.end()) return std::nullopt;
-  return it->second;
+  const std::size_t* found = index_.find(term);
+  if (found == nullptr) return std::nullopt;
+  return *found;
 }
 
 ctmc::Generator StateSpace::generator() const {

@@ -1,15 +1,26 @@
 // State-space derivation: breadth-first exploration of the derivation graph
 // of a PEPA term, yielding the labelled transition system from which the
 // CTMC generator matrix is assembled.
+//
+// Exploration is level-synchronous: the states of the current breadth-first
+// level are expanded concurrently (DeriveOptions::threads lanes over a
+// thread pool), then the discovered states are renumbered serially in the
+// canonical order (source index, then derivative order).  That order is
+// exactly the order the sequential FIFO exploration assigns, so state ids,
+// transition order, and every downstream artifact (generator matrix,
+// annotated XMI, DOT dumps, cache keys) are byte-identical for every lane
+// count — including errors, which are raised for the first offending state
+// in canonical order.
 #pragma once
 
 #include <cstddef>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "ctmc/generator.hpp"
 #include "pepa/semantics.hpp"
+#include "util/striped_map.hpp"
+#include "util/thread_pool.hpp"
 
 namespace choreo::pepa {
 
@@ -21,6 +32,27 @@ struct DeriveOptions {
   /// When false, passive transitions at the top level (unsynchronised
   /// passive activities) raise util::ModelError instead of being dropped.
   bool allow_top_level_passive = false;
+  /// Exploration lanes per breadth-first level: 1 forces the sequential
+  /// path, 0 sizes to the pool (worker count + the calling thread).  The
+  /// derived space is identical for every setting.
+  std::size_t threads = 0;
+  /// Pool expansion chunks run on; nullptr means util::ThreadPool::shared().
+  util::ThreadPool* pool = nullptr;
+};
+
+/// Counters describing one derivation run, for perf reports and the
+/// service's exploration metrics.
+struct DeriveStats {
+  /// Breadth-first levels explored.
+  std::size_t levels = 0;
+  /// Largest level (states expanded in one parallel round).
+  std::size_t peak_frontier = 0;
+  /// Transition targets that resolved to an already-discovered state.
+  std::size_t dedup_hits = 0;
+  /// Newly discovered states (equals the final state count).
+  std::size_t dedup_misses = 0;
+  /// Wall-clock derivation time.
+  double seconds = 0.0;
 };
 
 /// One transition of the explored labelled transition system.
@@ -45,6 +77,9 @@ class StateSpace {
     return transitions_;
   }
 
+  /// Counters from the derivation that produced this space.
+  const DeriveStats& stats() const noexcept { return stats_; }
+
   /// The CTMC generator (parallel transitions summed).
   ctmc::Generator generator() const;
 
@@ -57,8 +92,12 @@ class StateSpace {
 
  private:
   std::vector<ProcessId> states_;
-  std::unordered_map<ProcessId, std::size_t> index_;
+  /// Sharded so concurrent expansion workers can pre-resolve transition
+  /// targets against earlier levels while the serial renumbering pass owns
+  /// the writes.
+  util::StripedMap<ProcessId, std::size_t> index_;
   std::vector<StateTransition> transitions_;
+  DeriveStats stats_;
 };
 
 }  // namespace choreo::pepa

@@ -1,10 +1,28 @@
 #include "pepanet/netstatespace.hpp"
 
-#include <deque>
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <limits>
 
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace choreo::pepanet {
+
+namespace {
+
+/// Sentinel for "target not yet numbered" in the expansion buffers.
+constexpr std::size_t kUnresolved = std::numeric_limits<std::size_t>::max();
+
+/// One move recorded by an expansion worker: the move itself plus the
+/// target's marking index when it was already numbered in an earlier level.
+struct PendingMove {
+  NetMove move;
+  std::size_t resolved = kUnresolved;
+};
+
+}  // namespace
 
 NetStateSpace NetStateSpace::derive(NetSemantics& semantics,
                                     const NetDeriveOptions& options) {
@@ -14,12 +32,21 @@ NetStateSpace NetStateSpace::derive(NetSemantics& semantics,
 NetStateSpace NetStateSpace::derive_from(NetSemantics& semantics, Marking initial,
                                          const NetDeriveOptions& options) {
   semantics.net().validate();
+  util::Stopwatch timer;
   NetStateSpace space;
-  std::deque<std::size_t> frontier;
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : util::ThreadPool::shared();
+  const std::size_t lanes =
+      options.threads == 0 ? pool.worker_count() + 1 : options.threads;
+
+  // The markings of the level being expanded, in canonical (index) order.
+  std::vector<std::size_t> frontier;
 
   auto index_of_marking = [&](Marking marking) {
-    auto it = space.index_.find(marking);
-    if (it != space.index_.end()) return it->second;
+    if (const std::size_t* known = space.index_.find(marking)) {
+      ++space.stats_.dedup_hits;
+      return *known;
+    }
     if (space.markings_.size() >= options.max_markings) {
       throw util::ModelError(util::msg(
           "marking graph exceeds the configured bound of ", options.max_markings,
@@ -27,43 +54,99 @@ NetStateSpace NetStateSpace::derive_from(NetSemantics& semantics, Marking initia
     }
     const std::size_t index = space.markings_.size();
     space.markings_.push_back(std::move(marking));
-    space.index_.emplace(space.markings_.back(), index);
+    space.index_.try_emplace(space.markings_[index], index);
+    ++space.stats_.dedup_misses;
     frontier.push_back(index);
     return index;
   };
 
   index_of_marking(std::move(initial));
   while (!frontier.empty()) {
-    const std::size_t source = frontier.front();
-    frontier.pop_front();
-    const Marking current = space.markings_[source];  // copy: vector may grow
-    for (NetMove& move : semantics.moves(current)) {
-      if (move.rate.is_passive()) {
-        if (options.allow_top_level_passive) continue;
-        throw util::ModelError(util::msg(
-            "activity '", semantics.net().arena().action_name(move.action),
-            "' occurs passively at the net level: no active partner sets its",
-            " rate"));
+    ++space.stats_.levels;
+    space.stats_.peak_frontier =
+        std::max(space.stats_.peak_frontier, frontier.size());
+    const std::vector<std::size_t> level = std::move(frontier);
+    frontier.clear();
+
+    // Parallel phase: compute every level marking's moves.  NetSemantics is
+    // stateless over the thread-safe arena/semantics caches, so workers may
+    // call moves() concurrently; they pre-resolve targets against the index,
+    // which only the serial phase below mutates.  Errors are captured per
+    // marking so the canonically-first one is rethrown deterministically.
+    std::vector<std::vector<PendingMove>> moves(level.size());
+    std::vector<std::exception_ptr> errors(level.size());
+    auto expand = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          std::vector<NetMove> found = semantics.moves(space.markings_[level[i]]);
+          moves[i].reserve(found.size());
+          for (NetMove& move : found) {
+            const std::size_t* known = space.index_.find(move.target);
+            moves[i].push_back(
+                {std::move(move), known != nullptr ? *known : kUnresolved});
+          }
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
       }
-      const std::size_t target = index_of_marking(std::move(move.target));
-      MarkingTransition t;
-      t.source = source;
-      t.target = target;
-      t.action = move.action;
-      t.rate = move.rate.value();
-      t.is_firing = move.kind == NetMove::Kind::kFiring;
-      t.net_transition = move.transition;
-      t.place = move.place;
-      space.transitions_.push_back(t);
+    };
+    const std::size_t chunks = std::min(lanes, level.size());
+    if (chunks <= 1) {
+      expand(0, level.size());
+    } else {
+      std::vector<std::future<void>> pending;
+      pending.reserve(chunks - 1);
+      for (std::size_t c = 1; c < chunks; ++c) {
+        const std::size_t begin = level.size() * c / chunks;
+        const std::size_t end = level.size() * (c + 1) / chunks;
+        pending.push_back(pool.submit([&, begin, end] { expand(begin, end); }));
+      }
+      expand(0, level.size() / chunks);
+      for (std::future<void>& f : pending) f.get();
+    }
+
+    // Serial phase: number the discovered markings and emit transitions in
+    // canonical order — source index, then move order — which is the order
+    // the sequential FIFO exploration produces.
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      if (errors[i]) std::rethrow_exception(errors[i]);
+      const std::size_t source = level[i];
+      for (PendingMove& pending_move : moves[i]) {
+        NetMove& move = pending_move.move;
+        if (move.rate.is_passive()) {
+          if (options.allow_top_level_passive) continue;
+          throw util::ModelError(util::msg(
+              "activity '", semantics.net().arena().action_name(move.action),
+              "' occurs passively at the net level: no active partner sets its",
+              " rate"));
+        }
+        std::size_t target;
+        if (pending_move.resolved != kUnresolved) {
+          target = pending_move.resolved;
+          ++space.stats_.dedup_hits;
+        } else {
+          target = index_of_marking(std::move(move.target));
+        }
+        MarkingTransition t;
+        t.source = source;
+        t.target = target;
+        t.action = move.action;
+        t.rate = move.rate.value();
+        t.is_firing = move.kind == NetMove::Kind::kFiring;
+        t.net_transition = move.transition;
+        t.place = move.place;
+        space.transitions_.push_back(t);
+      }
     }
   }
+  space.stats_.seconds = timer.seconds();
   return space;
 }
 
 std::optional<std::size_t> NetStateSpace::index_of(const Marking& marking) const {
-  auto it = index_.find(marking);
-  if (it == index_.end()) return std::nullopt;
-  return it->second;
+  const std::size_t* found = index_.find(marking);
+  if (found == nullptr) return std::nullopt;
+  return *found;
 }
 
 ctmc::Generator NetStateSpace::generator() const {

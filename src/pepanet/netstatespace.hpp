@@ -1,22 +1,40 @@
 // Derivation of the marking graph of a PEPA net and its CTMC (the paper
 // treats "each marking as a distinct state").
+//
+// Exploration is level-synchronous, mirroring pepa::StateSpace::derive: the
+// markings of one breadth-first level are expanded concurrently, then the
+// discovered markings are renumbered serially in canonical order (source
+// index, then move order), which reproduces the sequential FIFO numbering
+// byte-for-byte at every lane count — including the error raised first.
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "ctmc/generator.hpp"
+#include "pepa/statespace.hpp"
 #include "pepanet/netsemantics.hpp"
+#include "util/striped_map.hpp"
+#include "util/thread_pool.hpp"
 
 namespace choreo::pepanet {
+
+/// Counters describing one marking-graph derivation (same shape as the PEPA
+/// state-space counters, so the service reports both uniformly).
+using DeriveStats = pepa::DeriveStats;
 
 struct NetDeriveOptions {
   std::size_t max_markings = 2'000'000;
   /// Drop (rather than reject) passive moves escaping to the top level.
   bool allow_top_level_passive = false;
+  /// Exploration lanes per breadth-first level: 1 forces the sequential
+  /// path, 0 sizes to the pool (worker count + the calling thread).  The
+  /// derived graph is identical for every setting.
+  std::size_t threads = 0;
+  /// Pool expansion chunks run on; nullptr means util::ThreadPool::shared().
+  util::ThreadPool* pool = nullptr;
 };
 
 struct MarkingTransition {
@@ -46,6 +64,9 @@ class NetStateSpace {
     return transitions_;
   }
 
+  /// Counters from the derivation that produced this graph.
+  const DeriveStats& stats() const noexcept { return stats_; }
+
   ctmc::Generator generator() const;
 
   /// Transitions carrying `action` (both kinds), for throughput rewards.
@@ -56,8 +77,11 @@ class NetStateSpace {
 
  private:
   std::vector<Marking> markings_;
-  std::unordered_map<Marking, std::size_t, MarkingHash> index_;
+  /// Sharded so expansion workers can pre-resolve move targets against
+  /// earlier levels while the serial renumbering pass owns the writes.
+  util::StripedMap<Marking, std::size_t, MarkingHash> index_;
   std::vector<MarkingTransition> transitions_;
+  DeriveStats stats_;
 };
 
 /// Steady-state throughput of an action over the marking graph.

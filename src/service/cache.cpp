@@ -32,6 +32,8 @@ std::string cache_key_for_model(const xml::Document& model,
       << " default_rate=" << util::format_double(options.default_rate)
       << " max_states=" << options.max_states
       << " aggregate=" << (options.aggregate ? 1 : 0);
+  // derive_threads is deliberately absent: exploration is deterministic, so
+  // results at any lane count are interchangeable cache-wise.
   // Rates apply in file order (later assignments win), so the order is
   // part of the content.
   for (const auto& [activity, rate] : options.rates) {

@@ -64,6 +64,8 @@ struct JobTimings {
   double run_seconds = 0.0;
   /// Pipeline stage totals summed over the report's graphs.
   double extract_seconds = 0.0;
+  /// State-space exploration (marking-graph / derivation) wall clock.
+  double derive_seconds = 0.0;
   double solve_seconds = 0.0;
   double reflect_seconds = 0.0;
 };

@@ -41,6 +41,14 @@ class Gauge {
  public:
   void set(std::int64_t value) { value_.store(value, std::memory_order_relaxed); }
   void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Raises the gauge to `value` when larger — a concurrent high-water
+  /// mark (peak frontier size, peak queue depth, ...).
+  void record_max(std::int64_t value) {
+    std::int64_t current = value_.load(std::memory_order_relaxed);
+    while (current < value && !value_.compare_exchange_weak(
+                                  current, value, std::memory_order_relaxed)) {
+    }
+  }
   std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:

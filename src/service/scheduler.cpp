@@ -98,14 +98,32 @@ struct Scheduler::Impl {
                                        "Execution time incl. retries")),
         total_seconds(registry.histogram("choreo_job_seconds",
                                          "Submission-to-terminal latency")),
-        extract_seconds(registry.histogram(
-            "choreo_stage_extract_seconds",
-            "Extraction + state-space derivation per job")),
+        extract_seconds(registry.histogram("choreo_stage_extract_seconds",
+                                           "Model extraction per job")),
+        derive_seconds(registry.histogram(
+            "choreo_stage_derive_seconds",
+            "State-space exploration per job")),
         solve_seconds(registry.histogram("choreo_stage_solve_seconds",
                                          "CTMC solution per job")),
         reflect_seconds(registry.histogram(
             "choreo_stage_reflect_seconds",
             "Measure computation + reflection per job")),
+        explore_rate(registry.histogram(
+            "choreo_explore_states_per_second",
+            "States discovered per exploration second, per job",
+            {1e2, 1e3, 1e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7})),
+        explored_states_total(registry.counter(
+            "choreo_explored_states_total",
+            "States/markings discovered by exploration")),
+        dedup_hits_total(registry.counter(
+            "choreo_explore_dedup_hits_total",
+            "Transition targets that resolved to an existing state")),
+        dedup_misses_total(registry.counter(
+            "choreo_explore_dedup_misses_total",
+            "Transition targets that discovered a new state")),
+        peak_frontier(registry.gauge(
+            "choreo_explore_peak_frontier",
+            "Largest breadth-first frontier seen by any exploration")),
         pool(scheduler_options.workers != 0
                  ? scheduler_options.workers
                  : std::max<std::size_t>(
@@ -134,8 +152,14 @@ struct Scheduler::Impl {
   Histogram& run_seconds;
   Histogram& total_seconds;
   Histogram& extract_seconds;
+  Histogram& derive_seconds;
   Histogram& solve_seconds;
   Histogram& reflect_seconds;
+  Histogram& explore_rate;
+  Counter& explored_states_total;
+  Counter& dedup_hits_total;
+  Counter& dedup_misses_total;
+  Gauge& peak_frontier;
 
   mutable std::mutex flight_mutex;
   std::condition_variable space_cv;
@@ -192,6 +216,9 @@ void Scheduler::Impl::execute(const std::shared_ptr<JobState>& state,
   if (!result.from_cache) {
     chor::AnalysisOptions attempt_options = request.options;
     attempt_options.checkpoint = [this, &state] { check(*state); };
+    if (attempt_options.derive_threads == 0) {
+      attempt_options.derive_threads = options.derive_threads;
+    }
     double backoff = options.retry_backoff_seconds;
     for (std::size_t attempt = 0;; ++attempt) {
       ++result.attempts;
@@ -221,19 +248,40 @@ void Scheduler::Impl::execute(const std::shared_ptr<JobState>& state,
         return;
       }
     }
+    std::uint64_t explored = 0;
+    std::uint64_t hits = 0;
+    std::int64_t frontier = 0;
+    auto fold_stats = [&](const pepa::DeriveStats& stats) {
+      result.timings.derive_seconds += stats.seconds;
+      explored += stats.dedup_misses;
+      hits += stats.dedup_hits;
+      frontier = std::max(frontier,
+                          static_cast<std::int64_t>(stats.peak_frontier));
+    };
     for (const auto& graph : result.report.activity_graphs) {
       result.timings.extract_seconds += graph.extract_seconds;
       result.timings.solve_seconds += graph.solve_seconds;
       result.timings.reflect_seconds += graph.reflect_seconds;
+      fold_stats(graph.derive_stats);
     }
     for (const auto& machines : result.report.state_machines) {
       result.timings.extract_seconds += machines.extract_seconds;
       result.timings.solve_seconds += machines.solve_seconds;
       result.timings.reflect_seconds += machines.reflect_seconds;
+      fold_stats(machines.derive_stats);
     }
     extract_seconds.observe(result.timings.extract_seconds);
+    derive_seconds.observe(result.timings.derive_seconds);
     solve_seconds.observe(result.timings.solve_seconds);
     reflect_seconds.observe(result.timings.reflect_seconds);
+    explored_states_total.increment(explored);
+    dedup_hits_total.increment(hits);
+    dedup_misses_total.increment(explored);
+    peak_frontier.record_max(frontier);
+    if (result.timings.derive_seconds > 0.0) {
+      explore_rate.observe(static_cast<double>(explored) /
+                           result.timings.derive_seconds);
+    }
     if (options.cache != nullptr) {
       options.cache->put(key, CachedAnalysis{result.report, reflected});
     }

@@ -57,6 +57,11 @@ struct SchedulerOptions {
   ResultCache* cache = nullptr;
   /// Metrics registry; nullptr means the global registry.
   Registry* registry = nullptr;
+  /// Exploration lanes applied to jobs that leave
+  /// AnalysisOptions::derive_threads at 0.  Defaults to 1 (sequential per
+  /// job): the scheduler already runs whole jobs concurrently, so lane
+  /// parallelism inside each derivation would oversubscribe the pool.
+  std::size_t derive_threads = 1;
 };
 
 namespace detail {

@@ -4,7 +4,10 @@
 //
 //   choreographer_batch MANIFEST [--workers N] [--queue N] [--repeat N]
 //                       [--cache-bytes BYTES] [--timeout SECONDS]
-//                       [--retries N] [--no-metrics]
+//                       [--retries N] [--derive-threads N] [--no-metrics]
+//
+// --derive-threads N sets the exploration lanes per job (default 1: the
+// scheduler already runs jobs concurrently); results are identical at any N.
 //
 // Manifest format, one job per line (# and // start comments):
 //
@@ -42,7 +45,7 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " MANIFEST [--workers N] [--queue N] [--repeat N]\n"
                "       [--cache-bytes BYTES] [--timeout SECONDS]"
-               " [--retries N] [--no-metrics]\n"
+               " [--retries N] [--derive-threads N] [--no-metrics]\n"
                "manifest lines: INPUT.xmi [out=F] [rates=F] [solver=M]"
                " [default-rate=R]\n"
                "                [aggregate=0|1] [timeout=S] [name=LABEL]\n";
@@ -183,6 +186,9 @@ int main(int argc, char** argv) {
       } else if (arg == "--retries") {
         scheduler_options.max_retries =
             parse_size("--retries", next_value("--retries"));
+      } else if (arg == "--derive-threads") {
+        scheduler_options.derive_threads =
+            parse_size("--derive-threads", next_value("--derive-threads"));
       } else if (arg == "--no-metrics") {
         print_metrics = false;
       } else if (arg == "-h" || arg == "--help") {
@@ -221,7 +227,8 @@ int main(int argc, char** argv) {
                 << manifest.size() << " jobs, " << scheduler.worker_count()
                 << " workers)\n";
       choreo::util::TextTable table({"job", "status", "attempts", "cache",
-                                     "markings", "queue (ms)", "run (ms)"});
+                                     "markings", "queue (ms)", "run (ms)",
+                                     "derive (ms)"});
       for (std::size_t i = 0; i < handles.size(); ++i) {
         const cs::JobResult& result = handles[i].wait();
         any_failed |= result.status != cs::JobStatus::kDone;
@@ -232,7 +239,9 @@ int main(int argc, char** argv) {
                        choreo::util::format_double(
                            result.timings.queued_seconds * 1e3),
                        choreo::util::format_double(
-                           result.timings.run_seconds * 1e3)});
+                           result.timings.run_seconds * 1e3),
+                       choreo::util::format_double(
+                           result.timings.derive_seconds * 1e3)});
         if (!result.error.empty()) {
           std::cerr << manifest[i].name << ": " << result.error << '\n';
         }

@@ -3,7 +3,10 @@
 //
 //   choreographer INPUT.xmi [-o OUTPUT.xmi] [--rates FILE.rates]
 //                 [--report] [--solver METHOD] [--default-rate R]
-//                 [--sensitivity ACTION] [--emit-pepanet FILE]
+//                 [--threads N] [--sensitivity ACTION] [--emit-pepanet FILE]
+//
+// --threads N explores state spaces with N parallel lanes (0 = one per
+// core); the derived chain and every output byte are identical at any N.
 //
 // --sensitivity ACTION additionally prints the elasticity of ACTION's
 // throughput with respect to every activity rate (the bottleneck ranking).
@@ -38,7 +41,7 @@ int usage(const char* argv0) {
       << "usage: " << argv0
       << " INPUT.xmi [-o OUTPUT.xmi] [--rates FILE.rates] [--report]\n"
          "           [--solver auto|dense-lu|jacobi|gauss-seidel|sor|power]\n"
-         "           [--default-rate R] [--sensitivity ACTION]\n"
+         "           [--default-rate R] [--threads N] [--sensitivity ACTION]\n"
          "           [--emit-pepanet FILE]\n";
   return 2;
 }
@@ -52,6 +55,30 @@ choreo::ctmc::Method parse_method(const std::string& name) {
   if (name == "sor") return Method::kSor;
   if (name == "power") return Method::kPower;
   throw choreo::util::Error("unknown solver method '" + name + "'");
+}
+
+double parse_double(const char* flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw choreo::util::Error(std::string(flag) + " expects a number, got '" +
+                              value + "'");
+  }
+}
+
+std::size_t parse_count(const char* flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const unsigned long parsed = std::stoul(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw choreo::util::Error(std::string(flag) + " expects a count, got '" +
+                              value + "'");
+  }
 }
 
 void print_report(const choreo::chor::AnalysisReport& report) {
@@ -105,7 +132,11 @@ int main(int argc, char** argv) {
       } else if (arg == "--solver") {
         options.solver.method = parse_method(next_value("--solver"));
       } else if (arg == "--default-rate") {
-        options.default_rate = std::stod(next_value("--default-rate"));
+        options.default_rate =
+            parse_double("--default-rate", next_value("--default-rate"));
+      } else if (arg == "--threads") {
+        options.derive_threads =
+            parse_count("--threads", next_value("--threads"));
       } else if (arg == "--sensitivity") {
         sensitivity_target = next_value("--sensitivity");
       } else if (arg == "--emit-pepanet") {

@@ -2,8 +2,11 @@
 // .pepanet nets for their steady state and prints measures.
 //
 //   pepa_workbench MODEL.pepa    [--states] [--solver METHOD] [--prism BASE] [--dot FILE] [--aggregate]
-//                                [--measures FILE] [--passage-to NAME]
+//                                [--measures FILE] [--passage-to NAME] [--threads N]
 //   pepa_workbench MODEL.pepanet [... same options ...]
+//
+// --threads N explores the state/marking space with N parallel lanes (0 =
+// one per core, 1 = sequential); outputs are identical at any N.
 //
 // --prism BASE additionally exports the derived CTMC as BASE.tra/.sta/.lab
 // in the PRISM model checker's explicit-state format (the paper connects
@@ -45,7 +48,7 @@ int usage(const char* argv0) {
             << " MODEL.pepa|MODEL.pepanet [--states]"
                " [--solver auto|dense-lu|jacobi|gauss-seidel|sor|power]"
                " [--prism BASE] [--dot FILE] [--aggregate] [--measures FILE]"
-               " [--passage-to NAME]\n";
+               " [--passage-to NAME] [--threads N]\n";
   return 2;
 }
 
@@ -71,13 +74,17 @@ int solve_pepa(const std::string& source, const std::string& name,
                const std::string& prism_base, const std::string& dot_path,
                bool aggregate_first,
                const std::vector<choreo::chor::MeasureSpec>& measures,
-               const std::string& passage_target) {
+               const std::string& passage_target, std::size_t threads) {
   using namespace choreo;
   pepa::Model model = pepa::parse_model(source, name);
   pepa::Semantics semantics(model.arena());
-  const auto space = pepa::StateSpace::derive(semantics, model.system());
+  pepa::DeriveOptions derive_options;
+  derive_options.threads = threads;
+  const auto space =
+      pepa::StateSpace::derive(semantics, model.system(), derive_options);
   std::cout << "state space: " << space.state_count() << " states, "
-            << space.transitions().size() << " transitions\n";
+            << space.transitions().size() << " transitions (derived in "
+            << space.stats().seconds * 1e3 << " ms)\n";
   const auto deadlocks = space.deadlock_states();
   if (!deadlocks.empty()) {
     std::cout << "warning: " << deadlocks.size() << " deadlock state(s), e.g. "
@@ -169,13 +176,16 @@ int solve_net(const std::string& source, const std::string& name,
               const std::string& prism_base, const std::string& dot_path,
               bool aggregate_first,
               const std::vector<choreo::chor::MeasureSpec>& measures,
-              const std::string& passage_target) {
+              const std::string& passage_target, std::size_t threads) {
   using namespace choreo;
   auto parsed = pepanet::parse_net(source, name);
   pepanet::NetSemantics semantics(parsed.net);
-  const auto space = pepanet::NetStateSpace::derive(semantics);
+  pepanet::NetDeriveOptions derive_options;
+  derive_options.threads = threads;
+  const auto space = pepanet::NetStateSpace::derive(semantics, derive_options);
   std::cout << "marking graph: " << space.marking_count() << " markings, "
-            << space.transitions().size() << " transitions\n";
+            << space.transitions().size() << " transitions (derived in "
+            << space.stats().seconds * 1e3 << " ms)\n";
   const auto deadlocks = space.deadlock_markings();
   if (!deadlocks.empty()) {
     std::cout << "warning: " << deadlocks.size() << " deadlock marking(s), e.g. "
@@ -263,6 +273,7 @@ int main(int argc, char** argv) {
   bool aggregate_first = false;
   std::vector<choreo::chor::MeasureSpec> measures;
   std::string passage_target;
+  std::size_t threads = 1;
   choreo::ctmc::SolveOptions options;
   try {
     for (int i = 1; i < argc; ++i) {
@@ -286,6 +297,17 @@ int main(int argc, char** argv) {
       } else if (arg == "--passage-to") {
         if (i + 1 >= argc) return usage(argv[0]);
         passage_target = argv[++i];
+      } else if (arg == "--threads") {
+        if (i + 1 >= argc) return usage(argv[0]);
+        const std::string value = argv[++i];
+        try {
+          std::size_t used = 0;
+          threads = std::stoul(value, &used);
+          if (used != value.size()) throw std::invalid_argument(value);
+        } catch (const std::exception&) {
+          throw choreo::util::Error("--threads expects a count, got '" +
+                                    value + "'");
+        }
       } else if (arg == "-h" || arg == "--help") {
         return usage(argv[0]);
       } else if (!arg.empty() && arg[0] == '-') {
@@ -309,10 +331,11 @@ int main(int argc, char** argv) {
 
     return is_net_source(source)
                ? solve_net(source, path, show_states, options, prism_base,
-                           dot_path, aggregate_first, measures, passage_target)
+                           dot_path, aggregate_first, measures, passage_target,
+                           threads)
                : solve_pepa(source, path, show_states, options, prism_base,
                             dot_path, aggregate_first, measures,
-                            passage_target);
+                            passage_target, threads);
   } catch (const choreo::util::Error& error) {
     std::cerr << "pepa_workbench: " << error.what() << '\n';
     return 1;

@@ -1,0 +1,57 @@
+// Deterministic parallel merge sort over the shared thread pool.
+//
+// The range is cut into one chunk per lane, chunks are sorted concurrently
+// with std::sort, then pairs of adjacent runs are merged (also concurrently)
+// with std::inplace_merge until one run remains.  Callers that need a
+// reproducible result independent of the lane count must supply a *total*
+// strict weak order (e.g. break comparison ties on an original-index tag):
+// under a total order there is exactly one sorted permutation, so the
+// parallel and sequential paths produce identical output.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace choreo::util {
+
+template <typename Iterator, typename Compare>
+void parallel_sort(Iterator begin, Iterator end, Compare comp,
+                   ThreadPool& pool = ThreadPool::shared(),
+                   std::size_t min_chunk = 1 << 14) {
+  const std::size_t count = static_cast<std::size_t>(end - begin);
+  const std::size_t lanes = pool.worker_count() + 1;
+  std::size_t chunks = std::min(lanes, count / min_chunk);
+  if (chunks < 2) {
+    std::sort(begin, end, comp);
+    return;
+  }
+
+  // Chunk boundaries (chunks + 1 offsets, balanced sizes).
+  std::vector<std::size_t> bounds(chunks + 1, 0);
+  for (std::size_t c = 0; c <= chunks; ++c) bounds[c] = count * c / chunks;
+
+  pool.parallel_for(chunks, [&](std::size_t first, std::size_t last) {
+    for (std::size_t c = first; c < last; ++c) {
+      std::sort(begin + bounds[c], begin + bounds[c + 1], comp);
+    }
+  });
+
+  // log2(chunks) rounds of pairwise merges of adjacent runs.
+  for (std::size_t width = 1; width < chunks; width *= 2) {
+    const std::size_t pairs = chunks / (2 * width) + (chunks % (2 * width) > width);
+    pool.parallel_for(pairs, [&](std::size_t first, std::size_t last) {
+      for (std::size_t p = first; p < last; ++p) {
+        const std::size_t lo = 2 * width * p;
+        const std::size_t mid = lo + width;
+        const std::size_t hi = std::min(lo + 2 * width, chunks);
+        std::inplace_merge(begin + bounds[lo], begin + bounds[mid],
+                           begin + bounds[hi], comp);
+      }
+    });
+  }
+}
+
+}  // namespace choreo::util

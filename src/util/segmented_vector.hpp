@@ -1,0 +1,104 @@
+// An append-only vector with stable addresses and lock-free reads.
+//
+// Storage is a chain of geometrically growing segments published through
+// atomic pointers, so ids handed out by push_back() stay valid forever and
+// operator[] never takes a lock — the property the hash-consing arena needs
+// once state-space exploration workers intern terms concurrently.  Appends
+// are serialised by an internal mutex (they are the rare path: interning
+// mostly *finds* nodes); readers only ever touch slots whose index they
+// obtained through some synchronising handoff (the arena's stripe mutexes),
+// which orders the slot's construction before the read.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace choreo::util {
+
+template <typename T>
+class SegmentedVector {
+ public:
+  /// First segment holds kFirstSegment elements; segment s holds twice as
+  /// many as segment s-1.  30 segments cover > 2^40 elements.
+  static constexpr std::size_t kFirstSegmentLog2 = 10;
+  static constexpr std::size_t kSegments = 30;
+
+  SegmentedVector() = default;
+
+  ~SegmentedVector() {
+    const std::size_t count = size_.load(std::memory_order_acquire);
+    for (std::size_t s = 0; s < kSegments; ++s) {
+      T* segment = segments_[s].load(std::memory_order_acquire);
+      if (segment == nullptr) break;
+      const std::size_t base = segment_base(s);
+      const std::size_t live =
+          count > base ? std::min(count - base, segment_capacity(s)) : 0;
+      for (std::size_t i = 0; i < live; ++i) segment[i].~T();
+      ::operator delete[](segment, std::align_val_t(alignof(T)));
+    }
+  }
+
+  SegmentedVector(const SegmentedVector&) = delete;
+  SegmentedVector& operator=(const SegmentedVector&) = delete;
+
+  std::size_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  /// Appends a copy/move of `value` and returns its index.  Thread-safe
+  /// against concurrent push_back and operator[].
+  template <typename U>
+  std::size_t push_back(U&& value) {
+    std::lock_guard lock(append_mutex_);
+    const std::size_t index = size_.load(std::memory_order_relaxed);
+    const std::size_t s = segment_of(index);
+    T* segment = segments_[s].load(std::memory_order_relaxed);
+    if (segment == nullptr) {
+      segment = static_cast<T*>(::operator new[](
+          segment_capacity(s) * sizeof(T), std::align_val_t(alignof(T))));
+      segments_[s].store(segment, std::memory_order_release);
+    }
+    new (&segment[index - segment_base(s)]) T(std::forward<U>(value));
+    size_.store(index + 1, std::memory_order_release);
+    return index;
+  }
+
+  /// Lock-free element access.  The caller must have obtained `index`
+  /// through a synchronising handoff with the appending thread (or be the
+  /// appending thread itself).
+  const T& operator[](std::size_t index) const {
+    const std::size_t s = segment_of(index);
+    T* segment = segments_[s].load(std::memory_order_acquire);
+    CHOREO_ASSERT(segment != nullptr);
+    return segment[index - segment_base(s)];
+  }
+
+  T& operator[](std::size_t index) {
+    return const_cast<T&>(std::as_const(*this)[index]);
+  }
+
+ private:
+  /// Segment s covers indices [base(s), base(s) + capacity(s)) where
+  /// base(s) = first * (2^s - 1) and capacity(s) = first * 2^s.
+  static constexpr std::size_t segment_capacity(std::size_t s) {
+    return std::size_t{1} << (kFirstSegmentLog2 + s);
+  }
+  static constexpr std::size_t segment_base(std::size_t s) {
+    return ((std::size_t{1} << s) - 1) << kFirstSegmentLog2;
+  }
+  static constexpr std::size_t segment_of(std::size_t index) {
+    return std::bit_width((index >> kFirstSegmentLog2) + 1) - 1;
+  }
+
+  std::array<std::atomic<T*>, kSegments> segments_{};
+  std::atomic<std::size_t> size_{0};
+  std::mutex append_mutex_;
+};
+
+}  // namespace choreo::util

@@ -1,0 +1,96 @@
+// A lock-striped hash map for concurrent memoisation caches.
+//
+// The map is partitioned into a fixed number of stripes, each an ordinary
+// unordered_map behind its own mutex; a key's stripe is chosen by its hash,
+// so threads working on unrelated keys almost never contend.  Value
+// addresses are stable (unordered_map never relocates elements), which lets
+// callers hand out references that survive later inserts — the contract the
+// PEPA semantics caches rely on.
+//
+// The intended access pattern is publish-on-miss: look the key up, compute
+// the value outside any stripe lock on a miss, then try_emplace it; when
+// two threads race to publish, the first wins and both observe the same
+// stored value (memoised computations are deterministic, so the loser's
+// copy is identical and is simply discarded).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace choreo::util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class StripedMap {
+ public:
+  static constexpr std::size_t kStripes = 64;
+
+  StripedMap() : stripes_(std::make_unique<std::array<Stripe, kStripes>>()) {}
+
+  // Movable (the stripes live behind one pointer, so objects holding a
+  // StripedMap can still be returned by value); moving while other threads
+  // touch the map is a caller bug, as for any standard container.
+  StripedMap(StripedMap&&) noexcept = default;
+  StripedMap& operator=(StripedMap&&) noexcept = default;
+
+  /// Pointer to the stored value, or nullptr when absent.  The pointer is
+  /// stable until clear().
+  const Value* find(const Key& key) const {
+    const Stripe& stripe = stripe_of(key);
+    std::lock_guard lock(stripe.mutex);
+    auto it = stripe.map.find(key);
+    return it == stripe.map.end() ? nullptr : &it->second;
+  }
+
+  /// Inserts (key, value) unless present; returns the stored value (the
+  /// winner's under a race) and whether this call inserted it.
+  std::pair<const Value*, bool> try_emplace(const Key& key, Value value) {
+    Stripe& stripe = stripe_of(key);
+    std::lock_guard lock(stripe.mutex);
+    auto [it, inserted] = stripe.map.try_emplace(key, std::move(value));
+    return {&it->second, inserted};
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Stripe& stripe : *stripes_) {
+      std::lock_guard lock(stripe.mutex);
+      total += stripe.map.size();
+    }
+    return total;
+  }
+
+  void clear() {
+    for (Stripe& stripe : *stripes_) {
+      std::lock_guard lock(stripe.mutex);
+      stripe.map.clear();
+    }
+  }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  const Stripe& stripe_of(const Key& key) const {
+    // Mix the hash before striping: unordered_map buckets use the low bits
+    // too, and identity-ish hashes (integer keys) would otherwise put every
+    // key of one map bucket into one stripe.
+    std::size_t h = Hash{}(key);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return (*stripes_)[h % kStripes];
+  }
+  Stripe& stripe_of(const Key& key) {
+    return const_cast<Stripe&>(std::as_const(*this).stripe_of(key));
+  }
+
+  std::unique_ptr<std::array<Stripe, kStripes>> stripes_;
+};
+
+}  // namespace choreo::util

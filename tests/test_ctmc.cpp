@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "ctmc/generator.hpp"
 #include "ctmc/rewards.hpp"
@@ -29,6 +30,34 @@ TEST(Sparse, FromTripletsAccumulatesDuplicates) {
 TEST(Sparse, ZeroSumEntriesAreDropped) {
   auto m = cc::CsrMatrix::from_triplets(2, {{0, 1, 2.0}, {0, 1, -2.0}});
   EXPECT_EQ(m.nonzeros(), 0u);
+}
+
+// at() binary-searches the column-sorted row, so lookups on wide rows must
+// stay exact for every present column and zero everywhere between them.
+TEST(Sparse, AtBinarySearchesWideRows) {
+  std::vector<cc::Triplet> triplets;
+  for (std::size_t col = 1; col < 101; col += 2) {
+    triplets.push_back({0, col, static_cast<double>(col)});
+  }
+  auto m = cc::CsrMatrix::from_triplets(128, std::move(triplets));
+  EXPECT_EQ(m.nonzeros(), 50u);
+  for (std::size_t col = 0; col < 128; ++col) {
+    const double expected =
+        (col % 2 == 1 && col < 101) ? static_cast<double>(col) : 0.0;
+    EXPECT_DOUBLE_EQ(m.at(0, col), expected) << "column " << col;
+  }
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);  // empty row
+}
+
+// Duplicates accumulate in insertion order — the order that keeps the
+// parallel assembly bit-identical to the sequential one.
+TEST(Sparse, DuplicatesSumInInsertionOrder) {
+  const double big = 1e16;
+  // 1e16 + 1 - 1e16 == 2 in doubles when summed left to right (1e16 + 1
+  // rounds to 1e16); any other order gives a different bit pattern.
+  auto m = cc::CsrMatrix::from_triplets(
+      2, {{0, 1, big}, {0, 1, 1.0}, {0, 1, 1.0}, {0, 1, -big}});
+  EXPECT_EQ(m.at(0, 1), ((big + 1.0) + 1.0) - big);
 }
 
 TEST(Sparse, TransposeInvolution) {

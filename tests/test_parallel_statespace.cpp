@@ -1,0 +1,274 @@
+// Determinism of parallel state-space exploration.
+//
+// The level-synchronous parallel BFS must reproduce the sequential
+// exploration exactly: state numbering, printed state terms, transition
+// lists (order, actions, bit-exact rates), steady-state measures, annotated
+// XMI bytes, and error texts are required to be identical at every lane
+// count.  Raw ProcessIds are NOT compared — interning order is racy under
+// parallel expansion, so ids differ run to run while the terms they denote
+// (and everything derived from them) do not.
+//
+// The *Concurrent* tests are also the ThreadSanitizer workload: many lanes
+// hammer one shared arena + semantics, and many service jobs derive at
+// once (run with CHOREO_SANITIZE=thread; see scripts/reproduce.sh).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "choreographer/extract_activity.hpp"
+#include "choreographer/extract_statechart.hpp"
+#include "choreographer/paper_models.hpp"
+#include "choreographer/pipeline.hpp"
+#include "ctmc/steady_state.hpp"
+#include "pepa/printer.hpp"
+#include "pepa/semantics.hpp"
+#include "pepa/statespace.hpp"
+#include "pepanet/net_printer.hpp"
+#include "pepanet/netsemantics.hpp"
+#include "pepanet/netstatespace.hpp"
+#include "service/scheduler.hpp"
+#include "uml/xmi.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "xml/write.hpp"
+
+namespace {
+
+using namespace choreo;
+
+/// A lane-count-independent fingerprint of a PEPA state space: printed
+/// state terms in index order plus every transition with its action name
+/// and exact rate.
+std::vector<std::string> fingerprint(const pepa::ProcessArena& arena,
+                                     const pepa::StateSpace& space) {
+  std::vector<std::string> lines;
+  lines.reserve(space.state_count() + space.transitions().size());
+  for (std::size_t s = 0; s < space.state_count(); ++s) {
+    lines.push_back(pepa::to_string(arena, space.state_term(s)));
+  }
+  for (const pepa::StateTransition& t : space.transitions()) {
+    lines.push_back(std::to_string(t.source) + "-" +
+                    arena.action_name(t.action) + "@" +
+                    std::to_string(t.rate) + "->" + std::to_string(t.target));
+  }
+  return lines;
+}
+
+/// Same for a marking graph, including the firing/local distinction.
+std::vector<std::string> fingerprint(const pepanet::PepaNet& net,
+                                     const pepanet::NetStateSpace& space) {
+  std::vector<std::string> lines;
+  lines.reserve(space.marking_count() + space.transitions().size());
+  for (std::size_t m = 0; m < space.marking_count(); ++m) {
+    lines.push_back(pepanet::marking_to_string(net, space.marking(m)));
+  }
+  for (const pepanet::MarkingTransition& t : space.transitions()) {
+    lines.push_back(
+        std::to_string(t.source) + "-" + net.arena().action_name(t.action) +
+        "@" + std::to_string(t.rate) + "->" + std::to_string(t.target) +
+        (t.is_firing ? " firing:" + std::to_string(t.net_transition)
+                     : " local:" + std::to_string(t.place)));
+  }
+  return lines;
+}
+
+pepa::StateSpace derive_tomcat(std::size_t threads, util::ThreadPool* pool,
+                               chor::StatechartExtraction& extraction) {
+  chor::TomcatParams params;
+  params.clients = 3;
+  const uml::Model model = chor::tomcat_model(false, params);
+  extraction = chor::extract_state_machines(model);
+  pepa::Semantics semantics(extraction.model.arena());
+  pepa::DeriveOptions options;
+  options.threads = threads;
+  options.pool = pool;
+  return pepa::StateSpace::derive(semantics, extraction.model.system(),
+                                  options);
+}
+
+TEST(ParallelStateSpace, TomcatIdenticalAcrossLaneCounts) {
+  chor::StatechartExtraction sequential_extraction;
+  const pepa::StateSpace sequential =
+      derive_tomcat(1, nullptr, sequential_extraction);
+  const std::vector<std::string> expected =
+      fingerprint(sequential_extraction.model.arena(), sequential);
+  ASSERT_GT(sequential.state_count(), 1u);
+  EXPECT_EQ(sequential.stats().dedup_misses, sequential.state_count());
+
+  util::ThreadPool pool(4);  // real workers even on a single-core host
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    chor::StatechartExtraction extraction;
+    const pepa::StateSpace space = derive_tomcat(threads, &pool, extraction);
+    EXPECT_EQ(fingerprint(extraction.model.arena(), space), expected)
+        << "lane count " << threads;
+    EXPECT_EQ(space.stats().dedup_misses, sequential.stats().dedup_misses);
+    EXPECT_EQ(space.stats().dedup_hits, sequential.stats().dedup_hits);
+    EXPECT_EQ(space.stats().levels, sequential.stats().levels);
+    EXPECT_EQ(space.stats().peak_frontier, sequential.stats().peak_frontier);
+  }
+}
+
+pepanet::NetStateSpace derive_pda(std::size_t threads, util::ThreadPool* pool,
+                                  chor::ActivityExtraction& extraction) {
+  chor::PdaParams params;
+  params.transmitters = 6;
+  uml::Model model = chor::pda_handover_model(params);
+  extraction = chor::extract_activity_graph(model.activity_graphs()[0]);
+  pepanet::NetSemantics semantics(extraction.net);
+  pepanet::NetDeriveOptions options;
+  options.threads = threads;
+  options.pool = pool;
+  return pepanet::NetStateSpace::derive(semantics, options);
+}
+
+TEST(ParallelStateSpace, PdaHandoverMarkingGraphIdentical) {
+  chor::ActivityExtraction sequential_extraction;
+  const pepanet::NetStateSpace sequential =
+      derive_pda(1, nullptr, sequential_extraction);
+  const std::vector<std::string> expected =
+      fingerprint(sequential_extraction.net, sequential);
+  ASSERT_GT(sequential.marking_count(), 1u);
+
+  // Steady state from the sequential graph, for bit-exact comparison.
+  const auto sequential_solution = ctmc::steady_state(sequential.generator());
+
+  util::ThreadPool pool(4);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    chor::ActivityExtraction extraction;
+    const pepanet::NetStateSpace space = derive_pda(threads, &pool, extraction);
+    EXPECT_EQ(fingerprint(extraction.net, space), expected)
+        << "lane count " << threads;
+
+    // Identical transitions in identical order must give a bit-identical
+    // generator and therefore a bit-identical solver trajectory.
+    const auto solution = ctmc::steady_state(space.generator());
+    ASSERT_EQ(solution.distribution.size(),
+              sequential_solution.distribution.size());
+    for (std::size_t m = 0; m < solution.distribution.size(); ++m) {
+      EXPECT_EQ(solution.distribution[m], sequential_solution.distribution[m]);
+    }
+  }
+}
+
+TEST(ParallelStateSpace, AnnotatedXmiBytesIdentical) {
+  const xml::Document project = uml::to_xmi(chor::pda_handover_model());
+
+  chor::AnalysisOptions sequential_options;
+  sequential_options.derive_threads = 1;
+  const xml::Document sequential =
+      chor::analyse_project(project, sequential_options);
+  const std::string expected = xml::to_string(sequential);
+
+  util::ThreadPool pool(4);
+  for (const std::size_t threads : {2u, 8u}) {
+    chor::AnalysisOptions options;
+    options.derive_threads = threads;
+    options.derive_pool = &pool;
+    const xml::Document annotated = chor::analyse_project(project, options);
+    EXPECT_EQ(xml::to_string(annotated), expected)
+        << "lane count " << threads;
+  }
+}
+
+TEST(ParallelStateSpace, MaxStatesErrorTextIdenticalAcrossLaneCounts) {
+  auto derive_with = [](std::size_t threads,
+                        util::ThreadPool* pool) -> std::string {
+    chor::TomcatParams params;
+    params.clients = 3;
+    const uml::Model model = chor::tomcat_model(false, params);
+    auto extraction = chor::extract_state_machines(model);
+    pepa::Semantics semantics(extraction.model.arena());
+    pepa::DeriveOptions options;
+    options.max_states = 5;
+    options.threads = threads;
+    options.pool = pool;
+    try {
+      pepa::StateSpace::derive(semantics, extraction.model.system(), options);
+    } catch (const util::ModelError& error) {
+      return error.what();
+    }
+    return "";
+  };
+  const std::string expected = derive_with(1, nullptr);
+  ASSERT_NE(expected.find("state-space explosion"), std::string::npos);
+  util::ThreadPool pool(4);
+  EXPECT_EQ(derive_with(2, &pool), expected);
+  EXPECT_EQ(derive_with(8, &pool), expected);
+}
+
+// Many explorations of the same model against ONE shared arena + semantics:
+// the interning stripes and memoisation caches are hit from every lane of
+// every exploration at once.  All resulting spaces must agree.
+TEST(ParallelStateSpace, ConcurrentDerivesOnSharedSemanticsAgree) {
+  chor::TomcatParams params;
+  params.clients = 2;
+  const uml::Model model = chor::tomcat_model(false, params);
+  auto extraction = chor::extract_state_machines(model);
+  pepa::Semantics semantics(extraction.model.arena());
+
+  util::ThreadPool pool(4);
+  constexpr std::size_t kExplorers = 4;
+  std::vector<std::vector<std::string>> results(kExplorers);
+  std::vector<std::thread> explorers;
+  explorers.reserve(kExplorers);
+  for (std::size_t e = 0; e < kExplorers; ++e) {
+    explorers.emplace_back([&, e] {
+      pepa::DeriveOptions options;
+      options.threads = 2;
+      options.pool = &pool;
+      const pepa::StateSpace space = pepa::StateSpace::derive(
+          semantics, extraction.model.system(), options);
+      results[e] = fingerprint(extraction.model.arena(), space);
+    });
+  }
+  for (std::thread& explorer : explorers) explorer.join();
+  for (std::size_t e = 1; e < kExplorers; ++e) {
+    EXPECT_EQ(results[e], results[0]) << "explorer " << e;
+  }
+}
+
+// Concurrent service jobs exercising the whole pipeline with parallel
+// exploration lanes — scheduler workers, per-job derivations and the lane
+// pool all overlap.  Every job of one model must produce the same bytes.
+TEST(ParallelStateSpace, ConcurrentServiceJobsProduceIdenticalBytes) {
+  const xml::Document project = uml::to_xmi(chor::pda_handover_model());
+
+  service::Registry registry;
+  service::SchedulerOptions options;
+  options.workers = 3;
+  options.derive_threads = 2;
+  options.registry = &registry;
+  service::Scheduler scheduler(options);
+
+  constexpr std::size_t kJobs = 6;
+  std::vector<service::JobHandle> handles;
+  handles.reserve(kJobs);
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    service::JobRequest request;
+    request.name = "job-" + std::to_string(j);
+    request.project = project;
+    handles.push_back(scheduler.submit(request));
+  }
+  std::string expected;
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    const service::JobResult result = handles[j].wait();
+    ASSERT_EQ(result.status, service::JobStatus::kDone) << result.error;
+    if (j == 0) {
+      expected = result.annotated_xmi;
+      ASSERT_FALSE(expected.empty());
+    } else {
+      EXPECT_EQ(result.annotated_xmi, expected) << "job " << j;
+    }
+  }
+
+  // The exploration metrics the scheduler exports are populated.
+  EXPECT_GT(registry.counter("choreo_explored_states_total", "").value(), 0u);
+  EXPECT_GT(registry.gauge("choreo_explore_peak_frontier", "").value(), 0);
+  EXPECT_GT(registry.histogram("choreo_stage_derive_seconds", "").count(), 0u);
+  EXPECT_GT(
+      registry.histogram("choreo_explore_states_per_second", "").count(), 0u);
+}
+
+}  // namespace
