@@ -21,9 +21,19 @@ namespace choreo::chor {
 
 namespace {
 
-/// Invokes the caller's cooperative cancellation/deadline hook, if any.
+/// Invokes the caller's cooperative cancellation/deadline hook, if any,
+/// then the resource governor's own check.
 void checkpoint(const AnalysisOptions& options) {
   if (options.checkpoint) options.checkpoint();
+  if (options.budget != nullptr) options.budget->check("checkpoint");
+}
+
+/// The solver options for one stage: the caller's settings plus the
+/// governor, so iteration loops abort on cancellation too.
+ctmc::SolveOptions governed_solver(const AnalysisOptions& options) {
+  ctmc::SolveOptions solver = options.solver;
+  if (solver.budget == nullptr) solver.budget = options.budget;
+  return solver;
 }
 
 ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
@@ -43,6 +53,7 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
   derive_options.max_markings = options.max_states;
   derive_options.threads = options.derive_threads;
   derive_options.pool = options.derive_pool;
+  derive_options.budget = options.budget;
   const auto space = pepanet::NetStateSpace::derive(semantics, derive_options);
 
   result.marking_count = space.marking_count();
@@ -56,7 +67,7 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
     // Exact aggregation: throughput of every action survives the quotient.
     const auto lumping = pepanet::aggregate(space);
     const auto solved =
-        ctmc::steady_state(lumping.quotient_generator(), options.solver);
+        ctmc::steady_state(lumping.quotient_generator(), governed_solver(options));
     result.solve_seconds = timer.seconds();
     checkpoint(options);
     timer.restart();
@@ -72,7 +83,8 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
     result.reflect_seconds = timer.seconds();
     return result;
   }
-  const auto solved = ctmc::steady_state(space.generator(), options.solver);
+  const auto solved =
+      ctmc::steady_state(space.generator(), governed_solver(options));
   result.solve_seconds = timer.seconds();
   checkpoint(options);
   timer.restart();
@@ -104,6 +116,7 @@ StateMachineResult analyse_state_machines(uml::Model& model,
   derive_options.max_states = options.max_states;
   derive_options.threads = options.derive_threads;
   derive_options.pool = options.derive_pool;
+  derive_options.budget = options.budget;
   const auto space = pepa::StateSpace::derive(
       semantics, extraction.model.system(), derive_options);
 
@@ -113,7 +126,8 @@ StateMachineResult analyse_state_machines(uml::Model& model,
 
   checkpoint(options);
   timer.restart();
-  const auto solved = ctmc::steady_state(space.generator(), options.solver);
+  const auto solved =
+      ctmc::steady_state(space.generator(), governed_solver(options));
   result.solve_seconds = timer.seconds();
 
   checkpoint(options);

@@ -45,6 +45,13 @@ struct AnalysisOptions {
   std::size_t derive_threads = 0;
   /// Pool derivation lanes run on; nullptr means util::ThreadPool::shared().
   util::ThreadPool* derive_pool = nullptr;
+  /// Resource governor threaded into every stage: derivations check it once
+  /// per breadth-first level and charge discovered states/bytes to it,
+  /// solvers check it every few iterations, and the stage boundaries check
+  /// it alongside `checkpoint`.  On cancellation or an expired deadline the
+  /// analysis aborts with util::InterruptedError (the partial accounting
+  /// remains readable on the Budget).  nullptr disables governance.
+  util::Budget* budget = nullptr;
 };
 
 /// Per-activity-graph results.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ctmc/generator.hpp"
+#include "util/budget.hpp"
 
 namespace choreo::ctmc {
 
@@ -40,6 +41,11 @@ struct SolveOptions {
   bool parallel = true;
   /// Dense-LU size cutoff used by kAuto.
   std::size_t dense_cutoff = 512;
+  /// Resource governor: cancellation/deadline checked every few sweeps of
+  /// the iterative methods (amortised with the residual check), so a
+  /// cancelled solve aborts with util::InterruptedError instead of running
+  /// to max_iterations.  nullptr disables governance.
+  util::Budget* budget = nullptr;
 };
 
 struct SolveResult {

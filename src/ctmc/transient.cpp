@@ -1,5 +1,6 @@
 #include "ctmc/transient.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -58,6 +59,11 @@ TransientResult transient(const Generator& generator,
   std::vector<double> sum(n, 0.0);
   std::vector<double> flow(n, 0.0);
   for (std::size_t k = 0; k <= k_max; ++k) {
+    if (options.budget != nullptr && k % 8 == 0) {
+      options.budget->charge_solver_iterations(std::min<std::size_t>(
+          8, k_max - k + 1));
+      options.budget->check("solve");
+    }
     const double weight = std::exp(log_poisson_pmf(k, mean));
     for (std::size_t j = 0; j < n; ++j) sum[j] += weight * term[j];
     if (k == k_max) break;

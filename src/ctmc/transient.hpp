@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ctmc/generator.hpp"
+#include "util/budget.hpp"
 
 namespace choreo::ctmc {
 
@@ -18,6 +19,9 @@ struct TransientOptions {
   /// Permitted truncation error on the probability mass.
   double epsilon = 1e-10;
   bool parallel = true;
+  /// Resource governor: cancellation/deadline checked every few
+  /// uniformisation terms (util::InterruptedError on interruption).
+  util::Budget* budget = nullptr;
 };
 
 struct TransientResult {

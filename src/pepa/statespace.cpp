@@ -42,7 +42,7 @@ StateSpace StateSpace::derive(Semantics& semantics, ProcessId initial,
       return *known;
     }
     if (space.states_.size() >= options.max_states) {
-      throw util::ModelError(util::msg(
+      throw util::BudgetError(util::msg(
           "state space exceeds the configured bound of ", options.max_states,
           " states (state-space explosion)"));
     }
@@ -54,11 +54,26 @@ StateSpace StateSpace::derive(Semantics& semantics, ProcessId initial,
     return index;
   };
 
+  // Approximate per-state footprint: the term id plus its interning entry.
+  constexpr std::size_t kBytesPerState =
+      sizeof(ProcessId) + 2 * sizeof(std::size_t);
+
   index_of_term(expand_static(semantics.arena(), initial));
+  if (options.budget != nullptr) {
+    options.budget->charge_states(1, kBytesPerState);
+  }
   while (!frontier.empty()) {
     ++space.stats_.levels;
     space.stats_.peak_frontier =
         std::max(space.stats_.peak_frontier, frontier.size());
+    // The cooperative governance point: once per level, after recording the
+    // level in the accounting (so partial stats cover the level being
+    // abandoned), before the expensive expansion.  Level granularity keeps
+    // exploration deterministic — uninterrupted runs never observe it.
+    if (options.budget != nullptr) {
+      options.budget->note_level(frontier.size());
+      options.budget->check("derive");
+    }
     const std::vector<std::size_t> level = std::move(frontier);
     frontier.clear();
 
@@ -103,6 +118,7 @@ StateSpace StateSpace::derive(Semantics& semantics, ProcessId initial,
     // Serial phase: number the discovered states and emit transitions in
     // canonical order — source index, then derivative order — which is the
     // order the sequential FIFO exploration produces.
+    const std::size_t known_before = space.states_.size();
     for (std::size_t i = 0; i < level.size(); ++i) {
       if (errors[i]) std::rethrow_exception(errors[i]);
       const std::size_t source = level[i];
@@ -125,6 +141,11 @@ StateSpace StateSpace::derive(Semantics& semantics, ProcessId initial,
         space.transitions_.push_back(
             {source, target, move.action, move.rate.value()});
       }
+    }
+    if (options.budget != nullptr) {
+      options.budget->charge_states(space.states_.size() - known_before,
+                                    (space.states_.size() - known_before) *
+                                        kBytesPerState);
     }
   }
   space.stats_.seconds = timer.seconds();

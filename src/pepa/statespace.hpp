@@ -19,6 +19,7 @@
 
 #include "ctmc/generator.hpp"
 #include "pepa/semantics.hpp"
+#include "util/budget.hpp"
 #include "util/striped_map.hpp"
 #include "util/thread_pool.hpp"
 
@@ -38,6 +39,11 @@ struct DeriveOptions {
   std::size_t threads = 0;
   /// Pool expansion chunks run on; nullptr means util::ThreadPool::shared().
   util::ThreadPool* pool = nullptr;
+  /// Resource governor: cancellation, deadline and state/byte accounting.
+  /// Checked once per breadth-first level (deterministic; an interrupted
+  /// derivation stops within one frontier level of the request) and charged
+  /// with every discovered state.  nullptr disables governance.
+  util::Budget* budget = nullptr;
 };
 
 /// Counters describing one derivation run, for perf reports and the

@@ -48,7 +48,7 @@ NetStateSpace NetStateSpace::derive_from(NetSemantics& semantics, Marking initia
       return *known;
     }
     if (space.markings_.size() >= options.max_markings) {
-      throw util::ModelError(util::msg(
+      throw util::BudgetError(util::msg(
           "marking graph exceeds the configured bound of ", options.max_markings,
           " markings (state-space explosion)"));
     }
@@ -60,11 +60,27 @@ NetStateSpace NetStateSpace::derive_from(NetSemantics& semantics, Marking initia
     return index;
   };
 
+  // Approximate per-marking footprint: every marking of one net holds the
+  // same number of slots, plus its interning entry.
+  const std::size_t bytes_per_marking =
+      initial.size() * sizeof(pepa::ProcessId) + 2 * sizeof(std::size_t);
+
   index_of_marking(std::move(initial));
+  if (options.budget != nullptr) {
+    options.budget->charge_states(1, bytes_per_marking);
+  }
   while (!frontier.empty()) {
     ++space.stats_.levels;
     space.stats_.peak_frontier =
         std::max(space.stats_.peak_frontier, frontier.size());
+    // Cooperative governance point: once per level, after the accounting
+    // records the level being entered, before the parallel expansion (see
+    // pepa::StateSpace::derive — determinism is preserved because
+    // uninterrupted runs never observe the check).
+    if (options.budget != nullptr) {
+      options.budget->note_level(frontier.size());
+      options.budget->check("derive");
+    }
     const std::vector<std::size_t> level = std::move(frontier);
     frontier.clear();
 
@@ -108,6 +124,7 @@ NetStateSpace NetStateSpace::derive_from(NetSemantics& semantics, Marking initia
     // Serial phase: number the discovered markings and emit transitions in
     // canonical order — source index, then move order — which is the order
     // the sequential FIFO exploration produces.
+    const std::size_t known_before = space.markings_.size();
     for (std::size_t i = 0; i < level.size(); ++i) {
       if (errors[i]) std::rethrow_exception(errors[i]);
       const std::size_t source = level[i];
@@ -137,6 +154,11 @@ NetStateSpace NetStateSpace::derive_from(NetSemantics& semantics, Marking initia
         t.place = move.place;
         space.transitions_.push_back(t);
       }
+    }
+    if (options.budget != nullptr) {
+      options.budget->charge_states(
+          space.markings_.size() - known_before,
+          (space.markings_.size() - known_before) * bytes_per_marking);
     }
   }
   space.stats_.seconds = timer.seconds();

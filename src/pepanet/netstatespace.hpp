@@ -16,6 +16,7 @@
 #include "ctmc/generator.hpp"
 #include "pepa/statespace.hpp"
 #include "pepanet/netsemantics.hpp"
+#include "util/budget.hpp"
 #include "util/striped_map.hpp"
 #include "util/thread_pool.hpp"
 
@@ -35,6 +36,9 @@ struct NetDeriveOptions {
   std::size_t threads = 0;
   /// Pool expansion chunks run on; nullptr means util::ThreadPool::shared().
   util::ThreadPool* pool = nullptr;
+  /// Resource governor: cancellation, deadline and marking/byte accounting,
+  /// checked once per breadth-first level (see pepa::DeriveOptions::budget).
+  util::Budget* budget = nullptr;
 };
 
 struct MarkingTransition {

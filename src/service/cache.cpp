@@ -63,6 +63,10 @@ ResultCache::ResultCache(const CacheOptions& options)
                      .counter("choreo_cache_evictions_total",
                               "Entries dropped to stay within the byte "
                               "budget")),
+      oversize_((options.registry ? *options.registry : Registry::global())
+                    .counter("choreo_cache_oversize_total",
+                             "put() calls rejected because one entry "
+                             "exceeds the whole byte budget")),
       bytes_gauge_((options.registry ? *options.registry : Registry::global())
                        .gauge("choreo_cache_bytes",
                               "Bytes currently held by the result cache")),
@@ -124,7 +128,15 @@ std::size_t ResultCache::entry_bytes(const std::string& key,
 void ResultCache::put(const std::string& key, const CachedAnalysis& analysis) {
   const std::size_t bytes = entry_bytes(key, analysis);
   std::lock_guard lock(mutex_);
-  if (bytes > max_bytes_) return;
+  if (bytes > max_bytes_) {
+    // Dropped silently before: the counter makes an over-budget entry
+    // observable, and the gauges are refreshed so they never go stale on
+    // a cache that only ever sees oversize entries.
+    oversize_.increment();
+    bytes_gauge_.set(static_cast<std::int64_t>(bytes_));
+    entries_gauge_.set(static_cast<std::int64_t>(lru_.size()));
+    return;
+  }
   const auto it = index_.find(key);
   if (it != index_.end()) {
     bytes_ -= it->second->bytes;

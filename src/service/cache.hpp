@@ -102,6 +102,7 @@ class ResultCache {
   Counter& hits_;
   Counter& misses_;
   Counter& evictions_;
+  Counter& oversize_;
   Gauge& bytes_gauge_;
   Gauge& entries_gauge_;
 };

@@ -79,6 +79,12 @@ struct JobResult {
   /// Human-readable failure reason (failed / timed_out / cancelled).
   std::string error;
   JobTimings timings;
+  /// Derivation progress reconstructed from the job's resource budget;
+  /// most useful for cancelled / timed-out jobs, where it shows how far
+  /// exploration got before the interruption (levels, peak frontier, and
+  /// states discovered in dedup_misses).  Zeroed for cache hits and jobs
+  /// that never ran.
+  pepa::DeriveStats partial_derive_stats;
   /// Execution attempts (0 for cache hits and never-ran jobs).
   std::size_t attempts = 0;
   /// Whether the result was served from the content-addressed cache.

@@ -23,16 +23,21 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Internal control-flow signals thrown from the pipeline checkpoint.
-/// Deliberately not util::Error subclasses so that pipeline-level catch
-/// blocks (none today) could never swallow them.
-struct CancelledSignal {};
-struct DeadlineSignal {};
-
-/// The retryable failure: the max_states safety bound tripped.
+/// The retryable failure: a resource bound (max_states or a byte budget)
+/// tripped — typed since the budget taxonomy landed, so no string matching.
 bool is_state_bound_failure(const util::Error& error) {
-  return std::string_view(error.what()).find("state-space explosion") !=
-         std::string_view::npos;
+  return dynamic_cast<const util::BudgetError*>(&error) != nullptr;
+}
+
+/// What the job's Budget can reconstruct of an interrupted derivation:
+/// discovered states, levels and peak frontier (dedup hits and wall clock
+/// stay with the abandoned DeriveStats and are reported as zero).
+pepa::DeriveStats partial_stats(const util::BudgetUsage& usage) {
+  pepa::DeriveStats stats;
+  stats.levels = usage.levels;
+  stats.peak_frontier = usage.peak_frontier;
+  stats.dedup_misses = usage.states;
+  return stats;
 }
 
 }  // namespace
@@ -42,9 +47,10 @@ namespace detail {
 struct JobState {
   JobRequest request;
   Clock::time_point submitted;
-  /// Clock::time_point::max() when the job has no deadline.
-  Clock::time_point deadline = Clock::time_point::max();
-  std::atomic<bool> cancel_requested{false};
+  /// The job's resource governor: deadline, cancellation flag and
+  /// state/byte accounting, threaded through AnalysisOptions into the
+  /// derivation and solver loops.
+  util::Budget budget;
 
   mutable std::mutex mutex;
   std::condition_variable terminal_cv;
@@ -61,7 +67,11 @@ JobStatus JobHandle::status() const {
   return state_->status;
 }
 
-void JobHandle::cancel() { state_->cancel_requested.store(true); }
+void JobHandle::cancel() { state_->budget.request_cancel(); }
+
+util::BudgetUsage JobHandle::progress() const {
+  return state_->budget.usage();
+}
 
 JobResult JobHandle::wait() {
   std::unique_lock lock(state_->mutex);
@@ -124,6 +134,13 @@ struct Scheduler::Impl {
         peak_frontier(registry.gauge(
             "choreo_explore_peak_frontier",
             "Largest breadth-first frontier seen by any exploration")),
+        interrupted_in_stage_total(registry.counter(
+            "choreo_jobs_interrupted_in_stage_total",
+            "Jobs stopped inside a pipeline stage (derive/solve/backoff) "
+            "rather than at a stage boundary")),
+        budget_peak_state_bytes(registry.gauge(
+            "choreo_budget_peak_state_bytes",
+            "Largest state-storage footprint any job's budget recorded")),
         pool(scheduler_options.workers != 0
                  ? scheduler_options.workers
                  : std::max<std::size_t>(
@@ -131,8 +148,6 @@ struct Scheduler::Impl {
 
   void run_job(const std::shared_ptr<JobState>& state);
   void execute(const std::shared_ptr<JobState>& state, JobResult& result);
-  /// The cooperative checkpoint: client hook first, then cancel/deadline.
-  void check(const JobState& state) const;
   /// Sleeps `seconds` in small slices, aborting on cancel/deadline.
   void backoff_sleep(const JobState& state, double seconds) const;
   void finish(const std::shared_ptr<JobState>& state, JobResult result);
@@ -160,6 +175,8 @@ struct Scheduler::Impl {
   Counter& dedup_hits_total;
   Counter& dedup_misses_total;
   Gauge& peak_frontier;
+  Counter& interrupted_in_stage_total;
+  Gauge& budget_peak_state_bytes;
 
   mutable std::mutex flight_mutex;
   std::condition_variable space_cv;
@@ -170,20 +187,13 @@ struct Scheduler::Impl {
   util::ThreadPool pool;
 };
 
-void Scheduler::Impl::check(const JobState& state) const {
-  if (state.request.options.checkpoint) state.request.options.checkpoint();
-  if (state.cancel_requested.load()) throw CancelledSignal{};
-  if (Clock::now() > state.deadline) throw DeadlineSignal{};
-}
-
 void Scheduler::Impl::backoff_sleep(const JobState& state,
                                     double seconds) const {
   const Clock::time_point until =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(seconds));
   while (Clock::now() < until) {
-    if (state.cancel_requested.load()) throw CancelledSignal{};
-    if (Clock::now() > state.deadline) throw DeadlineSignal{};
+    state.budget.check("backoff");
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }
@@ -215,7 +225,10 @@ void Scheduler::Impl::execute(const std::shared_ptr<JobState>& state,
 
   if (!result.from_cache) {
     chor::AnalysisOptions attempt_options = request.options;
-    attempt_options.checkpoint = [this, &state] { check(*state); };
+    // The governor rides inside AnalysisOptions: the pipeline's stage
+    // boundaries call the client hook then budget->check(), and the
+    // derivation/solver loops check the same budget from within a stage.
+    attempt_options.budget = &state->budget;
     if (attempt_options.derive_threads == 0) {
       attempt_options.derive_threads = options.derive_threads;
     }
@@ -229,6 +242,8 @@ void Scheduler::Impl::execute(const std::shared_ptr<JobState>& state,
         result.report = chor::analyse(model, attempt_options);
         reflected = uml::to_xmi(model);
         break;
+      } catch (const util::InterruptedError&) {
+        throw;  // cancellation/deadline is terminal, never a retry
       } catch (const util::Error& error) {
         if (attempt < options.max_retries &&
             is_state_bound_failure(error)) {
@@ -310,13 +325,13 @@ void Scheduler::Impl::run_job(const std::shared_ptr<JobState>& state) {
       std::chrono::duration<double>(started - state->submitted).count();
   queue_seconds.observe(result.timings.queued_seconds);
 
-  if (state->cancel_requested.load()) {
+  if (state->budget.cancel_requested()) {
     result.status = JobStatus::kCancelled;
     result.error = "cancelled before running";
     finish(state, std::move(result));
     return;
   }
-  if (started > state->deadline) {
+  if (state->budget.deadline_passed()) {
     result.status = JobStatus::kTimedOut;
     result.error = "deadline passed while queued";
     finish(state, std::move(result));
@@ -330,17 +345,24 @@ void Scheduler::Impl::run_job(const std::shared_ptr<JobState>& state) {
   running_gauge.add(1);
   try {
     execute(state, result);
-  } catch (const CancelledSignal&) {
-    result.status = JobStatus::kCancelled;
-    result.error = "cancelled while running";
-  } catch (const DeadlineSignal&) {
-    result.status = JobStatus::kTimedOut;
-    result.error = "deadline passed while running";
+  } catch (const util::InterruptedError& error) {
+    const bool cancelled =
+        error.reason() == util::InterruptedError::Reason::kCancelled;
+    result.status = cancelled ? JobStatus::kCancelled : JobStatus::kTimedOut;
+    result.error = cancelled ? "cancelled while running"
+                             : "deadline passed while running";
+    // Interruptions observed inside a stage (derive/solve/backoff) are the
+    // ones the pre-budget service could not honour until the stage ended.
+    if (error.stage() != "checkpoint") interrupted_in_stage_total.increment();
   } catch (const std::exception& error) {
     result.status = JobStatus::kFailed;
     result.error = error.what();
   }
   running_gauge.add(-1);
+  const util::BudgetUsage usage = state->budget.usage();
+  result.partial_derive_stats = partial_stats(usage);
+  budget_peak_state_bytes.record_max(
+      static_cast<std::int64_t>(usage.peak_state_bytes));
   result.timings.run_seconds =
       std::chrono::duration<double>(Clock::now() - started).count();
   run_seconds.observe(result.timings.run_seconds);
@@ -398,9 +420,9 @@ JobHandle Scheduler::submit(JobRequest request) {
                              ? impl_->options.default_timeout_seconds
                              : state->request.timeout_seconds;
   if (timeout > 0) {
-    state->deadline =
+    state->budget.set_deadline(
         state->submitted + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double>(timeout));
+                               std::chrono::duration<double>(timeout)));
   }
   impl_->submitted_total.increment();
   impl_->queue_depth.add(1);

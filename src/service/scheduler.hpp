@@ -10,13 +10,16 @@
 //  - submit() applies backpressure: it blocks while `queue_capacity` jobs
 //    are already queued or running (so a manifest of thousands of jobs
 //    holds a bounded amount of memory).
-//  - Timeouts are wall-clock from submission and enforced cooperatively:
-//    the deadline is checked when the job is dequeued, at every pipeline
-//    stage boundary (AnalysisOptions::checkpoint) and during retry
-//    backoff.  Stretches between checkpoints are bounded by the
-//    max_states guard on state-space derivation.
-//  - cancel() marks the job; a queued job is discarded when dequeued, a
-//    running one aborts at its next checkpoint.
+//  - Timeouts are wall-clock from submission and enforced cooperatively
+//    through a per-job util::Budget threaded into the pipeline: the
+//    deadline is checked when the job is dequeued, at every pipeline
+//    stage boundary, once per breadth-first level inside state-space
+//    derivation, every few solver iterations, and during retry backoff.
+//  - cancel() marks the job's budget; a queued job is discarded when
+//    dequeued, a running one aborts at the next governance check (within
+//    one frontier level / a handful of solver iterations).  Interrupted
+//    jobs carry partial derivation statistics
+//    (JobResult::partial_derive_stats) taken from the budget accounting.
 //  - Jobs that fail on the transient max_states safety bound ("state-space
 //    explosion") are retried with exponential backoff at a lower
 //    aggregation setting: retries solve the strong-equivalence quotient
@@ -37,6 +40,7 @@
 #include "service/cache.hpp"
 #include "service/job.hpp"
 #include "service/metrics.hpp"
+#include "util/budget.hpp"
 
 namespace choreo::service {
 
@@ -75,6 +79,10 @@ class JobHandle {
   JobStatus status() const;
   /// Requests cancellation; a no-op once the job is terminal.
   void cancel();
+  /// Live accounting snapshot from the job's resource budget: states and
+  /// bytes charged by derivation, breadth-first levels completed, solver
+  /// iterations.  Safe to poll while the job runs.
+  util::BudgetUsage progress() const;
   /// Blocks until the job is terminal, then returns a copy of its result
   /// (a copy so that waiting on a temporary handle is safe).
   JobResult wait();

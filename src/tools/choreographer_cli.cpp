@@ -3,10 +3,15 @@
 //
 //   choreographer INPUT.xmi [-o OUTPUT.xmi] [--rates FILE.rates]
 //                 [--report] [--solver METHOD] [--default-rate R]
-//                 [--threads N] [--sensitivity ACTION] [--emit-pepanet FILE]
+//                 [--threads N] [--deadline-seconds S]
+//                 [--sensitivity ACTION] [--emit-pepanet FILE]
 //
 // --threads N explores state spaces with N parallel lanes (0 = one per
 // core); the derived chain and every output byte are identical at any N.
+//
+// --deadline-seconds S bounds the analysis wall clock: derivation checks
+// the deadline once per breadth-first level and the solvers every few
+// iterations, so an overrunning analysis stops promptly with exit code 3.
 //
 // --sensitivity ACTION additionally prints the elasticity of ACTION's
 // throughput with respect to every activity rate (the bottleneck ranking).
@@ -30,6 +35,7 @@
 #include "uml/layout.hpp"
 #include "uml/xmi.hpp"
 #include "xml/parse.hpp"
+#include "util/budget.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -41,8 +47,8 @@ int usage(const char* argv0) {
       << "usage: " << argv0
       << " INPUT.xmi [-o OUTPUT.xmi] [--rates FILE.rates] [--report]\n"
          "           [--solver auto|dense-lu|jacobi|gauss-seidel|sor|power]\n"
-         "           [--default-rate R] [--threads N] [--sensitivity ACTION]\n"
-         "           [--emit-pepanet FILE]\n";
+         "           [--default-rate R] [--threads N] [--deadline-seconds S]\n"
+         "           [--sensitivity ACTION] [--emit-pepanet FILE]\n";
   return 2;
 }
 
@@ -113,6 +119,8 @@ int main(int argc, char** argv) {
   std::string sensitivity_target;
   std::string emit_pepanet;
   bool report_requested = false;
+  double deadline_seconds = 0.0;
+  choreo::util::Budget budget;
   choreo::chor::AnalysisOptions options;
   try {
     for (int i = 1; i < argc; ++i) {
@@ -137,6 +145,9 @@ int main(int argc, char** argv) {
       } else if (arg == "--threads") {
         options.derive_threads =
             parse_count("--threads", next_value("--threads"));
+      } else if (arg == "--deadline-seconds") {
+        deadline_seconds = parse_double("--deadline-seconds",
+                                        next_value("--deadline-seconds"));
       } else if (arg == "--sensitivity") {
         sensitivity_target = next_value("--sensitivity");
       } else if (arg == "--emit-pepanet") {
@@ -158,6 +169,12 @@ int main(int argc, char** argv) {
       output = choreo::util::ends_with(input, ".xmi")
                    ? input.substr(0, input.size() - 4) + "_analysed.xmi"
                    : input + ".analysed";
+    }
+    if (deadline_seconds > 0.0) {
+      // The clock starts here, spanning parsing, every derivation and
+      // every solve (and sensitivity re-solves below).
+      budget.set_deadline_seconds(deadline_seconds);
+      options.budget = &budget;
     }
 
     const auto report = choreo::chor::analyse_project_file(input, output, options);
@@ -196,6 +213,9 @@ int main(int argc, char** argv) {
       std::cout << table;
     }
     return 0;
+  } catch (const choreo::util::InterruptedError& error) {
+    std::cerr << "choreographer: " << error.what() << '\n';
+    return 3;
   } catch (const choreo::util::Error& error) {
     std::cerr << "choreographer: " << error.what() << '\n';
     return 1;

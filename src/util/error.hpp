@@ -54,6 +54,40 @@ class NumericError : public Error {
   using Error::Error;
 };
 
+/// A configured resource budget was exhausted: the max_states/max_markings
+/// safety bound tripped, or a Budget's byte limit was exceeded.  Derived
+/// from ModelError because the bound is a property of the submitted model
+/// under the current options (and existing catch sites treat it as such);
+/// catching BudgetError specifically identifies the retryable failures.
+class BudgetError : public ModelError {
+ public:
+  using ModelError::ModelError;
+};
+
+/// Cooperative interruption: a cancellation request or an expired deadline
+/// observed inside a long-running stage (state-space derivation, a solver
+/// iteration loop) or at a pipeline stage boundary.  `stage()` names where
+/// the interruption was observed ("derive", "solve", "checkpoint", ...).
+class InterruptedError : public Error {
+ public:
+  enum class Reason { kCancelled, kDeadline };
+
+  InterruptedError(Reason reason, std::string stage)
+      : Error(std::string(reason == Reason::kCancelled
+                              ? "interrupted: cancellation requested"
+                              : "interrupted: deadline exceeded") +
+              " (in " + stage + ")"),
+        reason_(reason),
+        stage_(std::move(stage)) {}
+
+  Reason reason() const noexcept { return reason_; }
+  const std::string& stage() const noexcept { return stage_; }
+
+ private:
+  Reason reason_;
+  std::string stage_;
+};
+
 /// Builds an error message from stream-style pieces:
 ///   throw ModelError(msg("undefined constant '", name, "'"));
 template <typename... Parts>

@@ -75,7 +75,9 @@ bool is_identifier(std::string_view name) {
 }
 
 std::string format_double(double value) {
-  if (value == 0.0) return "0";
+  // -0.0 == 0.0, so the zero fast path must consult the sign bit or it
+  // silently drops the sign of negative zero.
+  if (value == 0.0) return std::signbit(value) ? "-0" : "0";
   if (std::isnan(value)) return "nan";
   if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
   // Shortest representation from a ladder of precisions that round-trips

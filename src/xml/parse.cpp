@@ -119,13 +119,26 @@ class Parser {
 
   void skip_doctype() {
     expect("<!DOCTYPE", "DOCTYPE declaration");
+    // Angle brackets inside quoted literals of the internal subset (entity
+    // values, system identifiers) are data, not markup, so bracket depth is
+    // only adjusted outside quotes.
     int depth = 1;
+    char quote = '\0';
     while (!at_end() && depth > 0) {
       const char c = advance();
-      if (c == '<') ++depth;
-      if (c == '>') --depth;
+      if (quote != '\0') {
+        if (c == quote) quote = '\0';
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        quote = c;
+      } else if (c == '<') {
+        ++depth;
+      } else if (c == '>') {
+        --depth;
+      }
     }
-    if (depth != 0) fail("unterminated DOCTYPE declaration");
+    if (depth != 0 || quote != '\0') fail("unterminated DOCTYPE declaration");
   }
 
   std::string parse_name() {
@@ -276,21 +289,36 @@ class Parser {
   }
 
   std::string decode_char_reference(std::string_view digits) {
+    const bool hex =
+        !digits.empty() && (digits.front() == 'x' || digits.front() == 'X');
+    const std::string_view body = hex ? digits.substr(1) : digits;
+    if (body.empty()) {
+      fail(hex ? "empty hex character reference"
+               : "empty character reference");
+    }
     unsigned long code = 0;
-    if (!digits.empty() && (digits.front() == 'x' || digits.front() == 'X')) {
-      for (char c : digits.substr(1)) {
+    if (hex) {
+      for (char c : body) {
         auto uc = static_cast<unsigned char>(c);
         if (!std::isxdigit(uc)) fail("malformed hex character reference");
         code = code * 16 +
                (std::isdigit(uc) ? uc - '0' : std::tolower(uc) - 'a' + 10);
+        // Fail as soon as the value leaves Unicode range, before a long
+        // digit string can wrap the accumulator.
+        if (code > 0x10FFFF) fail("character reference out of range");
       }
     } else {
-      for (char c : digits) {
+      for (char c : body) {
         if (!std::isdigit(static_cast<unsigned char>(c))) {
           fail("malformed character reference");
         }
         code = code * 10 + static_cast<unsigned long>(c - '0');
+        if (code > 0x10FFFF) fail("character reference out of range");
       }
+    }
+    if (code == 0) fail("character reference to U+0000");
+    if (code >= 0xD800 && code <= 0xDFFF) {
+      fail("character reference to a surrogate code point");
     }
     // UTF-8 encode.
     std::string out;

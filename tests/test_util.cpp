@@ -69,6 +69,14 @@ TEST(Strings, FormatDoubleRoundTrips) {
   EXPECT_EQ(cu::format_double(2.0), "2");
 }
 
+TEST(Strings, FormatDoublePreservesNegativeZero) {
+  // Regression: the zero fast path compared with == (under which
+  // -0.0 == 0.0) and returned "0", losing the sign.
+  EXPECT_EQ(cu::format_double(-0.0), "-0");
+  EXPECT_EQ(cu::format_double(0.0), "0");
+  EXPECT_TRUE(std::signbit(std::stod(cu::format_double(-0.0))));
+}
+
 TEST(Error, MsgConcatenatesPieces) {
   EXPECT_EQ(cu::msg("a", 1, 'b', 2.5), "a1b2.5");
 }

@@ -104,6 +104,84 @@ TEST(Parse, DoctypeIsSkipped) {
   EXPECT_EQ(doc.root().name(), "x");
 }
 
+TEST(Parse, CharReferencesDecodeAcrossUtf8Widths) {
+  const auto doc = cx::parse_document(
+      "<a>&#65;&#xE9;&#x20AC;&#x1F600;</a>");
+  EXPECT_EQ(doc.root().text_content(),
+            "A\xC3\xA9\xE2\x82\xAC\xF0\x9F\x98\x80");
+}
+
+TEST(Parse, RejectsEmptyCharReferences) {
+  // Regression: "&#;" and "&#x;" used to decode to a NUL byte because the
+  // empty digit loop left the accumulator at zero.
+  EXPECT_THROW(cx::parse_document("<a>&#;</a>"), cu::ParseError);
+  EXPECT_THROW(cx::parse_document("<a>&#x;</a>"), cu::ParseError);
+  EXPECT_THROW(cx::parse_document("<a>&#X;</a>"), cu::ParseError);
+  EXPECT_THROW(cx::parse_document("<a b=\"&#;\"/>"), cu::ParseError);
+}
+
+TEST(Parse, RejectsNulCharReference) {
+  // Regression: "&#0;" smuggled a NUL byte into text and attribute values.
+  EXPECT_THROW(cx::parse_document("<a>&#0;</a>"), cu::ParseError);
+  EXPECT_THROW(cx::parse_document("<a>&#x0;</a>"), cu::ParseError);
+  EXPECT_THROW(cx::parse_document("<a>&#x000;</a>"), cu::ParseError);
+}
+
+TEST(Parse, RejectsSurrogateCharReferences) {
+  // Regression: U+D800..U+DFFF were UTF-8-encoded as three bytes, producing
+  // ill-formed output (CESU-8-style lone surrogates).
+  EXPECT_THROW(cx::parse_document("<a>&#xD800;</a>"), cu::ParseError);
+  EXPECT_THROW(cx::parse_document("<a>&#xDFFF;</a>"), cu::ParseError);
+  EXPECT_THROW(cx::parse_document("<a>&#55296;</a>"), cu::ParseError);
+  // The code points flanking the surrogate block stay legal.
+  EXPECT_EQ(cx::parse_document("<a>&#xD7FF;</a>").root().text_content(),
+            "\xED\x9F\xBF");
+  EXPECT_EQ(cx::parse_document("<a>&#xE000;</a>").root().text_content(),
+            "\xEE\x80\x80");
+}
+
+TEST(Parse, RejectsOutOfRangeCharReferences) {
+  EXPECT_THROW(cx::parse_document("<a>&#x110000;</a>"), cu::ParseError);
+  // Regression: enough digits used to wrap the unsigned accumulator; the
+  // parser now fails as soon as the value exceeds U+10FFFF.
+  EXPECT_THROW(
+      cx::parse_document("<a>&#99999999999999999999999999999999;</a>"),
+      cu::ParseError);
+  EXPECT_THROW(
+      cx::parse_document("<a>&#xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF;</a>"),
+      cu::ParseError);
+  EXPECT_EQ(cx::parse_document("<a>&#x10FFFF;</a>").root().text_content(),
+            "\xF4\x8F\xBF\xBF");
+}
+
+TEST(Parse, CharReferenceErrorsCarryPositions) {
+  try {
+    cx::parse_document("<a>\n  <b>&#xD800;</b>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const cu::ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("surrogate"),
+              std::string::npos);
+  }
+}
+
+TEST(Parse, DoctypeQuotedLiteralsDoNotConfuseNesting) {
+  // Regression: '>' inside a quoted entity value ended the DOCTYPE early,
+  // leaving "]>" to be reported as content before the root element.
+  const auto doc = cx::parse_document(
+      "<!DOCTYPE m [<!ENTITY e \"a>b\">]><m/>");
+  EXPECT_EQ(doc.root().name(), "m");
+  const auto single = cx::parse_document(
+      "<!DOCTYPE m [<!ENTITY e 'x<y>z'>]><m/>");
+  EXPECT_EQ(single.root().name(), "m");
+  // A system identifier containing '<' must not raise the bracket depth.
+  const auto system_id = cx::parse_document(
+      "<!DOCTYPE m SYSTEM \"weird<name>.dtd\"><m/>");
+  EXPECT_EQ(system_id.root().name(), "m");
+  // An unclosed quote runs off the end: unterminated, not accepted.
+  EXPECT_THROW(cx::parse_document("<!DOCTYPE m [<!ENTITY e \"a>]><m/>"),
+               cu::ParseError);
+}
+
 TEST(Parse, ErrorsCarryPositions) {
   try {
     cx::parse_document("<a>\n  <b></c>\n</a>");
