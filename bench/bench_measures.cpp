@@ -1,0 +1,128 @@
+// E6b: per-action measure lookup cost on the CSR-indexed transition system.
+//
+// Report: steady-state throughput of ONE action queried against transition
+// systems of growing total size, holding the action's own degree fixed.
+// With the action-keyed CSR index the query walks only the action's slice,
+// so its cost is independent of the total transition count; the flat scan
+// the measures used before the index grows linearly with it.
+// Benchmarks: indexed query vs. flat scan at each size.
+#include "bench_common.hpp"
+
+#include <cstddef>
+#include <vector>
+
+#include "explore/transition_system.hpp"
+#include "pepa/statespace.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace choreo;
+
+/// Number of transitions carrying the probed action, at every total size.
+constexpr std::size_t kProbedDegree = 1024;
+/// Action ids 1..kOtherActions carry the remaining transitions.
+constexpr std::size_t kOtherActions = 63;
+constexpr std::size_t kOutDegree = 8;
+
+/// A synthetic transition system with `total` transitions over
+/// total/kOutDegree states: action 0 appears on exactly kProbedDegree of
+/// them (evenly spread), the rest cycle through the other action ids.
+explore::TransitionSystem<pepa::StateTransition> synthetic_system(
+    std::size_t total) {
+  explore::TransitionSystem<pepa::StateTransition> system;
+  system.reserve(total);
+  const std::size_t states = total / kOutDegree;
+  const std::size_t probe_stride = total / kProbedDegree;
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::size_t source = i / kOutDegree;
+    const std::size_t target = (source * 31 + i) % states;
+    const pepa::ActionId action =
+        i % probe_stride == 0
+            ? 0
+            : static_cast<pepa::ActionId>(1 + i % kOtherActions);
+    system.push_back({source, target, action, 1.0 + 0.001 * (i % 7)});
+  }
+  system.finalize(states);
+  return system;
+}
+
+std::vector<double> uniform_distribution(std::size_t states) {
+  return std::vector<double>(states, 1.0 / static_cast<double>(states));
+}
+
+/// The pre-index implementation: scan every transition, filter on action.
+double flat_scan_throughput(
+    const explore::TransitionSystem<pepa::StateTransition>& system,
+    const std::vector<double>& distribution, pepa::ActionId action) {
+  double sum = 0.0;
+  for (const pepa::StateTransition& t : system.transitions()) {
+    if (t.action == action) sum += distribution[t.source] * t.rate;
+  }
+  return sum;
+}
+
+void report() {
+  util::TextTable table({"transitions", "action degree", "indexed ns/query",
+                         "flat scan ns/query", "speedup"});
+  for (const std::size_t total : {std::size_t{1} << 14, std::size_t{1} << 17,
+                                  std::size_t{1} << 20}) {
+    const auto system = synthetic_system(total);
+    const auto distribution = uniform_distribution(system.state_count());
+    const std::size_t repeats = 200;
+
+    util::Stopwatch timer;
+    double sink = 0.0;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      sink += system.action_throughput(distribution, 0);
+    }
+    const double indexed_ns = timer.seconds() * 1e9 / repeats;
+
+    timer.restart();
+    for (std::size_t r = 0; r < repeats; ++r) {
+      sink -= flat_scan_throughput(system, distribution, 0);
+    }
+    const double flat_ns = timer.seconds() * 1e9 / repeats;
+    benchmark::DoNotOptimize(sink);
+
+    table.add_row({std::to_string(total), std::to_string(kProbedDegree),
+                   util::format_double(indexed_ns),
+                   util::format_double(flat_ns),
+                   util::format_double(flat_ns / indexed_ns)});
+    bench::json_record(bench::JsonObject()
+                           .field("experiment", "measure_lookup")
+                           .field("transitions", total)
+                           .field("action_degree", kProbedDegree)
+                           .field("indexed_ns_per_query", indexed_ns)
+                           .field("flat_scan_ns_per_query", flat_ns));
+  }
+  std::cout << "per-action throughput query, fixed action degree, growing "
+               "transition system\n"
+            << table << '\n';
+}
+
+void BM_ActionThroughputIndexed(benchmark::State& state) {
+  const auto system = synthetic_system(static_cast<std::size_t>(state.range(0)));
+  const auto distribution = uniform_distribution(system.state_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.action_throughput(distribution, 0));
+  }
+}
+BENCHMARK(BM_ActionThroughputIndexed)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_ActionThroughputFlatScan(benchmark::State& state) {
+  const auto system = synthetic_system(static_cast<std::size_t>(state.range(0)));
+  const auto distribution = uniform_distribution(system.state_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flat_scan_throughput(system, distribution, 0));
+  }
+}
+BENCHMARK(BM_ActionThroughputFlatScan)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return choreo::bench::run(argc, argv, "E6b: per-action measure lookup cost",
+                            report);
+}

@@ -5,19 +5,27 @@
 #                             seconds, states/sec, lane-count sweep)
 #   BENCH_service.json     -- service scheduler throughput (workers,
 #                             cold/warm cache, jobs/sec, p50/p99 latency)
+#   BENCH_measures.json    -- per-action measure lookup cost on the
+#                             CSR-indexed transition system vs. a flat scan
 #
 # The bench binaries emit the records themselves when CHOREO_BENCH_JSON
 # names a file (an env var because google-benchmark rejects unknown argv);
 # --benchmark_filter skips the google-benchmark timing loops so only the
 # report sections run.  See docs/performance.md for how to read the numbers.
+#
+# An existing build/ directory is reused with whatever generator configured
+# it; a fresh checkout gets the CMake default.
 set -e
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build --target bench_statespace bench_service_throughput
+cmake -B build
+cmake --build build --target bench_statespace bench_service_throughput \
+  bench_measures
 
 CHOREO_BENCH_JSON="$PWD/BENCH_statespace.json" \
   ./build/bench/bench_statespace "--benchmark_filter=^$"
 CHOREO_BENCH_JSON="$PWD/BENCH_service.json" \
   ./build/bench/bench_service_throughput "--benchmark_filter=^$"
+CHOREO_BENCH_JSON="$PWD/BENCH_measures.json" \
+  ./build/bench/bench_measures "--benchmark_filter=^$"
 
-echo "wrote BENCH_statespace.json and BENCH_service.json"
+echo "wrote BENCH_statespace.json, BENCH_service.json and BENCH_measures.json"

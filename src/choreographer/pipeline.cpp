@@ -1,5 +1,7 @@
 #include "choreographer/pipeline.hpp"
 
+#include <algorithm>
+
 #include "choreographer/extract_activity.hpp"
 #include "choreographer/extract_statechart.hpp"
 #include "choreographer/reflect.hpp"
@@ -18,6 +20,19 @@
 #include "xml/write.hpp"
 
 namespace choreo::chor {
+
+StageTimings& StageTimings::operator+=(const StageTimings& other) {
+  extract_seconds += other.extract_seconds;
+  solve_seconds += other.solve_seconds;
+  reflect_seconds += other.reflect_seconds;
+  derive_stats.seconds += other.derive_stats.seconds;
+  derive_stats.levels += other.derive_stats.levels;
+  derive_stats.dedup_hits += other.derive_stats.dedup_hits;
+  derive_stats.dedup_misses += other.derive_stats.dedup_misses;
+  derive_stats.peak_frontier =
+      std::max(derive_stats.peak_frontier, other.derive_stats.peak_frontier);
+  return *this;
+}
 
 namespace {
 
@@ -45,7 +60,7 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
 
   ActivityGraphResult result;
   result.graph_name = graph.name();
-  result.extract_seconds = timer.seconds();
+  result.timings.extract_seconds = timer.seconds();
 
   checkpoint(options);
   pepanet::NetSemantics semantics(extraction.net);
@@ -58,7 +73,7 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
 
   result.marking_count = space.marking_count();
   result.transition_count = space.transitions().size();
-  result.derive_stats = space.stats();
+  result.timings.derive_stats = space.stats();
 
   checkpoint(options);
   timer.restart();
@@ -68,7 +83,7 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
     const auto lumping = pepanet::aggregate(space);
     const auto solved =
         ctmc::steady_state(lumping.quotient_generator(), governed_solver(options));
-    result.solve_seconds = timer.seconds();
+    result.timings.solve_seconds = timer.seconds();
     checkpoint(options);
     timer.restart();
     for (const auto& action_name : extraction.action_names) {
@@ -80,12 +95,12 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
     }
     result.throughputs = throughputs;
     reflect_throughputs(graph, throughputs);
-    result.reflect_seconds = timer.seconds();
+    result.timings.reflect_seconds = timer.seconds();
     return result;
   }
   const auto solved =
       ctmc::steady_state(space.generator(), governed_solver(options));
-  result.solve_seconds = timer.seconds();
+  result.timings.solve_seconds = timer.seconds();
   checkpoint(options);
   timer.restart();
   for (const auto& action_name : extraction.action_names) {
@@ -98,7 +113,7 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
   }
   result.throughputs = throughputs;
   reflect_throughputs(graph, throughputs);
-  result.reflect_seconds = timer.seconds();
+  result.timings.reflect_seconds = timer.seconds();
   return result;
 }
 
@@ -108,7 +123,7 @@ StateMachineResult analyse_state_machines(uml::Model& model,
   StatechartExtraction extraction = extract_state_machines(model);
 
   StateMachineResult result;
-  result.extract_seconds = timer.seconds();
+  result.timings.extract_seconds = timer.seconds();
 
   checkpoint(options);
   pepa::Semantics semantics(extraction.model.arena());
@@ -122,13 +137,13 @@ StateMachineResult analyse_state_machines(uml::Model& model,
 
   result.state_count = space.state_count();
   result.transition_count = space.transitions().size();
-  result.derive_stats = space.stats();
+  result.timings.derive_stats = space.stats();
 
   checkpoint(options);
   timer.restart();
   const auto solved =
       ctmc::steady_state(space.generator(), governed_solver(options));
-  result.solve_seconds = timer.seconds();
+  result.timings.solve_seconds = timer.seconds();
 
   checkpoint(options);
   timer.restart();
@@ -153,7 +168,7 @@ StateMachineResult analyse_state_machines(uml::Model& model,
     result.throughputs.emplace_back(
         extraction.model.arena().action_name(action), value);
   }
-  result.reflect_seconds = timer.seconds();
+  result.timings.reflect_seconds = timer.seconds();
   return result;
 }
 

@@ -54,6 +54,26 @@ struct AnalysisOptions {
   util::Budget* budget = nullptr;
 };
 
+/// Per-stage wall-clock breakdown of one analysis: extraction, CTMC
+/// solution, measure computation + reflection, and the derivation counters.
+/// Shared by the activity-graph and state-machine results, the scheduler's
+/// per-job timings and the service metrics export.
+struct StageTimings {
+  double extract_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double reflect_seconds = 0.0;
+  /// State-space derivation counters and wall clock (derive_stats.seconds).
+  pepa::DeriveStats derive_stats;
+
+  /// Derivation wall clock, for symmetry with the other stage clocks.
+  double derive_seconds() const noexcept { return derive_stats.seconds; }
+
+  /// Folds another breakdown in: clocks, levels and discovery counters
+  /// accumulate; peak_frontier takes the maximum (the largest single
+  /// parallel round across the folded runs).
+  StageTimings& operator+=(const StageTimings& other);
+};
+
 /// Per-activity-graph results.
 struct ActivityGraphResult {
   std::string graph_name;
@@ -61,13 +81,8 @@ struct ActivityGraphResult {
   std::size_t transition_count = 0;
   /// (action name, throughput), extraction order.
   std::vector<std::pair<std::string, double>> throughputs;
-  /// Stage timing breakdown: extraction, CTMC solution, and measure
-  /// computation + reflection.  Derivation time lives in derive_stats.
-  double extract_seconds = 0.0;
-  double solve_seconds = 0.0;
-  double reflect_seconds = 0.0;
-  /// State-space derivation counters and wall clock (derive_stats.seconds).
-  pepa::DeriveStats derive_stats;
+  /// Stage timing breakdown for this graph's pipeline run.
+  StageTimings timings;
 };
 
 /// Joint result for all state machines of the model.
@@ -79,11 +94,7 @@ struct StateMachineResult {
   /// (action name, throughput) over the composed system.
   std::vector<std::pair<std::string, double>> throughputs;
   /// Stage timing breakdown, as in ActivityGraphResult.
-  double extract_seconds = 0.0;
-  double solve_seconds = 0.0;
-  double reflect_seconds = 0.0;
-  /// State-space derivation counters and wall clock (derive_stats.seconds).
-  pepa::DeriveStats derive_stats;
+  StageTimings timings;
 };
 
 struct AnalysisReport {

@@ -3,12 +3,25 @@
 // A Generator is built from the labelled transitions produced by PEPA /
 // PEPA-net state-space derivation: parallel transitions between the same
 // pair of states accumulate, and the diagonal holds the negated exit rates.
+//
+// build_from() folds any contiguous transition-like records (anything
+// exposing .source, .target and .rate — in particular the payload of an
+// explore::TransitionSystem) directly into the matrix triplets, so building
+// the generator of a derived state space needs no intermediate copy of the
+// transition vector.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <exception>
+#include <future>
+#include <span>
 #include <vector>
 
 #include "ctmc/sparse.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace choreo::ctmc {
 
@@ -30,6 +43,13 @@ class Generator {
   /// over source-aligned chunks, bit-identical to the sequential fold.
   static Generator build(std::size_t state_count,
                          const std::vector<RatedTransition>& transitions);
+
+  /// Same fold over any transition-like records (.source/.target/.rate),
+  /// e.g. the payload of a derived explore::TransitionSystem, without
+  /// copying into RatedTransition first.
+  template <typename Transition>
+  static Generator build_from(std::size_t state_count,
+                              std::span<const Transition> transitions);
 
   std::size_t state_count() const noexcept { return matrix_.size(); }
   const CsrMatrix& matrix() const noexcept { return matrix_; }
@@ -54,5 +74,109 @@ class Generator {
   CsrMatrix transposed_;
   double max_exit_rate_ = 0.0;
 };
+
+namespace detail {
+
+/// Validates one transition; appends its off-diagonal triplet and folds its
+/// rate into the source's exit sum.
+template <typename Transition>
+void fold_transition(const Transition& t, std::size_t state_count,
+                     std::vector<Triplet>& triplets, std::vector<double>& exit) {
+  CHOREO_ASSERT(t.source < state_count && t.target < state_count);
+  if (!(t.rate > 0.0) || !std::isfinite(t.rate)) {
+    throw util::ModelError(util::msg("transition ", t.source, " -> ", t.target,
+                                     " has non-positive rate ", t.rate));
+  }
+  if (t.source == t.target) return;
+  triplets.push_back({t.source, t.target, t.rate});
+  exit[t.source] += t.rate;
+}
+
+}  // namespace detail
+
+template <typename Transition>
+Generator Generator::build_from(std::size_t state_count,
+                                std::span<const Transition> transitions) {
+  const std::size_t m = transitions.size();
+  util::ThreadPool& pool = util::ThreadPool::shared();
+  // The parallel path needs the transitions grouped by source (state-space
+  // derivation emits them that way): chunk boundaries are then aligned to
+  // source boundaries, so each state's exit rate is summed by exactly one
+  // lane in input order and the floating-point results match the sequential
+  // fold bit for bit.
+  const bool sorted_by_source =
+      std::is_sorted(transitions.begin(), transitions.end(),
+                     [](const Transition& a, const Transition& b) {
+                       return a.source < b.source;
+                     });
+  const std::size_t lanes = pool.worker_count() + 1;
+  const bool parallel =
+      pool.worker_count() > 0 && sorted_by_source && m >= (1u << 15);
+
+  std::vector<Triplet> triplets;
+  std::vector<double> exit(state_count, 0.0);
+  if (!parallel) {
+    triplets.reserve(m * 2);
+    for (const Transition& t : transitions) {
+      detail::fold_transition(t, state_count, triplets, exit);
+    }
+  } else {
+    // Source-aligned chunk bounds: advance each natural bound until the
+    // source changes, so no state straddles two chunks.
+    std::vector<std::size_t> bounds(lanes + 1, m);
+    bounds[0] = 0;
+    for (std::size_t c = 1; c < lanes; ++c) {
+      std::size_t b = std::max(m * c / lanes, bounds[c - 1]);
+      while (b < m && b > 0 &&
+             transitions[b].source == transitions[b - 1].source) {
+        ++b;
+      }
+      bounds[c] = b;
+    }
+
+    // Each lane folds its chunk into private triplets (concatenated in
+    // chunk = input order below) and disjoint exit entries; a lane stops at
+    // its first bad transition, and the earliest one in input order is
+    // rethrown — exactly the transition the sequential fold rejects first.
+    std::vector<std::vector<Triplet>> parts(lanes);
+    std::vector<std::exception_ptr> errors(lanes);
+    auto fold_chunk = [&](std::size_t lane) {
+      parts[lane].reserve(bounds[lane + 1] - bounds[lane]);
+      for (std::size_t i = bounds[lane]; i < bounds[lane + 1]; ++i) {
+        try {
+          detail::fold_transition(transitions[i], state_count, parts[lane],
+                                  exit);
+        } catch (...) {
+          errors[lane] = std::current_exception();
+          break;
+        }
+      }
+    };
+    std::vector<std::future<void>> pending;
+    pending.reserve(lanes - 1);
+    for (std::size_t lane = 1; lane < lanes; ++lane) {
+      pending.push_back(pool.submit([&, lane] { fold_chunk(lane); }));
+    }
+    fold_chunk(0);
+    for (std::future<void>& f : pending) f.get();
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      if (errors[lane]) std::rethrow_exception(errors[lane]);
+    }
+    triplets.reserve(m * 2);
+    for (std::vector<Triplet>& part : parts) {
+      triplets.insert(triplets.end(), part.begin(), part.end());
+    }
+  }
+  for (std::size_t s = 0; s < state_count; ++s) {
+    if (exit[s] > 0.0) triplets.push_back({s, s, -exit[s]});
+  }
+
+  Generator generator;
+  generator.matrix_ = CsrMatrix::from_triplets(state_count, std::move(triplets));
+  generator.transposed_ = generator.matrix_.transposed();
+  generator.max_exit_rate_ =
+      exit.empty() ? 0.0 : *std::max_element(exit.begin(), exit.end());
+  return generator;
+}
 
 }  // namespace choreo::ctmc

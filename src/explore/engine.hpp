@@ -1,0 +1,249 @@
+// The generic level-synchronous state-space exploration engine.
+//
+// Both Figure-4 derivations — PEPA state spaces (state diagrams) and
+// PEPA-net marking graphs (activity diagrams) — are breadth-first
+// explorations of a derivation graph with identical structure: expand the
+// states of one level in parallel lanes, then number the discovered states
+// and emit the transitions serially in canonical order.  This header is the
+// single implementation of that loop; pepa::StateSpace::derive and
+// pepanet::NetStateSpace::derive_from are thin policies over it.
+//
+// The engine is parameterised over the state type, the interning map, the
+// successor function and the move-commit callback, and preserves the
+// guarantees the two former copies established:
+//
+//   - canonical FIFO numbering: state ids, transition order and every
+//     downstream artifact (generator matrix, annotated XMI, DOT dumps,
+//     cache keys) are byte-identical at every lane count, because the
+//     serial phase renumbers discoveries in source-index-then-move order —
+//     exactly the order a sequential FIFO exploration assigns;
+//   - deterministic errors: expansion failures are captured per state and
+//     the canonically-first one is rethrown, and the shared diagnostics
+//     (state-space explosion, passive-at-top-level) keep the exact texts
+//     the per-formalism copies produced;
+//   - once-per-level budget checks: the resource governor is consulted
+//     once per frontier level, after the level is recorded in the
+//     accounting, so uninterrupted runs never observe the check and
+//     interrupted runs stop within one level of the request.
+//
+// Requirements on the policy types:
+//
+//   State       value interned into `states`/`index`; moved, hashed (Hash)
+//               and compared for equality.
+//   Successors  callable State-const-ref -> std::vector<Move> (by value;
+//               must be safe to call concurrently from expansion lanes).
+//   Move        exposes `.target` (State) and `.rate` (with is_passive()).
+//   ActionName  callable Move-const-ref -> printable action name, used in
+//               the passive-at-top-level diagnostic.
+//   Commit      callable (source index, Move&, target index), invoked
+//               serially in canonical order; `move.target` may already be
+//               moved-from when the target was newly interned.
+#pragma once
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <limits>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/budget.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+#include "util/striped_map.hpp"
+#include "util/thread_pool.hpp"
+
+namespace choreo::explore {
+
+/// Counters describing one exploration run, for perf reports and the
+/// service's exploration metrics.
+struct DeriveStats {
+  /// Breadth-first levels explored.
+  std::size_t levels = 0;
+  /// Largest level (states expanded in one parallel round).
+  std::size_t peak_frontier = 0;
+  /// Transition targets that resolved to an already-discovered state.
+  std::size_t dedup_hits = 0;
+  /// Newly discovered states (equals the final state count).
+  std::size_t dedup_misses = 0;
+  /// Wall-clock derivation time.
+  double seconds = 0.0;
+};
+
+struct EngineOptions {
+  /// Exploration aborts (util::BudgetError) beyond this many states; the
+  /// paper's Section 1.1 names state-space explosion as the known hazard of
+  /// the numerical approach.
+  std::size_t max_states = 4'000'000;
+  /// When false, passive moves at the top level raise util::ModelError
+  /// instead of being dropped.
+  bool allow_top_level_passive = false;
+  /// Exploration lanes per breadth-first level: 1 forces the sequential
+  /// path, 0 sizes to the pool (worker count + the calling thread).  The
+  /// explored space is identical for every setting.
+  std::size_t threads = 0;
+  /// Pool expansion chunks run on; nullptr means util::ThreadPool::shared().
+  util::ThreadPool* pool = nullptr;
+  /// Resource governor: cancellation, deadline and state/byte accounting.
+  /// Checked once per breadth-first level and charged with every discovered
+  /// state.  nullptr disables governance.
+  util::Budget* budget = nullptr;
+  /// Approximate per-state footprint charged to the budget.
+  std::size_t bytes_per_state = 0;
+  /// Formalism vocabulary for the state-space-explosion diagnostic:
+  /// "state space"/"states" (PEPA) or "marking graph"/"markings" (nets).
+  std::string_view space_noun = "state space";
+  std::string_view state_noun = "states";
+  /// Tail of the passive-at-top-level diagnostic, appended directly after
+  /// "activity '<name>" (so it conventionally starts with "' ").
+  std::string_view passive_suffix =
+      "' occurs passively at the top level; synchronise it with an active"
+      " partner";
+};
+
+/// Sentinel for "target not yet numbered" in the expansion buffers.
+inline constexpr std::size_t kUnresolved =
+    std::numeric_limits<std::size_t>::max();
+
+/// One move recorded by an expansion worker: the move itself plus the
+/// target's state index when it was already numbered in an earlier level.
+template <typename Move>
+struct PendingMove {
+  Move move;
+  std::size_t resolved = kUnresolved;
+};
+
+/// Explores from `initial`, appending discovered states to `states` (state
+/// 0 is the initial state) and publishing them in `index`; both are expected
+/// empty.  Transitions are handed to `commit` in canonical order.  Returns
+/// the exploration counters (seconds covers the exploration loop only;
+/// callers usually overwrite it with their own stopwatch).
+template <typename State, typename Hash, typename Successors,
+          typename ActionName, typename Commit>
+DeriveStats run(std::vector<State>& states,
+                util::StripedMap<State, std::size_t, Hash>& index,
+                State initial, Successors&& successors,
+                ActionName&& action_name, Commit&& commit,
+                const EngineOptions& options) {
+  util::Stopwatch timer;
+  DeriveStats stats;
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : util::ThreadPool::shared();
+  const std::size_t lanes =
+      options.threads == 0 ? pool.worker_count() + 1 : options.threads;
+
+  // The states of the level being expanded, in canonical (index) order.
+  std::vector<std::size_t> frontier;
+
+  auto intern = [&](State state) {
+    if (const std::size_t* known = index.find(state)) {
+      ++stats.dedup_hits;
+      return *known;
+    }
+    if (states.size() >= options.max_states) {
+      throw util::BudgetError(util::msg(
+          options.space_noun, " exceeds the configured bound of ",
+          options.max_states, " ", options.state_noun,
+          " (state-space explosion)"));
+    }
+    const std::size_t state_index = states.size();
+    states.push_back(std::move(state));
+    index.try_emplace(states[state_index], state_index);
+    ++stats.dedup_misses;
+    frontier.push_back(state_index);
+    return state_index;
+  };
+
+  intern(std::move(initial));
+  if (options.budget != nullptr) {
+    options.budget->charge_states(1, options.bytes_per_state);
+  }
+  while (!frontier.empty()) {
+    ++stats.levels;
+    stats.peak_frontier = std::max(stats.peak_frontier, frontier.size());
+    // The cooperative governance point: once per level, after recording the
+    // level in the accounting (so partial stats cover the level being
+    // abandoned), before the expensive expansion.  Level granularity keeps
+    // exploration deterministic — uninterrupted runs never observe it.
+    if (options.budget != nullptr) {
+      options.budget->note_level(frontier.size());
+      options.budget->check("derive");
+    }
+    const std::vector<std::size_t> level = std::move(frontier);
+    frontier.clear();
+
+    // Parallel phase: expand every level state into its move buffer.  The
+    // workers call the successor function concurrently (the policy must be
+    // thread-safe) and pre-resolve targets against the index, which only
+    // the serial phase below mutates.  Errors are captured per state so the
+    // canonically-first one can be rethrown deterministically.
+    using Move = typename std::decay_t<
+        decltype(successors(std::declval<const State&>()))>::value_type;
+    std::vector<std::vector<PendingMove<Move>>> moves(level.size());
+    std::vector<std::exception_ptr> errors(level.size());
+    auto expand = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          std::vector<Move> found = successors(states[level[i]]);
+          moves[i].reserve(found.size());
+          for (Move& move : found) {
+            const std::size_t* known = index.find(move.target);
+            moves[i].push_back(
+                {std::move(move), known != nullptr ? *known : kUnresolved});
+          }
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    const std::size_t chunks = std::min(lanes, level.size());
+    if (chunks <= 1) {
+      expand(0, level.size());
+    } else {
+      std::vector<std::future<void>> pending;
+      pending.reserve(chunks - 1);
+      for (std::size_t c = 1; c < chunks; ++c) {
+        const std::size_t begin = level.size() * c / chunks;
+        const std::size_t end = level.size() * (c + 1) / chunks;
+        pending.push_back(pool.submit([&, begin, end] { expand(begin, end); }));
+      }
+      expand(0, level.size() / chunks);
+      for (std::future<void>& f : pending) f.get();
+    }
+
+    // Serial phase: number the discovered states and commit transitions in
+    // canonical order — source index, then move order — which is the order
+    // the sequential FIFO exploration produces.
+    const std::size_t known_before = states.size();
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      if (errors[i]) std::rethrow_exception(errors[i]);
+      const std::size_t source = level[i];
+      for (PendingMove<Move>& pending_move : moves[i]) {
+        Move& move = pending_move.move;
+        if (move.rate.is_passive()) {
+          if (options.allow_top_level_passive) continue;
+          throw util::ModelError(util::msg("activity '", action_name(move),
+                                           options.passive_suffix));
+        }
+        std::size_t target;
+        if (pending_move.resolved != kUnresolved) {
+          target = pending_move.resolved;
+          ++stats.dedup_hits;
+        } else {
+          target = intern(std::move(move.target));
+        }
+        commit(source, move, target);
+      }
+    }
+    if (options.budget != nullptr) {
+      options.budget->charge_states(
+          states.size() - known_before,
+          (states.size() - known_before) * options.bytes_per_state);
+    }
+  }
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace choreo::explore

@@ -1,0 +1,154 @@
+// The shared labelled transition system of a derived state space, stored in
+// CSR (compressed sparse row) form, following Ding & Hillston's move from
+// syntactic state spaces to compact numerical representations.
+//
+// The exploration engine emits transitions grouped by source in canonical
+// order, so the flat payload array IS the CSR value array: finalize() only
+// has to record the row boundaries (an offsets array indexed by source) and
+// a second, action-keyed CSR index (a stable counting sort of transition
+// positions by action id).  The two indexes make the measures that used to
+// scan the whole transition vector per query O(degree) slice lookups:
+//
+//   from(source)                all transitions leaving one state
+//   action_transitions(action)  positions of an action's transitions, in
+//                               emission order (so per-action measure sums
+//                               accumulate in the exact order the flat scan
+//                               used — floating-point results are
+//                               bit-identical)
+//   deadlock_states()           states whose CSR row is empty
+//
+// The transition record type is a template parameter: PEPA uses the minimal
+// {source, target, action, rate} record, PEPA nets a wider record carrying
+// the firing/local provenance.  Records must expose `.source`, `.target`,
+// `.action` (an integral id) and `.rate`.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace choreo::explore {
+
+template <typename Transition>
+class TransitionSystem {
+ public:
+  using value_type = Transition;
+
+  /// Appends one transition.  Sources must be non-decreasing — the
+  /// canonical emission order of level-synchronous exploration.
+  void push_back(Transition transition) {
+    CHOREO_ASSERT(transitions_.empty() ||
+                  transition.source >= transitions_.back().source);
+    transitions_.push_back(std::move(transition));
+  }
+
+  void reserve(std::size_t n) { transitions_.reserve(n); }
+
+  /// Builds the source-row and action indexes.  Call once, after
+  /// exploration, with the final state count; O(transitions + states +
+  /// actions).
+  void finalize(std::size_t state_count) {
+    row_offsets_.assign(state_count + 1, 0);
+    std::size_t max_action = 0;
+    for (const Transition& t : transitions_) {
+      CHOREO_ASSERT(t.source < state_count && t.target < state_count);
+      ++row_offsets_[t.source + 1];
+      max_action = std::max(max_action, static_cast<std::size_t>(t.action));
+    }
+    for (std::size_t s = 0; s < state_count; ++s) {
+      row_offsets_[s + 1] += row_offsets_[s];
+    }
+    const std::size_t actions = transitions_.empty() ? 0 : max_action + 1;
+    action_offsets_.assign(actions + 1, 0);
+    for (const Transition& t : transitions_) {
+      ++action_offsets_[static_cast<std::size_t>(t.action) + 1];
+    }
+    for (std::size_t a = 0; a < actions; ++a) {
+      action_offsets_[a + 1] += action_offsets_[a];
+    }
+    // Stable counting sort: within one action, positions keep emission
+    // order, so slice iteration reproduces the flat scan exactly.
+    by_action_.resize(transitions_.size());
+    std::vector<std::size_t> cursor(action_offsets_.begin(),
+                                    action_offsets_.begin() + actions);
+    for (std::size_t i = 0; i < transitions_.size(); ++i) {
+      by_action_[cursor[static_cast<std::size_t>(transitions_[i].action)]++] =
+          i;
+    }
+  }
+
+  std::size_t size() const noexcept { return transitions_.size(); }
+  bool empty() const noexcept { return transitions_.empty(); }
+
+  /// States covered by the row index (set by finalize()).
+  std::size_t state_count() const noexcept {
+    return row_offsets_.empty() ? 0 : row_offsets_.size() - 1;
+  }
+
+  /// The flat payload, in canonical emission order (grouped by source).
+  const std::vector<Transition>& transitions() const noexcept {
+    return transitions_;
+  }
+
+  const Transition& operator[](std::size_t i) const { return transitions_[i]; }
+
+  /// CSR row slice: every transition leaving `source`.
+  std::span<const Transition> from(std::size_t source) const {
+    return std::span<const Transition>(transitions_)
+        .subspan(row_offsets_[source],
+                 row_offsets_[source + 1] - row_offsets_[source]);
+  }
+
+  std::size_t out_degree(std::size_t source) const {
+    return row_offsets_[source + 1] - row_offsets_[source];
+  }
+
+  /// Distinct action-id range covered by the action index (max id + 1).
+  std::size_t action_bound() const noexcept {
+    return action_offsets_.empty() ? 0 : action_offsets_.size() - 1;
+  }
+
+  /// Positions (into transitions(), in emission order) of the transitions
+  /// carrying `action`; empty for actions outside the index.
+  std::span<const std::size_t> action_transitions(std::size_t action) const {
+    if (action + 1 >= action_offsets_.size()) return {};
+    return std::span<const std::size_t>(by_action_)
+        .subspan(action_offsets_[action],
+                 action_offsets_[action + 1] - action_offsets_[action]);
+  }
+
+  /// States enabling no move at all — the empty rows of the source index.
+  std::vector<std::size_t> deadlock_states() const {
+    std::vector<std::size_t> out;
+    for (std::size_t s = 0; s < state_count(); ++s) {
+      if (row_offsets_[s] == row_offsets_[s + 1]) out.push_back(s);
+    }
+    return out;
+  }
+
+  /// Steady-state throughput of `action`: sum of distribution[source] * rate
+  /// over the action's slice, O(degree of the action) — independent of the
+  /// total transition count.
+  template <typename Distribution>
+  double action_throughput(const Distribution& distribution,
+                           std::size_t action) const {
+    double sum = 0.0;
+    for (const std::size_t i : action_transitions(action)) {
+      sum += distribution[transitions_[i].source] * transitions_[i].rate;
+    }
+    return sum;
+  }
+
+ private:
+  std::vector<Transition> transitions_;
+  /// row_offsets_[s]..row_offsets_[s+1]: the transitions leaving state s.
+  std::vector<std::size_t> row_offsets_;
+  /// action_offsets_[a]..action_offsets_[a+1]: slice of by_action_ holding
+  /// the positions of action a's transitions, in emission order.
+  std::vector<std::size_t> action_offsets_;
+  std::vector<std::size_t> by_action_;
+};
+
+}  // namespace choreo::explore

@@ -1,7 +1,5 @@
 #include "pepa/measures.hpp"
 
-#include <map>
-
 #include "util/error.hpp"
 
 namespace choreo::pepa {
@@ -9,22 +7,23 @@ namespace choreo::pepa {
 double action_throughput(const StateSpace& space,
                          std::span<const double> distribution, ActionId action) {
   CHOREO_ASSERT(distribution.size() == space.state_count());
-  double sum = 0.0;
-  for (const StateTransition& t : space.transitions()) {
-    if (t.action == action) sum += distribution[t.source] * t.rate;
-  }
-  return sum;
+  // O(degree of the action) via the CSR action index; the slice keeps
+  // emission order, so the sum is bit-identical to the former flat scan.
+  return space.lts().action_throughput(distribution, action);
 }
 
 std::vector<std::pair<ActionId, double>> all_throughputs(
     const StateSpace& space, std::span<const double> distribution,
     const ProcessArena& arena) {
   (void)arena;
-  std::map<ActionId, double> sums;
-  for (const StateTransition& t : space.transitions()) {
-    sums[t.action] += distribution[t.source] * t.rate;
+  std::vector<std::pair<ActionId, double>> out;
+  const auto& lts = space.lts();
+  for (std::size_t action = 0; action < lts.action_bound(); ++action) {
+    if (lts.action_transitions(action).empty()) continue;
+    out.emplace_back(static_cast<ActionId>(action),
+                     lts.action_throughput(distribution, action));
   }
-  return {sums.begin(), sums.end()};
+  return out;
 }
 
 bool occupies(const ProcessArena& arena, ProcessId term, ConstantId constant) {

@@ -1,153 +1,45 @@
 #include "pepa/statespace.hpp"
 
-#include <algorithm>
-#include <exception>
-#include <future>
-#include <limits>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
 namespace choreo::pepa {
 
-namespace {
-
-/// Sentinel for "target not yet numbered" in the expansion buffers.
-constexpr std::size_t kUnresolved = std::numeric_limits<std::size_t>::max();
-
-/// One derivative recorded by an expansion worker: the move itself plus the
-/// target's state index when it was already numbered in an earlier level.
-struct PendingMove {
-  Derivative move;
-  std::size_t resolved = kUnresolved;
-};
-
-}  // namespace
-
 StateSpace StateSpace::derive(Semantics& semantics, ProcessId initial,
                               const DeriveOptions& options) {
   util::Stopwatch timer;
   StateSpace space;
-  util::ThreadPool& pool =
-      options.pool != nullptr ? *options.pool : util::ThreadPool::shared();
-  const std::size_t lanes =
-      options.threads == 0 ? pool.worker_count() + 1 : options.threads;
 
-  // The states of the level being expanded, in canonical (index) order.
-  std::vector<std::size_t> frontier;
-
-  auto index_of_term = [&](ProcessId term) {
-    if (const std::size_t* known = space.index_.find(term)) {
-      ++space.stats_.dedup_hits;
-      return *known;
-    }
-    if (space.states_.size() >= options.max_states) {
-      throw util::BudgetError(util::msg(
-          "state space exceeds the configured bound of ", options.max_states,
-          " states (state-space explosion)"));
-    }
-    const std::size_t index = space.states_.size();
-    space.states_.push_back(term);
-    space.index_.try_emplace(term, index);
-    ++space.stats_.dedup_misses;
-    frontier.push_back(index);
-    return index;
-  };
-
+  explore::EngineOptions engine;
+  engine.max_states = options.max_states;
+  engine.allow_top_level_passive = options.allow_top_level_passive;
+  engine.threads = options.threads;
+  engine.pool = options.pool;
+  engine.budget = options.budget;
   // Approximate per-state footprint: the term id plus its interning entry.
-  constexpr std::size_t kBytesPerState =
-      sizeof(ProcessId) + 2 * sizeof(std::size_t);
+  engine.bytes_per_state = sizeof(ProcessId) + 2 * sizeof(std::size_t);
+  engine.space_noun = "state space";
+  engine.state_noun = "states";
+  engine.passive_suffix =
+      "' occurs passively at the top level of the model: it would never"
+      " be performed; synchronise it with an active partner";
 
-  index_of_term(expand_static(semantics.arena(), initial));
-  if (options.budget != nullptr) {
-    options.budget->charge_states(1, kBytesPerState);
-  }
-  while (!frontier.empty()) {
-    ++space.stats_.levels;
-    space.stats_.peak_frontier =
-        std::max(space.stats_.peak_frontier, frontier.size());
-    // The cooperative governance point: once per level, after recording the
-    // level in the accounting (so partial stats cover the level being
-    // abandoned), before the expensive expansion.  Level granularity keeps
-    // exploration deterministic — uninterrupted runs never observe it.
-    if (options.budget != nullptr) {
-      options.budget->note_level(frontier.size());
-      options.budget->check("derive");
-    }
-    const std::vector<std::size_t> level = std::move(frontier);
-    frontier.clear();
-
-    // Parallel phase: expand every level state into its move buffer.  The
-    // workers intern derivative terms (the arena and the semantics caches
-    // are thread-safe) and pre-resolve targets against the index, which
-    // only the serial phase below mutates.  Errors are captured per state
-    // so the canonically-first one can be rethrown deterministically.
-    std::vector<std::vector<PendingMove>> moves(level.size());
-    std::vector<std::exception_ptr> errors(level.size());
-    auto expand = [&](std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) {
-        try {
-          // Copy: concurrent workers may grow the cache under the ref.
-          const std::vector<Derivative> derivatives =
-              semantics.derivatives(space.states_[level[i]]);
-          moves[i].reserve(derivatives.size());
-          for (const Derivative& d : derivatives) {
-            const std::size_t* known = space.index_.find(d.target);
-            moves[i].push_back({d, known != nullptr ? *known : kUnresolved});
-          }
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-      }
-    };
-    const std::size_t chunks = std::min(lanes, level.size());
-    if (chunks <= 1) {
-      expand(0, level.size());
-    } else {
-      std::vector<std::future<void>> pending;
-      pending.reserve(chunks - 1);
-      for (std::size_t c = 1; c < chunks; ++c) {
-        const std::size_t begin = level.size() * c / chunks;
-        const std::size_t end = level.size() * (c + 1) / chunks;
-        pending.push_back(pool.submit([&, begin, end] { expand(begin, end); }));
-      }
-      expand(0, level.size() / chunks);
-      for (std::future<void>& f : pending) f.get();
-    }
-
-    // Serial phase: number the discovered states and emit transitions in
-    // canonical order — source index, then derivative order — which is the
-    // order the sequential FIFO exploration produces.
-    const std::size_t known_before = space.states_.size();
-    for (std::size_t i = 0; i < level.size(); ++i) {
-      if (errors[i]) std::rethrow_exception(errors[i]);
-      const std::size_t source = level[i];
-      for (const PendingMove& pending_move : moves[i]) {
-        const Derivative& move = pending_move.move;
-        if (move.rate.is_passive()) {
-          if (options.allow_top_level_passive) continue;
-          throw util::ModelError(util::msg(
-              "activity '", semantics.arena().action_name(move.action),
-              "' occurs passively at the top level of the model: it would never",
-              " be performed; synchronise it with an active partner"));
-        }
-        std::size_t target;
-        if (pending_move.resolved != kUnresolved) {
-          target = pending_move.resolved;
-          ++space.stats_.dedup_hits;
-        } else {
-          target = index_of_term(move.target);
-        }
-        space.transitions_.push_back(
-            {source, target, move.action, move.rate.value()});
-      }
-    }
-    if (options.budget != nullptr) {
-      options.budget->charge_states(space.states_.size() - known_before,
-                                    (space.states_.size() - known_before) *
-                                        kBytesPerState);
-    }
-  }
+  space.stats_ = explore::run(
+      space.states_, space.index_, expand_static(semantics.arena(), initial),
+      [&semantics](const ProcessId& term) {
+        // Copy: concurrent workers may grow the cache under the ref.
+        return std::vector<Derivative>(semantics.derivatives(term));
+      },
+      [&semantics](const Derivative& move) {
+        return semantics.arena().action_name(move.action);
+      },
+      [&space](std::size_t source, const Derivative& move, std::size_t target) {
+        space.lts_.push_back({source, target, move.action, move.rate.value()});
+      },
+      engine);
+  space.lts_.finalize(space.states_.size());
   space.stats_.seconds = timer.seconds();
   return space;
 }
@@ -159,30 +51,23 @@ std::optional<std::size_t> StateSpace::index_of(ProcessId term) const {
 }
 
 ctmc::Generator StateSpace::generator() const {
-  std::vector<ctmc::RatedTransition> rated;
-  rated.reserve(transitions_.size());
-  for (const StateTransition& t : transitions_) {
-    rated.push_back({t.source, t.target, t.rate});
-  }
-  return ctmc::Generator::build(state_count(), rated);
+  return ctmc::Generator::build_from<StateTransition>(state_count(),
+                                                      lts_.transitions());
 }
 
 std::vector<ctmc::RatedTransition> StateSpace::transitions_of(ActionId action) const {
   std::vector<ctmc::RatedTransition> out;
-  for (const StateTransition& t : transitions_) {
-    if (t.action == action) out.push_back({t.source, t.target, t.rate});
+  const auto slice = lts_.action_transitions(action);
+  out.reserve(slice.size());
+  for (const std::size_t i : slice) {
+    const StateTransition& t = lts_[i];
+    out.push_back({t.source, t.target, t.rate});
   }
   return out;
 }
 
 std::vector<std::size_t> StateSpace::deadlock_states() const {
-  std::vector<bool> has_move(state_count(), false);
-  for (const StateTransition& t : transitions_) has_move[t.source] = true;
-  std::vector<std::size_t> out;
-  for (std::size_t s = 0; s < state_count(); ++s) {
-    if (!has_move[s]) out.push_back(s);
-  }
-  return out;
+  return lts_.deadlock_states();
 }
 
 }  // namespace choreo::pepa

@@ -2,15 +2,16 @@
 // of a PEPA term, yielding the labelled transition system from which the
 // CTMC generator matrix is assembled.
 //
-// Exploration is level-synchronous: the states of the current breadth-first
-// level are expanded concurrently (DeriveOptions::threads lanes over a
-// thread pool), then the discovered states are renumbered serially in the
-// canonical order (source index, then derivative order).  That order is
-// exactly the order the sequential FIFO exploration assigns, so state ids,
-// transition order, and every downstream artifact (generator matrix,
-// annotated XMI, DOT dumps, cache keys) are byte-identical for every lane
-// count — including errors, which are raised for the first offending state
-// in canonical order.
+// The exploration loop itself lives in explore::run (src/explore/engine.hpp)
+// — the level-synchronous multi-lane BFS shared with PEPA-net marking-graph
+// derivation.  State ids, transition order and every downstream artifact
+// (generator matrix, annotated XMI, DOT dumps, cache keys) are byte-identical
+// for every lane count — including errors, which are raised for the first
+// offending state in canonical order.
+//
+// Transitions are held in a CSR-indexed explore::TransitionSystem: the
+// generator builds straight off the payload array, per-action measures are
+// O(degree) slice lookups, and deadlock detection reads the row index.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +19,8 @@
 #include <vector>
 
 #include "ctmc/generator.hpp"
+#include "explore/engine.hpp"
+#include "explore/transition_system.hpp"
 #include "pepa/semantics.hpp"
 #include "util/budget.hpp"
 #include "util/striped_map.hpp"
@@ -26,7 +29,7 @@
 namespace choreo::pepa {
 
 struct DeriveOptions {
-  /// Exploration aborts (util::ModelError) beyond this many states; the
+  /// Exploration aborts (util::BudgetError) beyond this many states; the
   /// paper's Section 1.1 names state-space explosion as the known hazard of
   /// the numerical approach.
   std::size_t max_states = 4'000'000;
@@ -47,19 +50,8 @@ struct DeriveOptions {
 };
 
 /// Counters describing one derivation run, for perf reports and the
-/// service's exploration metrics.
-struct DeriveStats {
-  /// Breadth-first levels explored.
-  std::size_t levels = 0;
-  /// Largest level (states expanded in one parallel round).
-  std::size_t peak_frontier = 0;
-  /// Transition targets that resolved to an already-discovered state.
-  std::size_t dedup_hits = 0;
-  /// Newly discovered states (equals the final state count).
-  std::size_t dedup_misses = 0;
-  /// Wall-clock derivation time.
-  double seconds = 0.0;
-};
+/// service's exploration metrics (shared with the PEPA-net derivation).
+using DeriveStats = explore::DeriveStats;
 
 /// One transition of the explored labelled transition system.
 struct StateTransition {
@@ -79,21 +71,29 @@ class StateSpace {
   ProcessId state_term(std::size_t index) const { return states_[index]; }
   std::optional<std::size_t> index_of(ProcessId term) const;
 
+  /// The CSR-indexed labelled transition system.
+  const explore::TransitionSystem<StateTransition>& lts() const noexcept {
+    return lts_;
+  }
+
+  /// The flat transition payload, in canonical emission order.
   const std::vector<StateTransition>& transitions() const noexcept {
-    return transitions_;
+    return lts_.transitions();
   }
 
   /// Counters from the derivation that produced this space.
   const DeriveStats& stats() const noexcept { return stats_; }
 
-  /// The CTMC generator (parallel transitions summed).
+  /// The CTMC generator (parallel transitions summed), built directly from
+  /// the transition-system payload without an intermediate copy.
   ctmc::Generator generator() const;
 
   /// The transitions carrying `action`, as CTMC rated transitions — the
-  /// input to ctmc::throughput.
+  /// input to ctmc::throughput.  O(degree of the action) via the action
+  /// index, not a scan of the full transition vector.
   std::vector<ctmc::RatedTransition> transitions_of(ActionId action) const;
 
-  /// States enabling no activity at all.
+  /// States enabling no activity at all (empty rows of the CSR index).
   std::vector<std::size_t> deadlock_states() const;
 
  private:
@@ -102,7 +102,7 @@ class StateSpace {
   /// targets against earlier levels while the serial renumbering pass owns
   /// the writes.
   util::StripedMap<ProcessId, std::size_t> index_;
-  std::vector<StateTransition> transitions_;
+  explore::TransitionSystem<StateTransition> lts_;
   DeriveStats stats_;
 };
 

@@ -1,28 +1,12 @@
 #include "pepanet/netstatespace.hpp"
 
-#include <algorithm>
-#include <exception>
-#include <future>
-#include <limits>
+#include <utility>
 
+#include "explore/engine.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
 namespace choreo::pepanet {
-
-namespace {
-
-/// Sentinel for "target not yet numbered" in the expansion buffers.
-constexpr std::size_t kUnresolved = std::numeric_limits<std::size_t>::max();
-
-/// One move recorded by an expansion worker: the move itself plus the
-/// target's marking index when it was already numbered in an earlier level.
-struct PendingMove {
-  NetMove move;
-  std::size_t resolved = kUnresolved;
-};
-
-}  // namespace
 
 NetStateSpace NetStateSpace::derive(NetSemantics& semantics,
                                     const NetDeriveOptions& options) {
@@ -34,116 +18,31 @@ NetStateSpace NetStateSpace::derive_from(NetSemantics& semantics, Marking initia
   semantics.net().validate();
   util::Stopwatch timer;
   NetStateSpace space;
-  util::ThreadPool& pool =
-      options.pool != nullptr ? *options.pool : util::ThreadPool::shared();
-  const std::size_t lanes =
-      options.threads == 0 ? pool.worker_count() + 1 : options.threads;
 
-  // The markings of the level being expanded, in canonical (index) order.
-  std::vector<std::size_t> frontier;
-
-  auto index_of_marking = [&](Marking marking) {
-    if (const std::size_t* known = space.index_.find(marking)) {
-      ++space.stats_.dedup_hits;
-      return *known;
-    }
-    if (space.markings_.size() >= options.max_markings) {
-      throw util::BudgetError(util::msg(
-          "marking graph exceeds the configured bound of ", options.max_markings,
-          " markings (state-space explosion)"));
-    }
-    const std::size_t index = space.markings_.size();
-    space.markings_.push_back(std::move(marking));
-    space.index_.try_emplace(space.markings_[index], index);
-    ++space.stats_.dedup_misses;
-    frontier.push_back(index);
-    return index;
-  };
-
+  explore::EngineOptions engine;
+  engine.max_states = options.max_markings;
+  engine.allow_top_level_passive = options.allow_top_level_passive;
+  engine.threads = options.threads;
+  engine.pool = options.pool;
+  engine.budget = options.budget;
   // Approximate per-marking footprint: every marking of one net holds the
   // same number of slots, plus its interning entry.
-  const std::size_t bytes_per_marking =
+  engine.bytes_per_state =
       initial.size() * sizeof(pepa::ProcessId) + 2 * sizeof(std::size_t);
+  engine.space_noun = "marking graph";
+  engine.state_noun = "markings";
+  engine.passive_suffix =
+      "' occurs passively at the net level: no active partner sets its rate";
 
-  index_of_marking(std::move(initial));
-  if (options.budget != nullptr) {
-    options.budget->charge_states(1, bytes_per_marking);
-  }
-  while (!frontier.empty()) {
-    ++space.stats_.levels;
-    space.stats_.peak_frontier =
-        std::max(space.stats_.peak_frontier, frontier.size());
-    // Cooperative governance point: once per level, after the accounting
-    // records the level being entered, before the parallel expansion (see
-    // pepa::StateSpace::derive — determinism is preserved because
-    // uninterrupted runs never observe the check).
-    if (options.budget != nullptr) {
-      options.budget->note_level(frontier.size());
-      options.budget->check("derive");
-    }
-    const std::vector<std::size_t> level = std::move(frontier);
-    frontier.clear();
-
-    // Parallel phase: compute every level marking's moves.  NetSemantics is
-    // stateless over the thread-safe arena/semantics caches, so workers may
-    // call moves() concurrently; they pre-resolve targets against the index,
-    // which only the serial phase below mutates.  Errors are captured per
-    // marking so the canonically-first one is rethrown deterministically.
-    std::vector<std::vector<PendingMove>> moves(level.size());
-    std::vector<std::exception_ptr> errors(level.size());
-    auto expand = [&](std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) {
-        try {
-          std::vector<NetMove> found = semantics.moves(space.markings_[level[i]]);
-          moves[i].reserve(found.size());
-          for (NetMove& move : found) {
-            const std::size_t* known = space.index_.find(move.target);
-            moves[i].push_back(
-                {std::move(move), known != nullptr ? *known : kUnresolved});
-          }
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-      }
-    };
-    const std::size_t chunks = std::min(lanes, level.size());
-    if (chunks <= 1) {
-      expand(0, level.size());
-    } else {
-      std::vector<std::future<void>> pending;
-      pending.reserve(chunks - 1);
-      for (std::size_t c = 1; c < chunks; ++c) {
-        const std::size_t begin = level.size() * c / chunks;
-        const std::size_t end = level.size() * (c + 1) / chunks;
-        pending.push_back(pool.submit([&, begin, end] { expand(begin, end); }));
-      }
-      expand(0, level.size() / chunks);
-      for (std::future<void>& f : pending) f.get();
-    }
-
-    // Serial phase: number the discovered markings and emit transitions in
-    // canonical order — source index, then move order — which is the order
-    // the sequential FIFO exploration produces.
-    const std::size_t known_before = space.markings_.size();
-    for (std::size_t i = 0; i < level.size(); ++i) {
-      if (errors[i]) std::rethrow_exception(errors[i]);
-      const std::size_t source = level[i];
-      for (PendingMove& pending_move : moves[i]) {
-        NetMove& move = pending_move.move;
-        if (move.rate.is_passive()) {
-          if (options.allow_top_level_passive) continue;
-          throw util::ModelError(util::msg(
-              "activity '", semantics.net().arena().action_name(move.action),
-              "' occurs passively at the net level: no active partner sets its",
-              " rate"));
-        }
-        std::size_t target;
-        if (pending_move.resolved != kUnresolved) {
-          target = pending_move.resolved;
-          ++space.stats_.dedup_hits;
-        } else {
-          target = index_of_marking(std::move(move.target));
-        }
+  space.stats_ = explore::run(
+      space.markings_, space.index_, std::move(initial),
+      // NetSemantics is stateless over the thread-safe arena/semantics
+      // caches, so expansion workers may call moves() concurrently.
+      [&semantics](const Marking& marking) { return semantics.moves(marking); },
+      [&semantics](const NetMove& move) {
+        return semantics.net().arena().action_name(move.action);
+      },
+      [&space](std::size_t source, const NetMove& move, std::size_t target) {
         MarkingTransition t;
         t.source = source;
         t.target = target;
@@ -152,15 +51,10 @@ NetStateSpace NetStateSpace::derive_from(NetSemantics& semantics, Marking initia
         t.is_firing = move.kind == NetMove::Kind::kFiring;
         t.net_transition = move.transition;
         t.place = move.place;
-        space.transitions_.push_back(t);
-      }
-    }
-    if (options.budget != nullptr) {
-      options.budget->charge_states(
-          space.markings_.size() - known_before,
-          (space.markings_.size() - known_before) * bytes_per_marking);
-    }
-  }
+        space.lts_.push_back(t);
+      },
+      engine);
+  space.lts_.finalize(space.markings_.size());
   space.stats_.seconds = timer.seconds();
   return space;
 }
@@ -172,42 +66,31 @@ std::optional<std::size_t> NetStateSpace::index_of(const Marking& marking) const
 }
 
 ctmc::Generator NetStateSpace::generator() const {
-  std::vector<ctmc::RatedTransition> rated;
-  rated.reserve(transitions_.size());
-  for (const MarkingTransition& t : transitions_) {
-    rated.push_back({t.source, t.target, t.rate});
-  }
-  return ctmc::Generator::build(marking_count(), rated);
+  return ctmc::Generator::build_from<MarkingTransition>(marking_count(),
+                                                        lts_.transitions());
 }
 
 std::vector<ctmc::RatedTransition> NetStateSpace::transitions_of(
     pepa::ActionId action) const {
   std::vector<ctmc::RatedTransition> out;
-  for (const MarkingTransition& t : transitions_) {
-    if (t.action == action) out.push_back({t.source, t.target, t.rate});
+  const auto slice = lts_.action_transitions(action);
+  out.reserve(slice.size());
+  for (const std::size_t i : slice) {
+    const MarkingTransition& t = lts_[i];
+    out.push_back({t.source, t.target, t.rate});
   }
   return out;
 }
 
 std::vector<std::size_t> NetStateSpace::deadlock_markings() const {
-  std::vector<bool> has_move(marking_count(), false);
-  for (const MarkingTransition& t : transitions_) has_move[t.source] = true;
-  std::vector<std::size_t> out;
-  for (std::size_t m = 0; m < marking_count(); ++m) {
-    if (!has_move[m]) out.push_back(m);
-  }
-  return out;
+  return lts_.deadlock_states();
 }
 
 double action_throughput(const NetStateSpace& space,
                          std::span<const double> distribution,
                          pepa::ActionId action) {
   CHOREO_ASSERT(distribution.size() == space.marking_count());
-  double sum = 0.0;
-  for (const MarkingTransition& t : space.transitions()) {
-    if (t.action == action) sum += distribution[t.source] * t.rate;
-  }
-  return sum;
+  return space.lts().action_throughput(distribution, action);
 }
 
 namespace {

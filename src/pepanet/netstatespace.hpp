@@ -1,11 +1,13 @@
 // Derivation of the marking graph of a PEPA net and its CTMC (the paper
 // treats "each marking as a distinct state").
 //
-// Exploration is level-synchronous, mirroring pepa::StateSpace::derive: the
-// markings of one breadth-first level are expanded concurrently, then the
-// discovered markings are renumbered serially in canonical order (source
-// index, then move order), which reproduces the sequential FIFO numbering
-// byte-for-byte at every lane count — including the error raised first.
+// Exploration delegates to explore::run, the level-synchronous BFS shared
+// with pepa::StateSpace::derive: the markings of one breadth-first level are
+// expanded concurrently, then the discovered markings are renumbered
+// serially in canonical order (source index, then move order), which
+// reproduces the sequential FIFO numbering byte-for-byte at every lane count
+// — including the error raised first.  Transitions are held in a
+// CSR-indexed explore::TransitionSystem shared with the PEPA side.
 #pragma once
 
 #include <cstddef>
@@ -14,6 +16,7 @@
 #include <vector>
 
 #include "ctmc/generator.hpp"
+#include "explore/transition_system.hpp"
 #include "pepa/statespace.hpp"
 #include "pepanet/netsemantics.hpp"
 #include "util/budget.hpp"
@@ -64,8 +67,14 @@ class NetStateSpace {
   const Marking& marking(std::size_t index) const { return markings_[index]; }
   std::optional<std::size_t> index_of(const Marking& marking) const;
 
+  /// The CSR-indexed marking-graph transition system.
+  const explore::TransitionSystem<MarkingTransition>& lts() const noexcept {
+    return lts_;
+  }
+
+  /// The flat transition payload, in canonical emission order.
   const std::vector<MarkingTransition>& transitions() const noexcept {
-    return transitions_;
+    return lts_.transitions();
   }
 
   /// Counters from the derivation that produced this graph.
@@ -84,7 +93,7 @@ class NetStateSpace {
   /// Sharded so expansion workers can pre-resolve move targets against
   /// earlier levels while the serial renumbering pass owns the writes.
   util::StripedMap<Marking, std::size_t, MarkingHash> index_;
-  std::vector<MarkingTransition> transitions_;
+  explore::TransitionSystem<MarkingTransition> lts_;
   DeriveStats stats_;
 };
 

@@ -62,12 +62,9 @@ struct JobTimings {
   double queued_seconds = 0.0;
   /// Execution (including retries and backoff sleeps).
   double run_seconds = 0.0;
-  /// Pipeline stage totals summed over the report's graphs.
-  double extract_seconds = 0.0;
-  /// State-space exploration (marking-graph / derivation) wall clock.
-  double derive_seconds = 0.0;
-  double solve_seconds = 0.0;
-  double reflect_seconds = 0.0;
+  /// Pipeline stage totals folded over the report's graphs (clocks and
+  /// discovery counters sum, peak frontier takes the maximum).
+  chor::StageTimings stages;
 };
 
 struct JobResult {

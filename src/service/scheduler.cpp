@@ -263,39 +263,26 @@ void Scheduler::Impl::execute(const std::shared_ptr<JobState>& state,
         return;
       }
     }
-    std::uint64_t explored = 0;
-    std::uint64_t hits = 0;
-    std::int64_t frontier = 0;
-    auto fold_stats = [&](const pepa::DeriveStats& stats) {
-      result.timings.derive_seconds += stats.seconds;
-      explored += stats.dedup_misses;
-      hits += stats.dedup_hits;
-      frontier = std::max(frontier,
-                          static_cast<std::int64_t>(stats.peak_frontier));
-    };
     for (const auto& graph : result.report.activity_graphs) {
-      result.timings.extract_seconds += graph.extract_seconds;
-      result.timings.solve_seconds += graph.solve_seconds;
-      result.timings.reflect_seconds += graph.reflect_seconds;
-      fold_stats(graph.derive_stats);
+      result.timings.stages += graph.timings;
     }
     for (const auto& machines : result.report.state_machines) {
-      result.timings.extract_seconds += machines.extract_seconds;
-      result.timings.solve_seconds += machines.solve_seconds;
-      result.timings.reflect_seconds += machines.reflect_seconds;
-      fold_stats(machines.derive_stats);
+      result.timings.stages += machines.timings;
     }
-    extract_seconds.observe(result.timings.extract_seconds);
-    derive_seconds.observe(result.timings.derive_seconds);
-    solve_seconds.observe(result.timings.solve_seconds);
-    reflect_seconds.observe(result.timings.reflect_seconds);
-    explored_states_total.increment(explored);
-    dedup_hits_total.increment(hits);
-    dedup_misses_total.increment(explored);
-    peak_frontier.record_max(frontier);
-    if (result.timings.derive_seconds > 0.0) {
-      explore_rate.observe(static_cast<double>(explored) /
-                           result.timings.derive_seconds);
+    const chor::StageTimings& stages = result.timings.stages;
+    extract_seconds.observe(stages.extract_seconds);
+    derive_seconds.observe(stages.derive_seconds());
+    solve_seconds.observe(stages.solve_seconds);
+    reflect_seconds.observe(stages.reflect_seconds);
+    explored_states_total.increment(stages.derive_stats.dedup_misses);
+    dedup_hits_total.increment(stages.derive_stats.dedup_hits);
+    dedup_misses_total.increment(stages.derive_stats.dedup_misses);
+    peak_frontier.record_max(
+        static_cast<std::int64_t>(stages.derive_stats.peak_frontier));
+    if (stages.derive_seconds() > 0.0) {
+      explore_rate.observe(
+          static_cast<double>(stages.derive_stats.dedup_misses) /
+          stages.derive_seconds());
     }
     if (options.cache != nullptr) {
       options.cache->put(key, CachedAnalysis{result.report, reflected});

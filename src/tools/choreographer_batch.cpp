@@ -241,7 +241,7 @@ int main(int argc, char** argv) {
                        choreo::util::format_double(
                            result.timings.run_seconds * 1e3),
                        choreo::util::format_double(
-                           result.timings.derive_seconds * 1e3)});
+                           result.timings.stages.derive_seconds() * 1e3)});
         if (!result.error.empty()) {
           std::cerr << manifest[i].name << ": " << result.error << '\n';
         }

@@ -92,7 +92,7 @@ void print_report(const choreo::chor::AnalysisReport& report) {
   for (const auto& graph : report.activity_graphs) {
     std::cout << "activity graph '" << graph.graph_name << "': "
               << graph.marking_count << " markings, solved in "
-              << graph.solve_seconds * 1e3 << " ms\n";
+              << graph.timings.solve_seconds * 1e3 << " ms\n";
     TextTable table({"activity", "throughput (1/s)"});
     for (const auto& [action, value] : graph.throughputs) {
       table.add_row_values(action, {value});
@@ -101,7 +101,7 @@ void print_report(const choreo::chor::AnalysisReport& report) {
   }
   for (const auto& machines : report.state_machines) {
     std::cout << "state machines: " << machines.state_count
-              << " joint states, solved in " << machines.solve_seconds * 1e3
+              << " joint states, solved in " << machines.timings.solve_seconds * 1e3
               << " ms\n";
     TextTable table({"action", "throughput (1/s)"});
     for (const auto& [action, value] : machines.throughputs) {

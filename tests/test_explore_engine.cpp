@@ -1,0 +1,203 @@
+// Edge cases of the generic exploration engine (explore::run) exercised on
+// a synthetic state graph, away from the PEPA/PEPA-net policies: the
+// max_states bound tripping mid-level under multiple lanes, an initial
+// state with no successors, and successor exceptions raised from non-first
+// expansion chunks — all required to behave identically at every lane
+// count.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "explore/engine.hpp"
+#include "pepa/rate.hpp"
+#include "util/error.hpp"
+#include "util/striped_map.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using choreo::explore::DeriveStats;
+using choreo::explore::EngineOptions;
+using choreo::pepa::Rate;
+
+/// One synthetic move: an active rate and a target state value.
+struct Move {
+  Rate rate = Rate::active(1.0);
+  std::size_t target = 0;
+};
+
+struct Transition {
+  std::size_t source;
+  std::size_t target;
+  double rate;
+
+  bool operator==(const Transition&) const = default;
+};
+
+/// Runs the engine over the graph `successors` describes (a function of the
+/// state VALUE, so it is pure and thread-safe) and returns the committed
+/// transitions plus the explored states.
+struct Run {
+  std::vector<std::size_t> states;
+  std::vector<Transition> transitions;
+  DeriveStats stats;
+};
+
+template <typename Successors>
+Run run_engine(Successors successors, std::size_t lanes,
+               choreo::util::ThreadPool& pool, EngineOptions options = {}) {
+  Run run;
+  choreo::util::StripedMap<std::size_t, std::size_t> index;
+  options.threads = lanes;
+  options.pool = &pool;
+  run.stats = choreo::explore::run(
+      run.states, index, std::size_t{0}, successors,
+      [](const Move&) { return std::string("synthetic"); },
+      [&run](std::size_t source, const Move& move, std::size_t target) {
+        run.transitions.push_back({source, target, move.rate.value()});
+      },
+      options);
+  return run;
+}
+
+/// 0 -> {1..width}, every other state terminal.
+auto star_graph(std::size_t width) {
+  return [width](const std::size_t& state) {
+    std::vector<Move> moves;
+    if (state == 0) {
+      for (std::size_t v = 1; v <= width; ++v) {
+        moves.push_back({Rate::active(1.0), v});
+      }
+    }
+    return moves;
+  };
+}
+
+TEST(ExploreEngine, ImmediatelyDeadlockedInitialState) {
+  choreo::util::ThreadPool pool(4);
+  for (const std::size_t lanes : {1u, 2u, 8u}) {
+    const auto run = run_engine(star_graph(0), lanes, pool);
+    EXPECT_EQ(run.states.size(), 1u);
+    EXPECT_TRUE(run.transitions.empty());
+    EXPECT_EQ(run.stats.levels, 1u);
+    EXPECT_EQ(run.stats.peak_frontier, 1u);
+    EXPECT_EQ(run.stats.dedup_misses, 1u);
+    EXPECT_EQ(run.stats.dedup_hits, 0u);
+  }
+}
+
+TEST(ExploreEngine, MaxStatesExceededMidLevelUnderManyLanes) {
+  choreo::util::ThreadPool pool(4);
+  for (const std::size_t lanes : {1u, 2u, 8u}) {
+    EngineOptions options;
+    options.max_states = 5;  // trips midway through numbering 64 children
+    try {
+      run_engine(star_graph(64), lanes, pool, options);
+      FAIL() << "expected util::BudgetError at " << lanes << " lanes";
+    } catch (const choreo::util::BudgetError& error) {
+      EXPECT_STREQ(error.what(),
+                   "state space exceeds the configured bound of 5 states"
+                   " (state-space explosion)");
+    }
+  }
+}
+
+TEST(ExploreEngine, SuccessorErrorInNonFirstChunkIsRethrown) {
+  choreo::util::ThreadPool pool(4);
+  // Level 1 holds values 1..64 in canonical order; with 8 lanes value 51
+  // sits in the 7th expansion chunk.  The engine must still surface it.
+  const auto graph = [](const std::size_t& state) {
+    if (state == 51) throw std::runtime_error("boom 51");
+    std::vector<Move> moves;
+    if (state == 0) {
+      for (std::size_t v = 1; v <= 64; ++v) {
+        moves.push_back({Rate::active(1.0), v});
+      }
+    }
+    return moves;
+  };
+  for (const std::size_t lanes : {1u, 2u, 8u}) {
+    try {
+      run_engine(graph, lanes, pool);
+      FAIL() << "expected the successor error at " << lanes << " lanes";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "boom 51");
+    }
+  }
+}
+
+TEST(ExploreEngine, CanonicallyFirstSuccessorErrorWinsAtEveryLaneCount) {
+  choreo::util::ThreadPool pool(4);
+  // Two failing states in one level: the one numbered first (value 11) must
+  // be reported whichever lane reaches the other (value 51) first.
+  const auto graph = [](const std::size_t& state) {
+    if (state == 11) throw std::runtime_error("boom 11");
+    if (state == 51) throw std::runtime_error("boom 51");
+    std::vector<Move> moves;
+    if (state == 0) {
+      for (std::size_t v = 1; v <= 64; ++v) {
+        moves.push_back({Rate::active(1.0), v});
+      }
+    }
+    return moves;
+  };
+  for (const std::size_t lanes : {1u, 2u, 8u}) {
+    try {
+      run_engine(graph, lanes, pool);
+      FAIL() << "expected the successor error at " << lanes << " lanes";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "boom 11");
+    }
+  }
+}
+
+TEST(ExploreEngine, PassiveMoveAtTopLevelIsRejectedWithSharedDiagnostic) {
+  choreo::util::ThreadPool pool(4);
+  const auto graph = [](const std::size_t& state) {
+    std::vector<Move> moves;
+    if (state == 0) moves.push_back({Rate::passive(), 1});
+    return moves;
+  };
+  try {
+    run_engine(graph, 1, pool);
+    FAIL() << "expected util::ModelError";
+  } catch (const choreo::util::ModelError& error) {
+    EXPECT_STREQ(error.what(),
+                 "activity 'synthetic' occurs passively at the top level;"
+                 " synchronise it with an active partner");
+  }
+  EngineOptions tolerant;
+  tolerant.allow_top_level_passive = true;
+  const auto run = run_engine(graph, 1, pool, tolerant);
+  EXPECT_EQ(run.states.size(), 1u);  // the passive move is dropped
+  EXPECT_TRUE(run.transitions.empty());
+}
+
+TEST(ExploreEngine, CommitSequenceIsIdenticalAtEveryLaneCount) {
+  choreo::util::ThreadPool pool(4);
+  // A graph with sharing and cycles: value v moves to v+1, v*2 and v/2
+  // (mod 97), so levels mix fresh and already-numbered targets.
+  const auto graph = [](const std::size_t& state) {
+    std::vector<Move> moves;
+    moves.push_back({Rate::active(1.0 + static_cast<double>(state)),
+                     (state + 1) % 97});
+    moves.push_back({Rate::active(2.0), (state * 2) % 97});
+    moves.push_back({Rate::active(3.0), state / 2});
+    return moves;
+  };
+  const auto baseline = run_engine(graph, 1, pool);
+  EXPECT_EQ(baseline.states.size(), 97u);
+  for (const std::size_t lanes : {2u, 8u}) {
+    const auto run = run_engine(graph, lanes, pool);
+    EXPECT_EQ(run.states, baseline.states);
+    EXPECT_EQ(run.transitions, baseline.transitions);
+    EXPECT_EQ(run.stats.dedup_misses, baseline.stats.dedup_misses);
+    EXPECT_EQ(run.stats.dedup_hits, baseline.stats.dedup_hits);
+    EXPECT_EQ(run.stats.levels, baseline.stats.levels);
+  }
+}
+
+}  // namespace

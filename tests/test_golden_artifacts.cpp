@@ -1,0 +1,155 @@
+// Golden byte-identity lock for the state-space derivation pipeline.
+//
+// The committed files under tests/golden/ were produced by the pre-refactor
+// (flat-vector, duplicated-BFS) derivation code.  These tests re-derive the
+// PDA and Tomcat case studies at lane counts {1, 2, 8} and require the
+// annotated XMI, the DOT dumps and the state/transition counts to match
+// those bytes exactly, so any change to the exploration engine or the
+// transition-system representation that perturbs canonical numbering,
+// transition order or formatting is caught immediately.
+//
+// Regenerate (only when an intentional format change is made) with:
+//   CHOREO_GOLDEN_REGEN=1 ./tests/test_golden_artifacts
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "choreographer/extract_activity.hpp"
+#include "choreographer/extract_statechart.hpp"
+#include "choreographer/paper_models.hpp"
+#include "choreographer/pipeline.hpp"
+#include "pepa/dot.hpp"
+#include "pepa/semantics.hpp"
+#include "pepa/statespace.hpp"
+#include "pepanet/net_dot.hpp"
+#include "pepanet/netsemantics.hpp"
+#include "pepanet/netstatespace.hpp"
+#include "uml/xmi.hpp"
+#include "util/thread_pool.hpp"
+#include "xml/write.hpp"
+
+namespace {
+
+using namespace choreo;
+
+const char* golden_dir() { return CHOREO_GOLDEN_DIR; }
+
+bool regen() { return std::getenv("CHOREO_GOLDEN_REGEN") != nullptr; }
+
+std::string read_golden(const std::string& name) {
+  std::ifstream stream(std::string(golden_dir()) + "/" + name,
+                       std::ios::binary);
+  EXPECT_TRUE(stream.good()) << "missing golden file " << name;
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return buffer.str();
+}
+
+void write_golden(const std::string& name, const std::string& bytes) {
+  std::ofstream stream(std::string(golden_dir()) + "/" + name,
+                       std::ios::binary);
+  ASSERT_TRUE(stream.good()) << "cannot write golden file " << name;
+  stream << bytes;
+}
+
+void check_or_regen(const std::string& name, const std::string& bytes,
+                    std::size_t lanes) {
+  if (regen()) {
+    if (lanes == 1) write_golden(name, bytes);
+    return;
+  }
+  EXPECT_EQ(bytes, read_golden(name)) << name << " at lane count " << lanes;
+}
+
+constexpr std::size_t kLaneCounts[] = {1, 2, 8};
+
+pepanet::NetStateSpace derive_pda(chor::ActivityExtraction& extraction,
+                                  std::size_t lanes, util::ThreadPool* pool) {
+  chor::PdaParams params;
+  params.transmitters = 6;
+  uml::Model model = chor::pda_handover_model(params);
+  extraction = chor::extract_activity_graph(model.activity_graphs()[0]);
+  pepanet::NetSemantics semantics(extraction.net);
+  pepanet::NetDeriveOptions options;
+  options.threads = lanes;
+  options.pool = pool;
+  return pepanet::NetStateSpace::derive(semantics, options);
+}
+
+pepa::StateSpace derive_tomcat(chor::StatechartExtraction& extraction,
+                               std::size_t lanes, util::ThreadPool* pool) {
+  chor::TomcatParams params;
+  params.clients = 3;
+  const uml::Model model = chor::tomcat_model(false, params);
+  extraction = chor::extract_state_machines(model);
+  pepa::Semantics semantics(extraction.model.arena());
+  pepa::DeriveOptions options;
+  options.threads = lanes;
+  options.pool = pool;
+  return pepa::StateSpace::derive(semantics, extraction.model.system(),
+                                  options);
+}
+
+TEST(GoldenArtifacts, PdaMarkingGraphDotAndCounts) {
+  util::ThreadPool pool(4);
+  for (const std::size_t lanes : kLaneCounts) {
+    chor::ActivityExtraction extraction;
+    const pepanet::NetStateSpace space =
+        derive_pda(extraction, lanes, lanes > 1 ? &pool : nullptr);
+    check_or_regen("pda_markings.dot",
+                   pepanet::marking_graph_to_dot(extraction.net, space), lanes);
+    check_or_regen("pda_counts.txt",
+                   "states " + std::to_string(space.marking_count()) +
+                       "\ntransitions " +
+                       std::to_string(space.transitions().size()) + "\n",
+                   lanes);
+  }
+}
+
+TEST(GoldenArtifacts, TomcatDerivationDotAndCounts) {
+  util::ThreadPool pool(4);
+  for (const std::size_t lanes : kLaneCounts) {
+    chor::StatechartExtraction extraction;
+    const pepa::StateSpace space =
+        derive_tomcat(extraction, lanes, lanes > 1 ? &pool : nullptr);
+    check_or_regen("tomcat_derivation.dot",
+                   pepa::to_dot(extraction.model.arena(), space), lanes);
+    check_or_regen("tomcat_counts.txt",
+                   "states " + std::to_string(space.state_count()) +
+                       "\ntransitions " +
+                       std::to_string(space.transitions().size()) + "\n",
+                   lanes);
+  }
+}
+
+TEST(GoldenArtifacts, PdaAnnotatedXmiBytes) {
+  const xml::Document project = uml::to_xmi(chor::pda_handover_model());
+  util::ThreadPool pool(4);
+  for (const std::size_t lanes : kLaneCounts) {
+    chor::AnalysisOptions options;
+    options.derive_threads = lanes;
+    options.derive_pool = lanes > 1 ? &pool : nullptr;
+    const xml::Document annotated = chor::analyse_project(project, options);
+    check_or_regen("pda_annotated.xmi", xml::to_string(annotated), lanes);
+  }
+}
+
+TEST(GoldenArtifacts, TomcatAnnotatedXmiBytes) {
+  chor::TomcatParams params;
+  params.clients = 3;
+  const xml::Document project =
+      uml::to_xmi(chor::tomcat_model(false, params));
+  util::ThreadPool pool(4);
+  for (const std::size_t lanes : kLaneCounts) {
+    chor::AnalysisOptions options;
+    options.derive_threads = lanes;
+    options.derive_pool = lanes > 1 ? &pool : nullptr;
+    const xml::Document annotated = chor::analyse_project(project, options);
+    check_or_regen("tomcat_annotated.xmi", xml::to_string(annotated), lanes);
+  }
+}
+
+}  // namespace
