@@ -7,6 +7,9 @@
 #                             cold/warm cache, jobs/sec, p50/p99 latency)
 #   BENCH_measures.json    -- per-action measure lookup cost on the
 #                             CSR-indexed transition system vs. a flat scan
+#   BENCH_fluid.json       -- fluid (mean-field ODE) backend scaling: solve
+#                             cost flat in the client count up to 10^6, and
+#                             agreement with the exact population chain
 #
 # The bench binaries emit the records themselves when CHOREO_BENCH_JSON
 # names a file (an env var because google-benchmark rejects unknown argv);
@@ -19,7 +22,7 @@ set -e
 cd "$(dirname "$0")/.."
 cmake -B build
 cmake --build build --target bench_statespace bench_service_throughput \
-  bench_measures
+  bench_measures bench_fluid
 
 CHOREO_BENCH_JSON="$PWD/BENCH_statespace.json" \
   ./build/bench/bench_statespace "--benchmark_filter=^$"
@@ -27,5 +30,8 @@ CHOREO_BENCH_JSON="$PWD/BENCH_service.json" \
   ./build/bench/bench_service_throughput "--benchmark_filter=^$"
 CHOREO_BENCH_JSON="$PWD/BENCH_measures.json" \
   ./build/bench/bench_measures "--benchmark_filter=^$"
+CHOREO_BENCH_JSON="$PWD/BENCH_fluid.json" \
+  ./build/bench/bench_fluid "--benchmark_filter=^$"
 
-echo "wrote BENCH_statespace.json, BENCH_service.json and BENCH_measures.json"
+echo "wrote BENCH_statespace.json, BENCH_service.json, BENCH_measures.json" \
+  "and BENCH_fluid.json"

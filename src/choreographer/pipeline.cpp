@@ -6,6 +6,7 @@
 #include "choreographer/extract_statechart.hpp"
 #include "choreographer/reflect.hpp"
 #include "ctmc/steady_state.hpp"
+#include "fluid/analysis.hpp"
 #include "pepa/measures.hpp"
 #include "pepa/semantics.hpp"
 #include "pepa/statespace.hpp"
@@ -31,6 +32,8 @@ StageTimings& StageTimings::operator+=(const StageTimings& other) {
   derive_stats.dedup_misses += other.derive_stats.dedup_misses;
   derive_stats.peak_frontier =
       std::max(derive_stats.peak_frontier, other.derive_stats.peak_frontier);
+  fluid_steps += other.fluid_steps;
+  fluid_rejected_steps += other.fluid_rejected_steps;
   return *this;
 }
 
@@ -51,6 +54,19 @@ ctmc::SolveOptions governed_solver(const AnalysisOptions& options) {
   return solver;
 }
 
+/// The fluid backend's knobs from the analysis options: the ODE tolerance
+/// trio, the state bound reused as the local-derivative-set bound, and the
+/// shared governor.
+fluid::FluidOptions governed_fluid(const AnalysisOptions& options) {
+  fluid::FluidOptions fluid;
+  fluid.build.max_local_states = options.max_states;
+  fluid.ode.rel_tol = options.fluid_rel_tol;
+  fluid.ode.abs_tol = options.fluid_abs_tol;
+  fluid.ode.t_end = options.fluid_t_end;
+  fluid.ode.budget = options.budget;
+  return fluid;
+}
+
 ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
                                            const AnalysisOptions& options) {
   util::Stopwatch timer;
@@ -64,6 +80,49 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
 
   checkpoint(options);
   pepanet::NetSemantics semantics(extraction.net);
+
+  if (options.aggregation == Aggregation::kFluid) {
+    // The fluid backend works on a plain PEPA term; a single-place net
+    // without firings is exactly one (the place's context).  Mobile nets
+    // have no vector form — markings move tokens between places.
+    if (extraction.net.place_count() != 1 ||
+        extraction.net.transition_count() != 0) {
+      throw util::ModelError(util::msg(
+          "fluid aggregation requires a single-location activity graph "
+          "without mobility; '", graph.name(), "' has ",
+          extraction.net.place_count(), " places and ",
+          extraction.net.transition_count(), " net transitions"));
+    }
+    timer.restart();
+    const pepa::ProcessId system =
+        semantics.place_context(extraction.net.initial_marking(), 0);
+    const auto fluid =
+        fluid::solve_steady(semantics.pepa(), system, governed_fluid(options));
+    result.marking_count = fluid.form.dimension();
+    result.transition_count = fluid.form.transitions().size();
+    result.timings.solve_seconds = timer.seconds();
+    result.timings.fluid_steps = fluid.stats.steps;
+    result.timings.fluid_rejected_steps = fluid.stats.rejected_steps;
+
+    checkpoint(options);
+    timer.restart();
+    Throughputs fluid_throughputs;
+    for (const auto& action_name : extraction.action_names) {
+      if (!action_name) continue;
+      const auto action = extraction.net.arena().find_action(*action_name);
+      CHOREO_ASSERT(action.has_value());
+      double value = 0.0;
+      for (const auto& [id, throughput] : fluid.throughputs) {
+        if (id == *action) value = throughput;
+      }
+      fluid_throughputs.emplace_back(*action_name, value);
+    }
+    result.throughputs = fluid_throughputs;
+    reflect_throughputs(graph, fluid_throughputs);
+    result.timings.reflect_seconds = timer.seconds();
+    return result;
+  }
+
   pepanet::NetDeriveOptions derive_options;
   derive_options.max_markings = options.max_states;
   derive_options.threads = options.derive_threads;
@@ -78,7 +137,7 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
   checkpoint(options);
   timer.restart();
   Throughputs throughputs;
-  if (options.aggregate) {
+  if (options.aggregation == Aggregation::kExact) {
     // Exact aggregation: throughput of every action survives the quotient.
     const auto lumping = pepanet::aggregate(space);
     const auto solved =
@@ -127,6 +186,44 @@ StateMachineResult analyse_state_machines(uml::Model& model,
 
   checkpoint(options);
   pepa::Semantics semantics(extraction.model.arena());
+
+  if (options.aggregation == Aggregation::kFluid) {
+    // Population-level solve: each machine is one sequential component, so
+    // its state occupancies are populations of count-one groups — exactly
+    // the per-state probabilities the reflector wants.
+    timer.restart();
+    const auto fluid = fluid::solve_steady(semantics, extraction.model.system(),
+                                           governed_fluid(options));
+    result.state_count = fluid.form.dimension();
+    result.transition_count = fluid.form.transitions().size();
+    result.timings.solve_seconds = timer.seconds();
+    result.timings.fluid_steps = fluid.stats.steps;
+    result.timings.fluid_rejected_steps = fluid.stats.rejected_steps;
+
+    checkpoint(options);
+    timer.restart();
+    const pepa::ProcessArena& arena = extraction.model.arena();
+    for (std::size_t m = 0; m < model.state_machines().size(); ++m) {
+      Probabilities probabilities;
+      std::vector<double> values;
+      for (const std::string& constant_name : extraction.state_constants[m]) {
+        const auto constant = arena.find_constant(constant_name);
+        CHOREO_ASSERT(constant.has_value());
+        const double probability = fluid.population(*constant);
+        probabilities.emplace_back(constant_name, probability);
+        values.push_back(probability);
+      }
+      result.probabilities.push_back(std::move(values));
+      reflect_probabilities(model.state_machines()[m],
+                            extraction.state_constants[m], probabilities);
+    }
+    for (const auto& [action, value] : fluid.throughputs) {
+      result.throughputs.emplace_back(arena.action_name(action), value);
+    }
+    result.timings.reflect_seconds = timer.seconds();
+    return result;
+  }
+
   pepa::DeriveOptions derive_options;
   derive_options.max_states = options.max_states;
   derive_options.threads = options.derive_threads;

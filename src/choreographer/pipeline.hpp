@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -21,6 +22,23 @@
 
 namespace choreo::chor {
 
+/// How the pipeline tames state-space growth when solving a graph's chain.
+/// The levels form the scheduler's retry ladder: each step trades less
+/// memory for (at the fluid rung) an approximation.
+enum class Aggregation : std::uint8_t {
+  /// Solve the full chain.
+  kNone,
+  /// Solve on the strong-equivalence quotient (exact; activity graphs
+  /// only — state-diagram analyses keep the full chain because per-state
+  /// probabilities need the full states).
+  kExact,
+  /// Mean-field fluid approximation: integrate the population-level ODE
+  /// of the numerical vector form instead of expanding any state space.
+  /// Cost is independent of population sizes; results are approximate
+  /// (asymptotically exact as populations grow, see docs/architecture.md).
+  kFluid,
+};
+
 struct AnalysisOptions {
   ctmc::SolveOptions solver;
   /// Rate for unannotated activities.
@@ -29,10 +47,14 @@ struct AnalysisOptions {
   std::size_t max_states = 2'000'000;
   /// Externally supplied rate overrides (the .rates input of Figure 4).
   RateAssignments rates;
-  /// Solve activity-diagram CTMCs on their strong-equivalence quotient
-  /// (exact; throughputs are unaffected).  State-diagram analyses keep the
-  /// full chain because per-state probabilities need the full states.
-  bool aggregate = false;
+  /// State-space taming level; see Aggregation.
+  Aggregation aggregation = Aggregation::kNone;
+  /// Mean-field ODE knobs (aggregation == kFluid only), mapped onto
+  /// fluid::OdeOptions: integrator error tolerances and the horizon after
+  /// which the solve fails if no steady state was detected.
+  double fluid_rel_tol = 1e-6;
+  double fluid_abs_tol = 1e-9;
+  double fluid_t_end = 1e7;
   /// Cooperative cancellation/deadline hook.  When set, the pipeline calls
   /// it at stage boundaries (before extraction, derivation, solving and
   /// reflection of every graph); throwing from it abandons the analysis
@@ -64,6 +86,9 @@ struct StageTimings {
   double reflect_seconds = 0.0;
   /// State-space derivation counters and wall clock (derive_stats.seconds).
   pepa::DeriveStats derive_stats;
+  /// Fluid (ODE) integration counters; zero unless the fluid backend ran.
+  std::size_t fluid_steps = 0;
+  std::size_t fluid_rejected_steps = 0;
 
   /// Derivation wall clock, for symmetry with the other stage clocks.
   double derive_seconds() const noexcept { return derive_stats.seconds; }
@@ -74,7 +99,9 @@ struct StageTimings {
   StageTimings& operator+=(const StageTimings& other);
 };
 
-/// Per-activity-graph results.
+/// Per-activity-graph results.  Under fluid aggregation no marking graph
+/// exists; marking_count/transition_count then report the vector-form
+/// dimension and local-transition count instead.
 struct ActivityGraphResult {
   std::string graph_name;
   std::size_t marking_count = 0;
@@ -85,7 +112,9 @@ struct ActivityGraphResult {
   StageTimings timings;
 };
 
-/// Joint result for all state machines of the model.
+/// Joint result for all state machines of the model.  Under fluid
+/// aggregation state_count/transition_count report the vector-form
+/// dimension and local-transition count (no global chain is built).
 struct StateMachineResult {
   std::size_t state_count = 0;
   std::size_t transition_count = 0;

@@ -160,9 +160,11 @@ SolveResult solve_sweeps(const Generator& generator, const SolveOptions& options
     // The residual check costs a mat-vec, so amortise it; the cooperative
     // budget check rides on the same cadence, bounding how long a cancelled
     // or deadline-expired solve keeps sweeping.
-    if (iteration % 8 == 0 || iteration == options.max_iterations) {
+    if (iteration % util::Budget::kSolverCheckStride == 0 ||
+        iteration == options.max_iterations) {
       if (options.budget != nullptr) {
-        options.budget->charge_solver_iterations(8);
+        options.budget->charge_solver_iterations(
+            util::Budget::kSolverCheckStride);
         options.budget->check("solve");
       }
       const double residual = residual_norm(generator, pi, options.parallel);
@@ -195,8 +197,10 @@ SolveResult solve_power(const Generator& generator, const SolveOptions& options)
   SolveResult result;
   result.method_used = Method::kPower;
   for (std::size_t iteration = 1; iteration <= options.max_iterations; ++iteration) {
-    if (options.budget != nullptr && iteration % 8 == 0) {
-      options.budget->charge_solver_iterations(8);
+    if (options.budget != nullptr &&
+        iteration % util::Budget::kSolverCheckStride == 0) {
+      options.budget->charge_solver_iterations(
+          util::Budget::kSolverCheckStride);
       options.budget->check("solve");
     }
     qt.multiply(pi, flow, options.parallel);  // flow = (pi Q)^T

@@ -59,9 +59,10 @@ TransientResult transient(const Generator& generator,
   std::vector<double> sum(n, 0.0);
   std::vector<double> flow(n, 0.0);
   for (std::size_t k = 0; k <= k_max; ++k) {
-    if (options.budget != nullptr && k % 8 == 0) {
+    if (options.budget != nullptr &&
+        k % util::Budget::kSolverCheckStride == 0) {
       options.budget->charge_solver_iterations(std::min<std::size_t>(
-          8, k_max - k + 1));
+          util::Budget::kSolverCheckStride, k_max - k + 1));
       options.budget->check("solve");
     }
     const double weight = std::exp(log_poisson_pmf(k, mean));

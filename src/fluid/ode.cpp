@@ -1,0 +1,234 @@
+#include "fluid/ode.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace choreo::fluid {
+
+namespace {
+
+// Dormand-Prince 5(4) tableau.
+constexpr double kA21 = 1.0 / 5.0;
+constexpr double kA31 = 3.0 / 40.0, kA32 = 9.0 / 40.0;
+constexpr double kA41 = 44.0 / 45.0, kA42 = -56.0 / 15.0, kA43 = 32.0 / 9.0;
+constexpr double kA51 = 19372.0 / 6561.0, kA52 = -25360.0 / 2187.0,
+                 kA53 = 64448.0 / 6561.0, kA54 = -212.0 / 729.0;
+constexpr double kA61 = 9017.0 / 3168.0, kA62 = -355.0 / 33.0,
+                 kA63 = 46732.0 / 5247.0, kA64 = 49.0 / 176.0,
+                 kA65 = -5103.0 / 18656.0;
+constexpr double kB1 = 35.0 / 384.0, kB3 = 500.0 / 1113.0,
+                 kB4 = 125.0 / 192.0, kB5 = -2187.0 / 6784.0,
+                 kB6 = 11.0 / 84.0;
+// b - b*: the fifth-minus-fourth-order error weights.
+constexpr double kE1 = 71.0 / 57600.0, kE3 = -71.0 / 16695.0,
+                 kE4 = 71.0 / 1920.0, kE5 = -17253.0 / 339200.0,
+                 kE6 = 22.0 / 525.0, kE7 = -1.0 / 40.0;
+
+constexpr double kC2 = 1.0 / 5.0, kC3 = 3.0 / 10.0, kC4 = 4.0 / 5.0,
+                 kC5 = 8.0 / 9.0;
+
+constexpr double kSafety = 0.9;
+constexpr double kMinFactor = 0.2;
+constexpr double kMaxFactor = 5.0;
+
+// Accepted steps whose whole displacement stays below the error-control
+// scale before the state is declared numerically constant.  An explicit
+// method hovering at its stability boundary around a fixed point keeps
+// ||f|| at the noise floor (local error / h), which can sit far above an
+// absolute steady tolerance while the state itself no longer moves; 25
+// consecutive sub-tolerance steps (with the controller free to grow h
+// five-fold each accept) cannot happen on a resolved transient.
+constexpr std::size_t kStallStreak = 25;
+
+double inf_norm(std::span<const double> v) {
+  double norm = 0.0;
+  for (double value : v) norm = std::max(norm, std::abs(value));
+  return norm;
+}
+
+}  // namespace
+
+std::vector<double> OdeSolution::at(double t) const {
+  if (mesh_.empty()) {
+    throw util::NumericError(
+        "fluid: dense output requires record_trajectory");
+  }
+  if (t <= mesh_.front().t) return mesh_.front().state;
+  if (t >= mesh_.back().t) return mesh_.back().state;
+  const auto after = std::upper_bound(
+      mesh_.begin(), mesh_.end(), t,
+      [](double value, const MeshPoint& p) { return value < p.t; });
+  const MeshPoint& p1 = *after;
+  const MeshPoint& p0 = *std::prev(after);
+  const double h = p1.t - p0.t;
+  const double theta = (t - p0.t) / h;
+  const double t2 = theta * theta, t3 = t2 * theta;
+  const double h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+  const double h10 = t3 - 2.0 * t2 + theta;
+  const double h01 = -2.0 * t3 + 3.0 * t2;
+  const double h11 = t3 - t2;
+  std::vector<double> y(p0.state.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = h00 * p0.state[i] + h10 * h * p0.derivative[i] +
+           h01 * p1.state[i] + h11 * h * p1.derivative[i];
+  }
+  return y;
+}
+
+OdeSolution integrate(const Field& field, std::vector<double> x0,
+                      const OdeOptions& options) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t n = x0.size();
+
+  OdeSolution solution;
+  solution.state_ = std::move(x0);
+  if (n == 0 || options.t_end <= 0.0) {
+    solution.stats_.steady = n == 0;
+    return solution;
+  }
+
+  std::vector<double>& y = solution.state_;
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), k7(n);
+  std::vector<double> stage(n), y_new(n);
+
+  double t = 0.0;
+  field(t, y, k1);
+
+  if (options.record_trajectory) {
+    solution.mesh_.push_back({t, y, k1});
+  }
+
+  // Initial step: balance the solution and derivative magnitudes under the
+  // mixed tolerance (Hairer's simplified selection).
+  double h = options.initial_step;
+  if (h <= 0.0) {
+    double d0 = 0.0, d1 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double sc = options.abs_tol + options.rel_tol * std::abs(y[i]);
+      d0 += (y[i] / sc) * (y[i] / sc);
+      d1 += (k1[i] / sc) * (k1[i] / sc);
+    }
+    d0 = std::sqrt(d0 / static_cast<double>(n));
+    d1 = std::sqrt(d1 / static_cast<double>(n));
+    h = (d0 < 1e-5 || d1 < 1e-5) ? 1e-6 : 0.01 * d0 / d1;
+  }
+  h = std::min(h, options.t_end);
+
+  std::size_t attempts_since_check = 0;
+  std::size_t steady_streak = 0;
+  std::size_t stall_streak = 0;
+
+  auto finish = [&](bool steady) {
+    solution.stats_.steady = steady;
+    solution.stats_.end_time = t;
+    solution.stats_.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    return solution;
+  };
+
+  while (t < options.t_end) {
+    if (solution.stats_.steps + solution.stats_.rejected_steps >=
+        options.max_steps) {
+      throw util::NumericError(util::msg(
+          "fluid: integrator exhausted ", options.max_steps,
+          " steps before reaching steady state or t=", options.t_end));
+    }
+    if (options.budget != nullptr &&
+        ++attempts_since_check >= util::Budget::kSolverCheckStride) {
+      options.budget->charge_solver_iterations(attempts_since_check);
+      attempts_since_check = 0;
+      options.budget->check("fluid");
+    }
+
+    h = std::min(h, options.t_end - t);
+    if (!(h > std::abs(t) * 1e-14) || !(h > 1e-300)) {
+      throw util::NumericError("fluid: step size underflow");
+    }
+
+    // The seven Dormand-Prince stages (k1 is fresh: FSAL).
+    for (std::size_t i = 0; i < n; ++i) stage[i] = y[i] + h * kA21 * k1[i];
+    field(t + kC2 * h, stage, k2);
+    for (std::size_t i = 0; i < n; ++i) {
+      stage[i] = y[i] + h * (kA31 * k1[i] + kA32 * k2[i]);
+    }
+    field(t + kC3 * h, stage, k3);
+    for (std::size_t i = 0; i < n; ++i) {
+      stage[i] = y[i] + h * (kA41 * k1[i] + kA42 * k2[i] + kA43 * k3[i]);
+    }
+    field(t + kC4 * h, stage, k4);
+    for (std::size_t i = 0; i < n; ++i) {
+      stage[i] = y[i] + h * (kA51 * k1[i] + kA52 * k2[i] + kA53 * k3[i] +
+                             kA54 * k4[i]);
+    }
+    field(t + kC5 * h, stage, k5);
+    for (std::size_t i = 0; i < n; ++i) {
+      stage[i] = y[i] + h * (kA61 * k1[i] + kA62 * k2[i] + kA63 * k3[i] +
+                             kA64 * k4[i] + kA65 * k5[i]);
+    }
+    field(t + h, stage, k6);
+    for (std::size_t i = 0; i < n; ++i) {
+      y_new[i] = y[i] + h * (kB1 * k1[i] + kB3 * k3[i] + kB4 * k4[i] +
+                             kB5 * k5[i] + kB6 * k6[i]);
+    }
+    field(t + h, y_new, k7);
+
+    // Scaled RMS error of the embedded fourth-order difference, plus the
+    // step's displacement on the same scale (for stall detection).
+    double err = 0.0;
+    double motion = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e = h * (kE1 * k1[i] + kE3 * k3[i] + kE4 * k4[i] +
+                            kE5 * k5[i] + kE6 * k6[i] + kE7 * k7[i]);
+      const double sc = options.abs_tol +
+                        options.rel_tol *
+                            std::max(std::abs(y[i]), std::abs(y_new[i]));
+      err += (e / sc) * (e / sc);
+      motion = std::max(motion, std::abs(y_new[i] - y[i]) / sc);
+    }
+    err = std::sqrt(err / static_cast<double>(n));
+
+    if (err > 1.0) {
+      ++solution.stats_.rejected_steps;
+      h *= std::max(kMinFactor, kSafety * std::pow(err, -0.2));
+      continue;
+    }
+
+    t += h;
+    ++solution.stats_.steps;
+    y.swap(y_new);
+    k1.swap(k7);  // FSAL: f(t, y) is already evaluated
+
+    if (options.record_trajectory) {
+      solution.mesh_.push_back({t, y, k1});
+    }
+
+    if (options.steady_tolerance > 0.0) {
+      if (inf_norm(k1) <=
+          options.steady_tolerance * std::max(1.0, inf_norm(y))) {
+        if (++steady_streak >= 2) return finish(true);
+      } else {
+        steady_streak = 0;
+      }
+      if (motion <= 1.0) {
+        if (++stall_streak >= kStallStreak) return finish(true);
+      } else {
+        stall_streak = 0;
+      }
+    }
+
+    const double factor =
+        err <= 0.0 ? kMaxFactor
+                   : std::clamp(kSafety * std::pow(err, -0.2), kMinFactor,
+                                kMaxFactor);
+    h *= factor;
+  }
+
+  return finish(false);
+}
+
+}  // namespace choreo::fluid

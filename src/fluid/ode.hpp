@@ -1,0 +1,100 @@
+// Adaptive explicit Runge-Kutta integration for the fluid backend.
+//
+// The stepper is the Dormand-Prince 5(4) embedded pair (the RKF45 family
+// member used by most production ODE suites): seven stages, FSAL, a
+// fifth-order solution advanced with a fourth-order error estimate, and
+// PI-free step-size control with the classic 0.9 * err^(-1/5) factor.
+// Dense output between accepted steps uses the cubic Hermite interpolant on
+// (y0, f0, y1, f1) — third-order accurate, which is ample for sampling
+// transient curves and for the steady-state detector.
+//
+// The loop is budget-governed like the linear solvers: every
+// util::Budget::kSolverCheckStride step attempts it charges the attempts
+// and calls Budget::check("fluid"), so deadlines and cancellation interrupt
+// an integration within a handful of steps.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/budget.hpp"
+
+namespace choreo::fluid {
+
+struct OdeOptions {
+  double rel_tol = 1e-6;
+  double abs_tol = 1e-9;
+  /// Integration horizon: integration stops at this time even when the
+  /// steady-state criterion was never met (stats().steady stays false).
+  double t_end = 1e7;
+  /// Starting step size; 0 selects one automatically from the initial
+  /// derivative magnitude.
+  double initial_step = 0.0;
+  std::size_t max_steps = 10'000'000;
+  /// Steady-state detector: stop once the scaled derivative norm
+  /// ||f(x)||_inf <= steady_tolerance * max(1, ||x||_inf) holds on two
+  /// consecutive accepted steps, or once the state stalls — 25 consecutive
+  /// accepted steps that each move the state by less than the
+  /// error-control scale (abs_tol + rel_tol * |x|).  The stall criterion
+  /// catches fixed points an explicit method can only hover around: at the
+  /// stability boundary ||f|| bottoms out at the local-error noise floor,
+  /// which may exceed any absolute derivative threshold even though the
+  /// state is numerically constant.  0 disables both criteria.
+  double steady_tolerance = 1e-8;
+  /// Keep the accepted-step mesh for dense output via OdeSolution::at().
+  bool record_trajectory = false;
+  /// Cooperative deadline/cancellation governor; nullptr disables checks.
+  util::Budget* budget = nullptr;
+};
+
+struct OdeStats {
+  std::size_t steps = 0;           ///< accepted steps
+  std::size_t rejected_steps = 0;  ///< error-controlled rejections
+  double seconds = 0.0;            ///< wall clock of the integration
+  double end_time = 0.0;           ///< time reached
+  bool steady = false;             ///< steady-state criterion met
+};
+
+/// One accepted mesh point (recorded when OdeOptions::record_trajectory).
+struct MeshPoint {
+  double t;
+  std::vector<double> state;
+  std::vector<double> derivative;
+};
+
+/// dx = f(t, x); `dx` is pre-sized to x.size() and must be fully written.
+using Field =
+    std::function<void(double t, std::span<const double> x,
+                       std::span<double> dx)>;
+
+class OdeSolution {
+ public:
+  const std::vector<double>& state() const noexcept { return state_; }
+  double end_time() const noexcept { return stats_.end_time; }
+  bool steady_state_reached() const noexcept { return stats_.steady; }
+  const OdeStats& stats() const noexcept { return stats_; }
+
+  /// Recorded accepted-step mesh (empty unless record_trajectory).
+  const std::vector<MeshPoint>& mesh() const noexcept { return mesh_; }
+
+  /// Dense output: cubic Hermite interpolation of the solution at `t`
+  /// (clamped to the integrated interval).  Requires record_trajectory.
+  std::vector<double> at(double t) const;
+
+ private:
+  friend OdeSolution integrate(const Field&, std::vector<double>,
+                               const OdeOptions&);
+
+  std::vector<double> state_;
+  OdeStats stats_;
+  std::vector<MeshPoint> mesh_;
+};
+
+/// Integrates x' = f(t, x) from x0 at t = 0.  Throws util::NumericError on
+/// step-size underflow or when max_steps is exhausted before t_end, and
+/// propagates InterruptedError/BudgetError from the budget checkpoint.
+OdeSolution integrate(const Field& field, std::vector<double> x0,
+                      const OdeOptions& options = {});
+
+}  // namespace choreo::fluid

@@ -1,0 +1,223 @@
+#include "fluid/population.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "pepa/measures.hpp"
+#include "pepa/rate.hpp"
+#include "util/error.hpp"
+
+namespace choreo::fluid {
+
+namespace {
+
+struct VectorHash {
+  std::size_t operator()(const std::vector<std::uint32_t>& v) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (std::uint32_t value : v) {
+      h ^= value;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+/// One joint move of the chain: the combined PEPA rate and the set of
+/// (source, target) component hops it performs, one per participating group.
+struct Move {
+  pepa::Rate rate;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> hops;
+};
+
+struct ActionMoves {
+  pepa::Rate apparent;
+  std::vector<Move> moves;
+};
+
+/// Enumerates the moves of the subtree at `node` for the count vector `x`,
+/// mirroring the cooperation case of Semantics::compute_derivatives but on
+/// counted groups: a group in local state s with count x[s] offers its
+/// transitions at x[s]-scaled rates, and shared actions combine one move
+/// per cooperand with pepa::cooperation_rate.
+struct Enumerator {
+  const VectorForm& form;
+  std::span<const std::uint32_t> x;
+
+  std::vector<ActionMoves> run(std::uint32_t node_index) const {
+    const std::size_t slots = form.actions().size();
+    const TreeNode& node = form.tree()[node_index];
+    std::vector<ActionMoves> result(slots);
+
+    if (node.group >= 0) {
+      const Group& group = form.groups()[node.group];
+      for (std::uint32_t t = 0; t < group.transition_count; ++t) {
+        const LocalTransition& lt =
+            form.transitions()[group.first_transition + t];
+        const std::uint32_t count = x[lt.source];
+        if (count == 0) continue;
+        const double scaled = static_cast<double>(count) * lt.rate;
+        const pepa::Rate rate = lt.passive ? pepa::Rate::passive(scaled)
+                                           : pepa::Rate::active(scaled);
+        ActionMoves& slot = result[lt.action_slot];
+        slot.apparent = slot.apparent.plus(
+            rate, form.arena().action_name(lt.action));
+        slot.moves.push_back({rate, {{lt.source, lt.target}}});
+      }
+      return result;
+    }
+
+    bool first_child = true;
+    for (std::uint32_t child : node.children) {
+      std::vector<ActionMoves> part = run(child);
+      for (std::size_t slot = 0; slot < slots; ++slot) {
+        const pepa::ActionId action = form.actions()[slot];
+        const std::string& name = form.arena().action_name(action);
+        if (!pepa::set_contains(node.coop_set, action)) {
+          // Independent action: interleave.
+          result[slot].apparent =
+              result[slot].apparent.plus(part[slot].apparent, name);
+          result[slot].moves.insert(result[slot].moves.end(),
+                                    part[slot].moves.begin(),
+                                    part[slot].moves.end());
+          continue;
+        }
+        if (first_child) {
+          result[slot] = std::move(part[slot]);
+          continue;
+        }
+        // Shared action: every cooperand contributes one move per firing.
+        std::vector<Move> combined;
+        combined.reserve(result[slot].moves.size() * part[slot].moves.size());
+        for (const Move& left : result[slot].moves) {
+          for (const Move& right : part[slot].moves) {
+            Move move;
+            move.rate = pepa::cooperation_rate(
+                left.rate, result[slot].apparent, right.rate,
+                part[slot].apparent, name);
+            move.hops = left.hops;
+            move.hops.insert(move.hops.end(), right.hops.begin(),
+                             right.hops.end());
+            combined.push_back(std::move(move));
+          }
+        }
+        result[slot].moves = std::move(combined);
+        result[slot].apparent =
+            pepa::Rate::min(result[slot].apparent, part[slot].apparent);
+      }
+      first_child = false;
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+PopulationSpace derive_population(const VectorForm& form,
+                                  const PopulationOptions& options) {
+  for (const Group& group : form.groups()) {
+    if (group.count != std::floor(group.count) || group.count < 0.0) {
+      throw util::ModelError(
+          "population chain requires integral replica counts");
+    }
+  }
+
+  PopulationSpace space;
+  std::unordered_map<std::vector<std::uint32_t>, std::uint32_t, VectorHash>
+      index;
+
+  std::vector<std::uint32_t> initial(form.dimension(), 0);
+  for (const Group& group : form.groups()) {
+    initial[group.first] = static_cast<std::uint32_t>(group.count);
+  }
+  index.emplace(initial, 0);
+  space.states_.push_back(std::move(initial));
+
+  const std::size_t state_bytes = form.dimension() * sizeof(std::uint32_t);
+  for (std::size_t si = 0; si < space.states_.size(); ++si) {
+    if (options.budget != nullptr && si % 64 == 0) {
+      options.budget->check("derive");
+    }
+    // The enumerator walks space.states_[si] by reference; states_ grows
+    // below, so copy the source vector first.
+    const std::vector<std::uint32_t> current = space.states_[si];
+    const Enumerator enumerator{form, current};
+    const std::vector<ActionMoves> moves = enumerator.run(form.root());
+    for (std::size_t slot = 0; slot < moves.size(); ++slot) {
+      for (const Move& move : moves[slot].moves) {
+        if (move.rate.is_passive()) {
+          throw util::ModelError(util::msg(
+              "action '", form.arena().action_name(form.actions()[slot]),
+              "' is passive at the top level of the system equation"));
+        }
+        std::vector<std::uint32_t> next = current;
+        for (const auto& [source, target] : move.hops) {
+          CHOREO_ASSERT(next[source] > 0);
+          next[source] -= 1;
+          next[target] += 1;
+        }
+        auto [it, fresh] = index.try_emplace(
+            next, static_cast<std::uint32_t>(space.states_.size()));
+        if (fresh) {
+          if (space.states_.size() >= options.max_states) {
+            throw util::BudgetError(util::msg(
+                "population state-space explosion: more than ",
+                options.max_states, " count vectors"));
+          }
+          if (options.budget != nullptr) {
+            options.budget->charge_states(1, state_bytes);
+          }
+          space.states_.push_back(std::move(next));
+        }
+        space.transitions_.push_back({static_cast<std::uint32_t>(si),
+                                      it->second, form.actions()[slot],
+                                      move.rate.value()});
+      }
+    }
+  }
+  return space;
+}
+
+ctmc::Generator PopulationSpace::generator() const {
+  std::vector<ctmc::RatedTransition> rated;
+  rated.reserve(transitions_.size());
+  for (const PopulationTransition& t : transitions_) {
+    if (t.source == t.target) continue;  // self-loops: no CTMC effect
+    rated.push_back({t.source, t.target, t.rate});
+  }
+  return ctmc::Generator::build(states_.size(), rated);
+}
+
+double PopulationSpace::action_throughput(std::span<const double> distribution,
+                                          pepa::ActionId action) const {
+  CHOREO_ASSERT(distribution.size() == states_.size());
+  double total = 0.0;
+  for (const PopulationTransition& t : transitions_) {
+    if (t.action == action) total += distribution[t.source] * t.rate;
+  }
+  return total;
+}
+
+double PopulationSpace::mean_population(std::span<const double> distribution,
+                                        const VectorForm& form,
+                                        pepa::ConstantId constant) const {
+  CHOREO_ASSERT(distribution.size() == states_.size());
+  std::vector<bool> occupies(form.dimension(), false);
+  for (const Group& group : form.groups()) {
+    for (std::size_t s = 0; s < group.states.size(); ++s) {
+      occupies[group.first + s] =
+          pepa::occupies(form.arena(), group.states[s], constant);
+    }
+  }
+  double total = 0.0;
+  for (std::size_t si = 0; si < states_.size(); ++si) {
+    if (distribution[si] == 0.0) continue;
+    double count = 0.0;
+    for (std::size_t i = 0; i < occupies.size(); ++i) {
+      if (occupies[i]) count += states_[si][i];
+    }
+    total += distribution[si] * count;
+  }
+  return total;
+}
+
+}  // namespace choreo::fluid

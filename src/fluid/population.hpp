@@ -1,0 +1,73 @@
+// The exact population CTMC of a vector form: the lumped chain whose states
+// are count vectors over the groups' local derivative sets (Ding &
+// Hillston's numerical vector form read as a Markov chain, i.e. the
+// aggregation by exchangeability of replicas).  For K local states and N
+// replicas the chain has O(N^(K-1)) states instead of the O(K^N) of the
+// full interleaving, which makes *exact* steady-state validation of the
+// fluid approximation feasible well past the point where ordinary
+// derivation explodes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ctmc/generator.hpp"
+#include "fluid/vector_form.hpp"
+#include "util/budget.hpp"
+
+namespace choreo::fluid {
+
+struct PopulationOptions {
+  /// Safety bound on the number of count vectors.
+  std::size_t max_states = 1'000'000;
+  /// Cooperative governor: checked during the breadth-first exploration and
+  /// charged with the discovered vectors.  nullptr disables governance.
+  util::Budget* budget = nullptr;
+};
+
+struct PopulationTransition {
+  std::uint32_t source;
+  std::uint32_t target;
+  pepa::ActionId action;
+  double rate;
+};
+
+class PopulationSpace {
+ public:
+  std::size_t state_count() const noexcept { return states_.size(); }
+  /// Count vectors in discovery order; state 0 is the initial population.
+  const std::vector<std::vector<std::uint32_t>>& states() const noexcept {
+    return states_;
+  }
+  const std::vector<PopulationTransition>& transitions() const noexcept {
+    return transitions_;
+  }
+
+  ctmc::Generator generator() const;
+
+  /// Steady-state throughput of `action` under `distribution`.
+  double action_throughput(std::span<const double> distribution,
+                           pepa::ActionId action) const;
+
+  /// Expected number of components occupying `constant` under
+  /// `distribution` (exact counterpart of VectorForm::population).
+  double mean_population(std::span<const double> distribution,
+                         const VectorForm& form,
+                         pepa::ConstantId constant) const;
+
+ private:
+  friend PopulationSpace derive_population(const VectorForm&,
+                                           const PopulationOptions&);
+
+  std::vector<std::vector<std::uint32_t>> states_;
+  std::vector<PopulationTransition> transitions_;
+};
+
+/// Explores the population chain of `form` breadth-first from the initial
+/// count vector.  Requires integral group counts (util::ModelError
+/// otherwise); throws util::BudgetError when max_states is exceeded.
+PopulationSpace derive_population(const VectorForm& form,
+                                  const PopulationOptions& options = {});
+
+}  // namespace choreo::fluid

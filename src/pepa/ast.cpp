@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <unordered_map>
 
 #include "util/error.hpp"
 
@@ -267,25 +268,37 @@ void collect_alphabet(const ProcessArena& arena, ProcessId process,
 }  // namespace
 
 namespace {
+/// The rewrite is context-free (the `expanding` stack only detects cycles),
+/// so results memoise per node.  Hash-consing shares replicated subtrees;
+/// without the memo a 10^6-replica population would be walked once per
+/// occurrence instead of once per distinct node.
 ProcessId expand_static_impl(ProcessArena& arena, ProcessId process,
-                             std::vector<ConstantId>& expanding) {
+                             std::vector<ConstantId>& expanding,
+                             std::unordered_map<ProcessId, ProcessId>& memo) {
+  if (const auto it = memo.find(process); it != memo.end()) return it->second;
   const ProcessNode node = arena.node(process);  // copy: arena may grow
+  ProcessId result = process;
   switch (node.op) {
     case Op::kCooperation: {
-      const ProcessId left = expand_static_impl(arena, node.left, expanding);
-      const ProcessId right = expand_static_impl(arena, node.right, expanding);
-      return arena.cooperation(left, node.action_set, right);
+      const ProcessId left =
+          expand_static_impl(arena, node.left, expanding, memo);
+      const ProcessId right =
+          expand_static_impl(arena, node.right, expanding, memo);
+      result = arena.cooperation(left, node.action_set, right);
+      break;
     }
     case Op::kHiding: {
-      const ProcessId inner = expand_static_impl(arena, node.left, expanding);
-      return arena.hiding(inner, node.action_set);
+      const ProcessId inner =
+          expand_static_impl(arena, node.left, expanding, memo);
+      result = arena.hiding(inner, node.action_set);
+      break;
     }
     case Op::kConstant: {
       const ProcessId body = arena.body(node.constant);
       const Op body_op = arena.node(body).op;
       if (body_op != Op::kCooperation && body_op != Op::kHiding &&
           body_op != Op::kConstant) {
-        return process;  // sequential definition: keep the name
+        break;  // sequential definition: keep the name
       }
       if (std::find(expanding.begin(), expanding.end(), node.constant) !=
           expanding.end()) {
@@ -294,19 +307,22 @@ ProcessId expand_static_impl(ProcessArena& arena, ProcessId process,
                       arena.constant_name(node.constant), "'"));
       }
       expanding.push_back(node.constant);
-      const ProcessId expanded = expand_static_impl(arena, body, expanding);
+      result = expand_static_impl(arena, body, expanding, memo);
       expanding.pop_back();
-      return expanded;
+      break;
     }
     default:
-      return process;
+      break;
   }
+  memo.emplace(process, result);
+  return result;
 }
 }  // namespace
 
 ProcessId expand_static(ProcessArena& arena, ProcessId process) {
   std::vector<ConstantId> expanding;
-  return expand_static_impl(arena, process, expanding);
+  std::unordered_map<ProcessId, ProcessId> memo;
+  return expand_static_impl(arena, process, expanding, memo);
 }
 
 std::vector<ActionId> alphabet(const ProcessArena& arena, ProcessId process) {

@@ -1,0 +1,165 @@
+#include "pepa/families.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace choreo::pepa {
+
+namespace {
+
+/// Balanced fold of `count` copies of `component` over the empty set.  The
+/// balanced shape keeps the term depth logarithmic in the population (a
+/// left-deep fold of 10^6 replicas would overflow every recursive term
+/// walk), and hash-consing collapses the identical per-level subtrees.
+/// Memoising on the replica count makes the fold itself O(log count): the
+/// two halves at each level differ by at most one, so only O(log count)
+/// distinct counts ever occur.
+ProcessId replicate_impl(ProcessArena& arena, ProcessId component,
+                         std::size_t count,
+                         std::unordered_map<std::size_t, ProcessId>& memo) {
+  if (count == 1) return component;
+  const auto it = memo.find(count);
+  if (it != memo.end()) return it->second;
+  const std::size_t half = count / 2;
+  const ProcessId result =
+      arena.cooperation(replicate_impl(arena, component, count - half, memo),
+                        {}, replicate_impl(arena, component, half, memo));
+  memo.emplace(count, result);
+  return result;
+}
+
+ProcessId replicate(ProcessArena& arena, ProcessId component,
+                    std::size_t count) {
+  CHOREO_ASSERT(count > 0);
+  std::unordered_map<std::size_t, ProcessId> memo;
+  return replicate_impl(arena, component, count, memo);
+}
+
+}  // namespace
+
+Model client_server(std::size_t clients, const ClientServerParams& params) {
+  if (clients == 0 || params.servers == 0) {
+    throw util::ModelError("client_server requires at least one client and server");
+  }
+  Model model;
+  ProcessArena& arena = model.arena();
+  model.add_parameter("request_rate", params.request_rate);
+  model.add_parameter("response_rate", params.response_rate);
+
+  const ActionId request = arena.action("request");
+  const ActionId response = arena.action("response");
+
+  const ConstantId client = arena.declare("Client");
+  const ConstantId client_waiting = arena.declare("ClientWaiting");
+  const ConstantId server = arena.declare("Server");
+  const ConstantId server_busy = arena.declare("ServerBusy");
+
+  arena.define(client, arena.prefix(request, Rate::active(params.request_rate),
+                                    arena.constant(client_waiting)));
+  arena.define(client_waiting,
+               arena.prefix(response, Rate::passive(), arena.constant(client)));
+  arena.define(server, arena.prefix(request, Rate::passive(),
+                                    arena.constant(server_busy)));
+  arena.define(server_busy,
+               arena.prefix(response, Rate::active(params.response_rate),
+                            arena.constant(server)));
+  model.add_definition(client);
+  model.add_definition(client_waiting);
+  model.add_definition(server);
+  model.add_definition(server_busy);
+
+  model.set_system(arena.cooperation(
+      replicate(arena, arena.constant(client), clients), {request, response},
+      replicate(arena, arena.constant(server), params.servers)));
+  return model;
+}
+
+Model pda_handover(std::size_t pdas, const PdaHandoverParams& params) {
+  if (pdas == 0 || params.transmitters == 0) {
+    throw util::ModelError(
+        "pda_handover requires at least one PDA and transmitter");
+  }
+  Model model;
+  ProcessArena& arena = model.arena();
+  model.add_parameter("detect_rate", params.detect_rate);
+  model.add_parameter("handover_rate", params.handover_rate);
+  model.add_parameter("reset_rate", params.reset_rate);
+
+  const ActionId detect = arena.action("detect");
+  const ActionId handover = arena.action("handover");
+  const ActionId reset = arena.action("reset");
+
+  const ConstantId pda = arena.declare("Pda");
+  const ConstantId pda_searching = arena.declare("PdaSearching");
+  const ConstantId transmitter = arena.declare("Transmitter");
+  const ConstantId cooldown = arena.declare("TransmitterCooldown");
+
+  arena.define(pda, arena.prefix(detect, Rate::active(params.detect_rate),
+                                 arena.constant(pda_searching)));
+  arena.define(pda_searching,
+               arena.prefix(handover, Rate::passive(), arena.constant(pda)));
+  arena.define(transmitter,
+               arena.prefix(handover, Rate::active(params.handover_rate),
+                            arena.constant(cooldown)));
+  arena.define(cooldown, arena.prefix(reset, Rate::active(params.reset_rate),
+                                      arena.constant(transmitter)));
+  model.add_definition(pda);
+  model.add_definition(pda_searching);
+  model.add_definition(transmitter);
+  model.add_definition(cooldown);
+
+  model.set_system(arena.cooperation(
+      replicate(arena, arena.constant(pda), pdas), {handover},
+      replicate(arena, arena.constant(transmitter), params.transmitters)));
+  return model;
+}
+
+Model ring(std::size_t stations, const RingParams& params) {
+  if (stations == 0) {
+    throw util::ModelError("ring requires at least one station");
+  }
+  Model model;
+  ProcessArena& arena = model.arena();
+  model.add_parameter("on_rate", params.on_rate);
+  model.add_parameter("off_rate", params.off_rate);
+
+  // The hub passively enables station 1 and never changes state.
+  const ActionId first_on = arena.action("on_1");
+  const ConstantId hub = arena.declare("Hub");
+  arena.define(hub,
+               arena.prefix(first_on, Rate::passive(), arena.constant(hub)));
+  model.add_definition(hub);
+
+  ProcessId system = arena.constant(hub);
+  for (std::size_t i = 1; i <= stations; ++i) {
+    const std::string suffix = std::to_string(i);
+    const ActionId on = arena.action("on_" + suffix);
+    const ActionId off = arena.action("off_" + suffix);
+    const ConstantId station_off = arena.declare("Off_" + suffix);
+    const ConstantId station_on = arena.declare("On_" + suffix);
+
+    arena.define(station_off,
+                 arena.prefix(on, Rate::active(params.on_rate),
+                              arena.constant(station_on)));
+    // While on: switch off freely, or passively enable the successor.
+    ProcessId on_body = arena.prefix(off, Rate::active(params.off_rate),
+                                     arena.constant(station_off));
+    if (i < stations) {
+      const ActionId next_on = arena.action("on_" + std::to_string(i + 1));
+      on_body = arena.choice(
+          on_body,
+          arena.prefix(next_on, Rate::passive(), arena.constant(station_on)));
+    }
+    arena.define(station_on, on_body);
+    model.add_definition(station_off);
+    model.add_definition(station_on);
+
+    system = arena.cooperation(system, {on}, arena.constant(station_off));
+  }
+  model.set_system(system);
+  return model;
+}
+
+}  // namespace choreo::pepa

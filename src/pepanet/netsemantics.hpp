@@ -56,14 +56,18 @@ class NetSemantics {
   /// `marking` (Definition 4), ignoring priorities.
   bool has_concession(const Marking& marking, NetTransitionId t);
 
+  /// Builds the context term of `place` from the marking (vacant -> Stop):
+  /// the cooperation fold of its slots and statics.  For a net with a
+  /// single place and no net transitions this term IS the whole system,
+  /// which lets plain-PEPA backends (e.g. the fluid ODE) bypass the
+  /// marking graph.
+  pepa::ProcessId place_context(const Marking& marking, PlaceId place);
+
  private:
   void collect_local_moves(const Marking& marking, PlaceId place,
                            std::vector<NetMove>& out);
   void collect_firings(const Marking& marking, NetTransitionId t,
                        std::vector<NetMove>& out);
-
-  /// Builds the context term of `place` from the marking (vacant -> Stop).
-  pepa::ProcessId place_context(const Marking& marking, PlaceId place);
 
   PepaNet& net_;
   pepa::Semantics pepa_;

@@ -31,7 +31,14 @@ std::string cache_key_for_model(const xml::Document& model,
       << " dense_cutoff=" << options.solver.dense_cutoff
       << " default_rate=" << util::format_double(options.default_rate)
       << " max_states=" << options.max_states
-      << " aggregate=" << (options.aggregate ? 1 : 0);
+      << " aggregation=" << static_cast<int>(options.aggregation);
+  // The fluid knobs shape results only at the fluid level; keying them
+  // unconditionally would split identical exact analyses apart.
+  if (options.aggregation == chor::Aggregation::kFluid) {
+    key << " fluid_rel_tol=" << util::format_double(options.fluid_rel_tol)
+        << " fluid_abs_tol=" << util::format_double(options.fluid_abs_tol)
+        << " fluid_t_end=" << util::format_double(options.fluid_t_end);
+  }
   // derive_threads is deliberately absent: exploration is deterministic, so
   // results at any lane count are interchangeable cache-wise.
   // Rates apply in file order (later assignments win), so the order is

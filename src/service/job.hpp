@@ -84,6 +84,11 @@ struct JobResult {
   pepa::DeriveStats partial_derive_stats;
   /// Execution attempts (0 for cache hits and never-ran jobs).
   std::size_t attempts = 0;
+  /// Aggregation level of the attempt that produced the report — deeper
+  /// than the request's own level when the retry ladder downgraded the
+  /// job (kNone -> kExact -> kFluid).  Cache hits report the requested
+  /// level (the cache key includes it, so they always match).
+  chor::Aggregation aggregation_used = chor::Aggregation::kNone;
   /// Whether the result was served from the content-addressed cache.
   bool from_cache = false;
 };

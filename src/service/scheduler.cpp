@@ -141,6 +141,19 @@ struct Scheduler::Impl {
         budget_peak_state_bytes(registry.gauge(
             "choreo_budget_peak_state_bytes",
             "Largest state-storage footprint any job's budget recorded")),
+        fluid_fallbacks_total(registry.counter(
+            "choreo_fluid_fallbacks_total",
+            "Retries that downgraded a job to the fluid (ODE) backend")),
+        fluid_steps_total(registry.counter(
+            "choreo_fluid_steps_total",
+            "Accepted ODE steps across fluid solves")),
+        fluid_rejected_steps_total(registry.counter(
+            "choreo_fluid_rejected_steps_total",
+            "Rejected ODE step attempts across fluid solves")),
+        fluid_solve_seconds(registry.histogram(
+            "choreo_fluid_solve_seconds",
+            "Mean-field ODE solve time, per job that used the fluid "
+            "backend")),
         pool(scheduler_options.workers != 0
                  ? scheduler_options.workers
                  : std::max<std::size_t>(
@@ -177,6 +190,10 @@ struct Scheduler::Impl {
   Gauge& peak_frontier;
   Counter& interrupted_in_stage_total;
   Gauge& budget_peak_state_bytes;
+  Counter& fluid_fallbacks_total;
+  Counter& fluid_steps_total;
+  Counter& fluid_rejected_steps_total;
+  Histogram& fluid_solve_seconds;
 
   mutable std::mutex flight_mutex;
   std::condition_variable space_cv;
@@ -213,6 +230,9 @@ void Scheduler::Impl::execute(const std::shared_ptr<JobState>& state,
 
   std::string key;
   xml::Document reflected;
+  // Cache hits and failures report the requested level; a successful run
+  // overwrites this with the level the winning attempt actually used.
+  result.aggregation_used = request.options.aggregation;
   if (options.cache != nullptr) {
     key = cache_key_for_model(split.model, request.options);
     if (std::optional<CachedAnalysis> cached = options.cache->get(key)) {
@@ -241,18 +261,26 @@ void Scheduler::Impl::execute(const std::shared_ptr<JobState>& state,
         uml::Model model = uml::from_xmi(split.model);
         result.report = chor::analyse(model, attempt_options);
         reflected = uml::to_xmi(model);
+        result.aggregation_used = attempt_options.aggregation;
         break;
       } catch (const util::InterruptedError&) {
         throw;  // cancellation/deadline is terminal, never a retry
       } catch (const util::Error& error) {
-        if (attempt < options.max_retries &&
-            is_state_bound_failure(error)) {
+        if (attempt < options.max_retries && is_state_bound_failure(error) &&
+            attempt_options.aggregation != chor::Aggregation::kFluid) {
           retries_total.increment();
           backoff_sleep(*state, backoff);
           backoff *= 2.0;
-          // The lower aggregation setting: solve the strong-equivalence
-          // quotient, optionally with a scaled state budget.
-          attempt_options.aggregate = true;
+          // One rung down the aggregation ladder (optionally with a scaled
+          // state budget): first the exact strong-equivalence quotient,
+          // then the fluid mean-field ODE, which expands no state space
+          // at all and so survives any population size.
+          if (attempt_options.aggregation == chor::Aggregation::kNone) {
+            attempt_options.aggregation = chor::Aggregation::kExact;
+          } else {
+            attempt_options.aggregation = chor::Aggregation::kFluid;
+            fluid_fallbacks_total.increment();
+          }
           attempt_options.max_states = static_cast<std::size_t>(
               static_cast<double>(attempt_options.max_states) *
               std::max(1.0, options.retry_state_budget_factor));
@@ -279,6 +307,11 @@ void Scheduler::Impl::execute(const std::shared_ptr<JobState>& state,
     dedup_misses_total.increment(stages.derive_stats.dedup_misses);
     peak_frontier.record_max(
         static_cast<std::int64_t>(stages.derive_stats.peak_frontier));
+    if (stages.fluid_steps > 0 || stages.fluid_rejected_steps > 0) {
+      fluid_steps_total.increment(stages.fluid_steps);
+      fluid_rejected_steps_total.increment(stages.fluid_rejected_steps);
+      fluid_solve_seconds.observe(stages.solve_seconds);
+    }
     if (stages.derive_seconds() > 0.0) {
       explore_rate.observe(
           static_cast<double>(stages.derive_stats.dedup_misses) /

@@ -21,10 +21,12 @@
 //    jobs carry partial derivation statistics
 //    (JobResult::partial_derive_stats) taken from the budget accounting.
 //  - Jobs that fail on the transient max_states safety bound ("state-space
-//    explosion") are retried with exponential backoff at a lower
-//    aggregation setting: retries solve the strong-equivalence quotient
-//    (options.aggregate = true) and may scale the state budget by
-//    `retry_state_budget_factor`.
+//    explosion") are retried with exponential backoff one rung down the
+//    aggregation ladder (chor::Aggregation): the full chain first falls
+//    back to the exact strong-equivalence quotient, then to the fluid
+//    mean-field ODE, which never expands a state space; the state budget
+//    may also be scaled by `retry_state_budget_factor`.  The level that
+//    finally succeeded is recorded in JobResult::aggregation_used.
 //  - Results of successful runs are stored in the cache (when one is
 //    attached); an incoming job whose canonical key hits returns the
 //    cached result byte-for-byte without touching the pipeline.

@@ -12,8 +12,9 @@
 // Manifest format, one job per line (# and // start comments):
 //
 //   INPUT.xmi [out=OUTPUT.xmi] [rates=FILE.rates] [solver=METHOD]
-//             [default-rate=R] [aggregate=0|1] [timeout=SECONDS]
-//             [name=LABEL]
+//             [default-rate=R] [aggregation=none|exact|fluid]
+//             [aggregate=0|1] [fluid-rel-tol=T] [fluid-abs-tol=T]
+//             [fluid-t-end=T] [timeout=SECONDS] [name=LABEL]
 //
 // Every manifest pass submits all jobs, waits, and prints a per-job table
 // (status, attempts, cache hit, markings/states, timings).  --repeat N
@@ -48,7 +49,10 @@ int usage(const char* argv0) {
                " [--retries N] [--derive-threads N] [--no-metrics]\n"
                "manifest lines: INPUT.xmi [out=F] [rates=F] [solver=M]"
                " [default-rate=R]\n"
-               "                [aggregate=0|1] [timeout=S] [name=LABEL]\n";
+               "                [aggregation=none|exact|fluid]"
+               " [aggregate=0|1] [timeout=S] [name=LABEL]\n"
+               "                [fluid-rel-tol=T] [fluid-abs-tol=T]"
+               " [fluid-t-end=T]\n";
   return 2;
 }
 
@@ -87,6 +91,15 @@ choreo::ctmc::Method parse_method(const std::string& name) {
   throw choreo::util::Error("unknown solver method '" + name + "'");
 }
 
+choreo::chor::Aggregation parse_aggregation(const std::string& name) {
+  using choreo::chor::Aggregation;
+  if (name == "none") return Aggregation::kNone;
+  if (name == "exact") return Aggregation::kExact;
+  if (name == "fluid") return Aggregation::kFluid;
+  throw choreo::util::Error("unknown aggregation level '" + name +
+                            "' (expected none, exact or fluid)");
+}
+
 std::vector<cs::JobRequest> parse_manifest(const std::string& path) {
   std::ifstream stream(path);
   if (!stream) {
@@ -122,7 +135,18 @@ std::vector<cs::JobRequest> parse_manifest(const std::string& path) {
       } else if (key == "default-rate") {
         request.options.default_rate = parse_double("default-rate", value);
       } else if (key == "aggregate") {
-        request.options.aggregate = value != "0";
+        // Legacy boolean form of "aggregation": 1 means the exact quotient.
+        request.options.aggregation = value != "0"
+                                          ? choreo::chor::Aggregation::kExact
+                                          : choreo::chor::Aggregation::kNone;
+      } else if (key == "aggregation") {
+        request.options.aggregation = parse_aggregation(value);
+      } else if (key == "fluid-rel-tol") {
+        request.options.fluid_rel_tol = parse_double("fluid-rel-tol", value);
+      } else if (key == "fluid-abs-tol") {
+        request.options.fluid_abs_tol = parse_double("fluid-abs-tol", value);
+      } else if (key == "fluid-t-end") {
+        request.options.fluid_t_end = parse_double("fluid-t-end", value);
       } else if (key == "timeout") {
         request.timeout_seconds = parse_double("timeout", value);
       } else if (key == "name") {

@@ -4,10 +4,17 @@
 //   choreographer INPUT.xmi [-o OUTPUT.xmi] [--rates FILE.rates]
 //                 [--report] [--solver METHOD] [--default-rate R]
 //                 [--threads N] [--deadline-seconds S]
+//                 [--aggregation none|exact|fluid] [--fluid-rel-tol T]
+//                 [--fluid-abs-tol T] [--fluid-t-end T]
 //                 [--sensitivity ACTION] [--emit-pepanet FILE]
 //
 // --threads N explores state spaces with N parallel lanes (0 = one per
 // core); the derived chain and every output byte are identical at any N.
+//
+// --aggregation picks the state-space taming level: none (full chain),
+// exact (strong-equivalence quotient) or fluid (population-level
+// mean-field ODE — no state space at all; the --fluid-* knobs set the
+// integrator's error tolerances and horizon).
 //
 // --deadline-seconds S bounds the analysis wall clock: derivation checks
 // the deadline once per breadth-first level and the solvers every few
@@ -48,8 +55,19 @@ int usage(const char* argv0) {
       << " INPUT.xmi [-o OUTPUT.xmi] [--rates FILE.rates] [--report]\n"
          "           [--solver auto|dense-lu|jacobi|gauss-seidel|sor|power]\n"
          "           [--default-rate R] [--threads N] [--deadline-seconds S]\n"
+         "           [--aggregation none|exact|fluid] [--fluid-rel-tol T]\n"
+         "           [--fluid-abs-tol T] [--fluid-t-end T]\n"
          "           [--sensitivity ACTION] [--emit-pepanet FILE]\n";
   return 2;
+}
+
+choreo::chor::Aggregation parse_aggregation(const std::string& name) {
+  using choreo::chor::Aggregation;
+  if (name == "none") return Aggregation::kNone;
+  if (name == "exact") return Aggregation::kExact;
+  if (name == "fluid") return Aggregation::kFluid;
+  throw choreo::util::Error("unknown aggregation level '" + name +
+                            "' (expected none, exact or fluid)");
 }
 
 choreo::ctmc::Method parse_method(const std::string& name) {
@@ -145,6 +163,17 @@ int main(int argc, char** argv) {
       } else if (arg == "--threads") {
         options.derive_threads =
             parse_count("--threads", next_value("--threads"));
+      } else if (arg == "--aggregation") {
+        options.aggregation = parse_aggregation(next_value("--aggregation"));
+      } else if (arg == "--fluid-rel-tol") {
+        options.fluid_rel_tol =
+            parse_double("--fluid-rel-tol", next_value("--fluid-rel-tol"));
+      } else if (arg == "--fluid-abs-tol") {
+        options.fluid_abs_tol =
+            parse_double("--fluid-abs-tol", next_value("--fluid-abs-tol"));
+      } else if (arg == "--fluid-t-end") {
+        options.fluid_t_end =
+            parse_double("--fluid-t-end", next_value("--fluid-t-end"));
       } else if (arg == "--deadline-seconds") {
         deadline_seconds = parse_double("--deadline-seconds",
                                         next_value("--deadline-seconds"));

@@ -43,6 +43,12 @@ class Budget {
  public:
   using Clock = std::chrono::steady_clock;
 
+  /// How many solver iterations (linear-solver sweeps, uniformisation
+  /// terms, ODE step attempts) run between cooperative check() calls.
+  /// Shared by ctmc::steady_state, ctmc::transient and fluid::integrate so
+  /// the cancellation latency of every iterative solver is the same.
+  static constexpr std::size_t kSolverCheckStride = 8;
+
   Budget() = default;
 
   Budget(const Budget&) = delete;

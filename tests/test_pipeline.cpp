@@ -133,7 +133,7 @@ TEST(Pipeline, AggregatedAnalysisMatchesFull) {
   cm::Model full_model = chor::pda_handover_model();
   cm::Model aggregated_model = chor::pda_handover_model();
   chor::AnalysisOptions aggregate_options;
-  aggregate_options.aggregate = true;
+  aggregate_options.aggregation = chor::Aggregation::kExact;
   const auto full = chor::analyse(full_model);
   const auto aggregated = chor::analyse(aggregated_model, aggregate_options);
   ASSERT_EQ(full.activity_graphs[0].throughputs.size(),

@@ -65,9 +65,21 @@ TEST(Cache, LayoutOnlyEditsShareAKey) {
 
   // Any result-affecting option change is a different key.
   chor::AnalysisOptions aggregated;
-  aggregated.aggregate = true;
+  aggregated.aggregation = chor::Aggregation::kExact;
   EXPECT_NE(moved_once,
             cs::cache_key(project_with_layout(model, 100), aggregated));
+  // The fluid ODE knobs shape results only at the fluid level, so they
+  // only key there: tightening a tolerance must not split exact analyses.
+  chor::AnalysisOptions tightened;
+  tightened.fluid_rel_tol = 1e-9;
+  EXPECT_EQ(moved_once,
+            cs::cache_key(project_with_layout(model, 100), tightened));
+  chor::AnalysisOptions fluid = tightened;
+  fluid.aggregation = chor::Aggregation::kFluid;
+  chor::AnalysisOptions fluid_default;
+  fluid_default.aggregation = chor::Aggregation::kFluid;
+  EXPECT_NE(cs::cache_key(project_with_layout(model, 100), fluid),
+            cs::cache_key(project_with_layout(model, 100), fluid_default));
   chor::AnalysisOptions rated;
   rated.rates = {{"handover_1", 0.25}};
   EXPECT_NE(moved_once, cs::cache_key(project_with_layout(model, 100), rated));
@@ -333,6 +345,7 @@ TEST(Service, RetryAtLowerAggregationSettingRecovers) {
   const cs::JobResult& result = scheduler.submit(std::move(request)).wait();
   ASSERT_EQ(result.status, cs::JobStatus::kDone) << result.error;
   EXPECT_EQ(result.attempts, 2u);
+  EXPECT_EQ(result.aggregation_used, chor::Aggregation::kExact);
   EXPECT_EQ(registry.counter("choreo_job_retries_total", "").value(), 1u);
   EXPECT_FALSE(result.report.activity_graphs.empty());
 
@@ -347,6 +360,46 @@ TEST(Service, RetryAtLowerAggregationSettingRecovers) {
   EXPECT_EQ(failure.status, cs::JobStatus::kFailed);
   EXPECT_NE(failure.error.find("state-space explosion"), std::string::npos);
   EXPECT_EQ(failure.attempts, 2u);
+}
+
+TEST(Service, RetryLadderLandsOnFluidBackend) {
+  // A state-machine model whose chain grows exponentially in the client
+  // count: the full solve trips max_states, the exact-quotient rung does
+  // too (state machines keep the full chain), and the job finally
+  // succeeds on the fluid rung — which expands no state space at all.
+  cs::Registry registry;
+  cs::SchedulerOptions options;
+  options.workers = 1;
+  options.max_retries = 2;
+  options.retry_backoff_seconds = 0.001;
+  options.registry = &registry;
+  cs::Scheduler scheduler(options);
+
+  chor::TomcatParams params;
+  params.clients = 6;
+  cs::JobRequest request =
+      inline_request(cm::to_xmi(chor::tomcat_model(true, params)));
+  request.options.max_states = 16;
+  const cs::JobResult& result = scheduler.submit(std::move(request)).wait();
+  ASSERT_EQ(result.status, cs::JobStatus::kDone) << result.error;
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_EQ(result.aggregation_used, chor::Aggregation::kFluid);
+  ASSERT_EQ(result.report.state_machines.size(), 1u);
+
+  // The fluid run reports vector-form sizes and ODE work, and its
+  // downgrade and integration effort land in the metrics.
+  const chor::StateMachineResult& machines = result.report.state_machines[0];
+  EXPECT_GT(machines.state_count, 0u);
+  // The sum of local state counts (6 clients x 3 + the server), not the
+  // exponential product chain that tripped the bound.
+  EXPECT_LE(machines.state_count, 30u);
+  double probability_mass = 0.0;
+  for (double p : machines.probabilities.at(0)) probability_mass += p;
+  EXPECT_NEAR(probability_mass, 1.0, 1e-6);
+  EXPECT_GT(result.timings.stages.fluid_steps, 0u);
+  EXPECT_EQ(registry.counter("choreo_fluid_fallbacks_total", "").value(), 1u);
+  EXPECT_EQ(registry.counter("choreo_fluid_steps_total", "").value(),
+            result.timings.stages.fluid_steps);
 }
 
 TEST(Service, SubmitAppliesBackpressureAtQueueCapacity) {
