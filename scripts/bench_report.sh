@@ -10,6 +10,10 @@
 #   BENCH_fluid.json       -- fluid (mean-field ODE) backend scaling: solve
 #                             cost flat in the client count up to 10^6, and
 #                             agreement with the exact population chain
+#   BENCH_sweep.json       -- design-space sweep amortization: one
+#                             derive-once sweep vs K independent jobs on the
+#                             Tomcat model, plus the scaling of the advantage
+#                             with the state-space size
 #
 # The bench binaries emit the records themselves when CHOREO_BENCH_JSON
 # names a file (an env var because google-benchmark rejects unknown argv);
@@ -22,7 +26,7 @@ set -e
 cd "$(dirname "$0")/.."
 cmake -B build
 cmake --build build --target bench_statespace bench_service_throughput \
-  bench_measures bench_fluid
+  bench_measures bench_fluid bench_sweep
 
 CHOREO_BENCH_JSON="$PWD/BENCH_statespace.json" \
   ./build/bench/bench_statespace "--benchmark_filter=^$"
@@ -32,6 +36,8 @@ CHOREO_BENCH_JSON="$PWD/BENCH_measures.json" \
   ./build/bench/bench_measures "--benchmark_filter=^$"
 CHOREO_BENCH_JSON="$PWD/BENCH_fluid.json" \
   ./build/bench/bench_fluid "--benchmark_filter=^$"
+CHOREO_BENCH_JSON="$PWD/BENCH_sweep.json" \
+  ./build/bench/bench_sweep "--benchmark_filter=^$"
 
-echo "wrote BENCH_statespace.json, BENCH_service.json, BENCH_measures.json" \
-  "and BENCH_fluid.json"
+echo "wrote BENCH_statespace.json, BENCH_service.json, BENCH_measures.json," \
+  "BENCH_fluid.json and BENCH_sweep.json"

@@ -22,6 +22,15 @@
 
 namespace choreo::chor {
 
+const char* to_string(Aggregation aggregation) {
+  switch (aggregation) {
+    case Aggregation::kNone: return "none";
+    case Aggregation::kExact: return "exact";
+    case Aggregation::kFluid: return "fluid";
+  }
+  return "?";
+}
+
 StageTimings& StageTimings::operator+=(const StageTimings& other) {
   extract_seconds += other.extract_seconds;
   solve_seconds += other.solve_seconds;

@@ -39,6 +39,9 @@ enum class Aggregation : std::uint8_t {
   kFluid,
 };
 
+/// "none" / "exact" / "fluid" — the manifest/report spelling of the level.
+const char* to_string(Aggregation aggregation);
+
 struct AnalysisOptions {
   ctmc::SolveOptions solver;
   /// Rate for unannotated activities.

@@ -48,6 +48,37 @@ ProcessId Model::term(std::string_view name) {
   return arena_.constant(*constant);
 }
 
+void Model::note_prefix_rate(ProcessId prefix, std::optional<PrefixRateTag> tag) {
+  if (!tag) {
+    untagged_prefixes_.insert(prefix);
+    auto it = prefix_tags_.find(prefix);
+    if (it != prefix_tags_.end()) {
+      mark_parameter_opaque(it->second.parameter);
+      prefix_tags_.erase(it);
+    }
+    return;
+  }
+  if (untagged_prefixes_.count(prefix) != 0) {
+    // An occurrence of this interned prefix was written without a clean
+    // parameter reference; rebinding the parameter would silently change
+    // that occurrence too, so refuse to tag it.
+    mark_parameter_opaque(tag->parameter);
+    return;
+  }
+  auto [it, inserted] = prefix_tags_.emplace(prefix, *tag);
+  if (!inserted && (it->second.parameter != tag->parameter ||
+                    it->second.scale != tag->scale)) {
+    mark_parameter_opaque(it->second.parameter);
+    mark_parameter_opaque(tag->parameter);
+    prefix_tags_.erase(it);
+    untagged_prefixes_.insert(prefix);
+  }
+}
+
+void Model::mark_parameter_opaque(std::string name) {
+  opaque_parameters_.insert(std::move(name));
+}
+
 void Model::check_definitions() const {
   for (ConstantId id = 0; id < arena_.constant_count(); ++id) {
     if (!arena_.is_defined(id)) {

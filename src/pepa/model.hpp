@@ -3,14 +3,27 @@
 // system equation.
 #pragma once
 
+#include <optional>
+#include <set>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "pepa/ast.hpp"
 
 namespace choreo::pepa {
+
+/// Provenance of a prefix's rate: recorded when the source rate expression
+/// is a single parameter reference scaled by literals ("r", "2*r", "r/3",
+/// "r*infty"), so rate = scale * parameter value.  The sweep engine uses
+/// these tags to rebind rates without re-parsing.
+struct PrefixRateTag {
+  std::string parameter;
+  double scale = 1.0;
+};
 
 class Model {
  public:
@@ -43,11 +56,33 @@ class Model {
   /// Verifies every used constant has a definition (util::ModelError).
   void check_definitions() const;
 
+  /// Records how a prefix's rate was written: a tag when the expression was
+  /// a single scaled parameter, std::nullopt otherwise.  Hash-consing can
+  /// intern the same prefix term for two source occurrences with different
+  /// provenance (a tagged "r" and a literal of equal value); such conflicts
+  /// mark the parameters involved opaque rather than keep an ambiguous tag.
+  void note_prefix_rate(ProcessId prefix, std::optional<PrefixRateTag> tag);
+
+  /// Marks a parameter as unsafe to rebind: it was used in a compound rate
+  /// expression, feeds a derived parameter, or lost a tag conflict.
+  void mark_parameter_opaque(std::string name);
+
+  const std::unordered_map<ProcessId, PrefixRateTag>& prefix_rate_tags()
+      const noexcept {
+    return prefix_tags_;
+  }
+  bool parameter_is_opaque(std::string_view name) const {
+    return opaque_parameters_.count(std::string(name)) != 0;
+  }
+
  private:
   ProcessArena arena_;
   std::vector<std::pair<std::string, double>> parameters_;
   std::vector<ConstantId> definitions_;
   ProcessId system_ = kInvalidProcess;
+  std::unordered_map<ProcessId, PrefixRateTag> prefix_tags_;
+  std::unordered_set<ProcessId> untagged_prefixes_;
+  std::set<std::string> opaque_parameters_;
 };
 
 }  // namespace choreo::pepa

@@ -145,10 +145,25 @@ class Lexer {
 };
 
 /// A value in a rate expression: a number or a (weighted) passive rate.
+/// Provenance survives evaluation when the expression is a single parameter
+/// reference scaled by literals (value == scale * parameter): `param` holds
+/// the name and `scale` the literal factor.  `used` lists every parameter
+/// the expression referenced, so compound uses can be marked opaque.
 struct RateValue {
   double value = 0.0;
   bool passive = false;
+  std::string param;
+  double scale = 1.0;
+  std::vector<std::string> used;
 };
+
+/// Merges provenance after an operation that destroys the scaled-parameter
+/// shape (addition, parameter-by-parameter products, ...).
+void merge_used(RateValue& left, const RateValue& right) {
+  left.param.clear();
+  left.scale = 1.0;
+  left.used.insert(left.used.end(), right.used.begin(), right.used.end());
+}
 
 class Parser {
  public:
@@ -230,6 +245,11 @@ class Parser {
       if (is_symbol(lexer_.peek(), ";")) {
         lexer_.next();
         model_.add_parameter(name, value.value);
+        // A derived parameter (r2 = 2 * r) is evaluated here once; sweeping
+        // its inputs later would not update it, so they become opaque.
+        for (const std::string& used : value.used) {
+          model_.mark_parameter_opaque(used);
+        }
         return;
       }
     } catch (const util::Error&) {
@@ -292,7 +312,19 @@ class Parser {
       const ActionId action = model_.arena().action(action_name);
       const Rate bound =
           rate.passive ? Rate::passive(rate.value) : Rate::active(rate.value);
-      return model_.arena().prefix(action, bound, continuation);
+      const ProcessId prefix = model_.arena().prefix(action, bound, continuation);
+      if (!rate.param.empty()) {
+        model_.note_prefix_rate(prefix,
+                                PrefixRateTag{rate.param, rate.scale});
+      } else {
+        model_.note_prefix_rate(prefix, std::nullopt);
+        // Parameters consumed by a compound expression cannot be rebound
+        // through a tag; the whole expression would need re-evaluation.
+        for (const std::string& name : rate.used) {
+          model_.mark_parameter_opaque(name);
+        }
+      }
+      return prefix;
     }
     return parse_postfix();
   }
@@ -385,6 +417,7 @@ class Parser {
                     "passive rates only support scaling by a weight");
       }
       left.value = op == "+" ? left.value + right.value : left.value - right.value;
+      merge_used(left, right);
     }
     return left;
   }
@@ -399,10 +432,29 @@ class Parser {
         if (left.passive && right.passive) {
           lexer_.fail(op_token, "cannot multiply two passive rates");
         }
+        if (!left.param.empty() && right.param.empty()) {
+          left.scale *= right.value;  // (scale * p) * literal
+          left.used.insert(left.used.end(), right.used.begin(),
+                           right.used.end());
+        } else if (left.param.empty() && !right.param.empty()) {
+          left.param = right.param;  // literal * (scale * p)
+          left.scale = left.value * right.scale;
+          left.used.insert(left.used.end(), right.used.begin(),
+                           right.used.end());
+        } else {
+          merge_used(left, right);  // p * q: no single-parameter shape
+        }
         left.value *= right.value;
         left.passive = left.passive || right.passive;
       } else {
         if (right.passive) lexer_.fail(op_token, "cannot divide by a passive rate");
+        if (!right.param.empty()) {
+          merge_used(left, right);  // dividing by a parameter is opaque
+        } else {
+          if (!left.param.empty()) left.scale /= right.value;
+          left.used.insert(left.used.end(), right.used.begin(),
+                           right.used.end());
+        }
         left.value /= right.value;
       }
     }
@@ -413,14 +465,19 @@ class Parser {
     const Token& token = lexer_.peek();
     if (token.kind == TokenKind::kNumber) {
       lexer_.next();
-      return {token.number, false};
+      RateValue value;
+      value.value = token.number;
+      return value;
     }
     if (is_passive_keyword(token)) {
       lexer_.next();
       if (!allow_passive) {
         lexer_.fail(token, "passive rate not allowed here");
       }
-      return {1.0, true};
+      RateValue value;
+      value.value = 1.0;
+      value.passive = true;
+      return value;
     }
     if (token.kind == TokenKind::kIdentifier) {
       lexer_.next();
@@ -428,7 +485,11 @@ class Parser {
         lexer_.fail(token,
                     util::msg("unknown rate parameter '", token.text, "'"));
       }
-      return {model_.parameter(token.text), false};
+      RateValue value;
+      value.value = model_.parameter(token.text);
+      value.param = token.text;
+      value.used.push_back(token.text);
+      return value;
     }
     if (is_symbol(token, "(")) {
       lexer_.next();
@@ -440,6 +501,8 @@ class Parser {
       lexer_.next();
       RateValue inner = parse_rate_factor(/*allow_passive=*/false);
       inner.value = -inner.value;
+      inner.param.clear();  // a negated parameter is not a rebindable rate
+      inner.scale = 1.0;
       return inner;
     }
     lexer_.fail(token, util::msg("expected a rate, found '",

@@ -18,10 +18,13 @@
 // the client-side view.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 
 #include "choreographer/pipeline.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
 #include "xml/dom.hpp"
 
 namespace choreo::service {
@@ -40,6 +43,23 @@ const char* to_string(JobStatus status);
 /// True for the four states that end a job's lifecycle.
 bool is_terminal(JobStatus status);
 
+/// A design-space sweep job: evaluate one PEPA model at every point of a
+/// SweepSpec, deriving the state space once (the points share the
+/// rate-stripped structure) and re-solving per point.  Submitted as
+/// JobRequest::sweep; the project/XMI fields of the request are unused.
+struct SweepJobRequest {
+  /// The PEPA source file to sweep.
+  std::string model_path;
+  sweep::SweepSpec spec;
+  sweep::Backend backend = sweep::Backend::kExact;
+  /// Per-point evaluation lanes inside the job; 1 keeps the sweep on the
+  /// job's own worker (the scheduler default, matching derive_threads).
+  std::size_t threads = 1;
+  /// Table serialisation when JobRequest::output_path is set.
+  enum class Format { kCsv, kJson };
+  Format format = Format::kCsv;
+};
+
 struct JobRequest {
   /// Display name used by reports and the batch tool; defaults to the
   /// input path or "<inline>".
@@ -55,6 +75,10 @@ struct JobRequest {
   /// retries and backoff.  Negative means "use the scheduler default";
   /// 0 disables the deadline.
   double timeout_seconds = -1.0;
+  /// When set, the job is a design-space sweep over a PEPA file instead of
+  /// a Figure-4 pipeline run; `options.solver` and the fluid knobs still
+  /// apply per point, and the result lands in JobResult::sweep.
+  std::optional<SweepJobRequest> sweep;
 };
 
 struct JobTimings {
@@ -89,8 +113,12 @@ struct JobResult {
   /// job (kNone -> kExact -> kFluid).  Cache hits report the requested
   /// level (the cache key includes it, so they always match).
   chor::Aggregation aggregation_used = chor::Aggregation::kNone;
-  /// Whether the result was served from the content-addressed cache.
+  /// Whether the result was served from the content-addressed cache.  A
+  /// sweep job sets this only when *every* point was a cache hit; partial
+  /// hits are counted in sweep->points_from_cache.
   bool from_cache = false;
+  /// The result table of a sweep job (JobRequest::sweep); unset otherwise.
+  std::optional<sweep::SweepTable> sweep;
 };
 
 }  // namespace choreo::service

@@ -4,11 +4,17 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <fstream>
 #include <mutex>
+#include <optional>
+#include <sstream>
 #include <thread>
 #include <utility>
+#include <vector>
 
+#include "pepa/parser.hpp"
+#include "sweep/rebind.hpp"
 #include "uml/layout.hpp"
 #include "uml/xmi.hpp"
 #include "util/error.hpp"
@@ -38,6 +44,50 @@ pepa::DeriveStats partial_stats(const util::BudgetUsage& usage) {
   stats.peak_frontier = usage.peak_frontier;
   stats.dedup_misses = usage.states;
   return stats;
+}
+
+/// Exception-safe +delta/-delta on a gauge; sweep evaluation can be
+/// interrupted mid-flight and the in-flight gauge must not leak.
+class GaugeDelta {
+ public:
+  GaugeDelta(Gauge& gauge, std::int64_t delta) : gauge_(gauge), delta_(delta) {
+    gauge_.add(delta_);
+  }
+  ~GaugeDelta() { gauge_.add(-delta_); }
+  GaugeDelta(const GaugeDelta&) = delete;
+  GaugeDelta& operator=(const GaugeDelta&) = delete;
+
+ private:
+  Gauge& gauge_;
+  std::int64_t delta_;
+};
+
+std::string hex64(std::uint64_t value) {
+  std::ostringstream stream;
+  stream << std::hex << value;
+  return stream.str();
+}
+
+/// The result-affecting options of one sweep point, rendered
+/// deterministically for the per-point cache key.  The model itself is
+/// covered by the structural and rate fingerprints, so two sweeps that
+/// slice the same design space differently still share entries
+/// point-by-point.
+std::string sweep_options_key(const SweepJobRequest& job,
+                              const chor::AnalysisOptions& options) {
+  std::ostringstream key;
+  key << "backend=" << sweep::to_string(job.backend)
+      << " solver=" << ctmc::method_name(options.solver.method)
+      << " tolerance=" << util::format_double(options.solver.tolerance)
+      << " max_iterations=" << options.solver.max_iterations
+      << " relaxation=" << util::format_double(options.solver.relaxation)
+      << " dense_cutoff=" << options.solver.dense_cutoff;
+  if (job.backend == sweep::Backend::kFluid) {
+    key << " fluid_rel_tol=" << util::format_double(options.fluid_rel_tol)
+        << " fluid_abs_tol=" << util::format_double(options.fluid_abs_tol)
+        << " fluid_t_end=" << util::format_double(options.fluid_t_end);
+  }
+  return key.str();
 }
 
 }  // namespace
@@ -154,6 +204,21 @@ struct Scheduler::Impl {
             "choreo_fluid_solve_seconds",
             "Mean-field ODE solve time, per job that used the fluid "
             "backend")),
+        sweep_jobs_total(registry.counter(
+            "choreo_sweep_jobs_total",
+            "Design-space sweep jobs executed")),
+        sweep_points_total(registry.counter(
+            "choreo_sweep_points_total",
+            "Sweep points requested across all sweep jobs")),
+        sweep_point_cache_hits_total(registry.counter(
+            "choreo_sweep_point_cache_hits_total",
+            "Sweep points served from the per-point result cache")),
+        sweep_derivations_total(registry.counter(
+            "choreo_sweep_derivations_total",
+            "State-space derivations performed by sweep jobs")),
+        sweep_points_in_flight(registry.gauge(
+            "choreo_sweep_points_in_flight",
+            "Sweep points currently being evaluated")),
         pool(scheduler_options.workers != 0
                  ? scheduler_options.workers
                  : std::max<std::size_t>(
@@ -161,6 +226,8 @@ struct Scheduler::Impl {
 
   void run_job(const std::shared_ptr<JobState>& state);
   void execute(const std::shared_ptr<JobState>& state, JobResult& result);
+  void execute_sweep(const std::shared_ptr<JobState>& state,
+                     JobResult& result);
   /// Sleeps `seconds` in small slices, aborting on cancel/deadline.
   void backoff_sleep(const JobState& state, double seconds) const;
   void finish(const std::shared_ptr<JobState>& state, JobResult result);
@@ -194,6 +261,11 @@ struct Scheduler::Impl {
   Counter& fluid_steps_total;
   Counter& fluid_rejected_steps_total;
   Histogram& fluid_solve_seconds;
+  Counter& sweep_jobs_total;
+  Counter& sweep_points_total;
+  Counter& sweep_point_cache_hits_total;
+  Counter& sweep_derivations_total;
+  Gauge& sweep_points_in_flight;
 
   mutable std::mutex flight_mutex;
   std::condition_variable space_cv;
@@ -215,9 +287,199 @@ void Scheduler::Impl::backoff_sleep(const JobState& state,
   }
 }
 
+void Scheduler::Impl::execute_sweep(const std::shared_ptr<JobState>& state,
+                                    JobResult& result) {
+  const JobRequest& request = state->request;
+  const SweepJobRequest& job = *request.sweep;
+  sweep_jobs_total.increment();
+
+  job.spec.validate();
+  pepa::Model model = pepa::parse_model_file(job.model_path);
+  // Validates sweepability (clean provenance tags) and fingerprints the
+  // rate-stripped structure before any derivation is attempted.
+  sweep::RateRebinder rebinder(model, job.spec.parameter_names());
+
+  sweep::SweepOptions sweep_options;
+  sweep_options.backend = job.backend;
+  sweep_options.solver = request.options.solver;
+  sweep_options.derive.max_states = request.options.max_states;
+  sweep_options.derive.threads = request.options.derive_threads != 0
+                                     ? request.options.derive_threads
+                                     : options.derive_threads;
+  sweep_options.fluid.ode.rel_tol = request.options.fluid_rel_tol;
+  sweep_options.fluid.ode.abs_tol = request.options.fluid_abs_tol;
+  sweep_options.fluid.ode.t_end = request.options.fluid_t_end;
+  sweep_options.threads = job.threads != 0 ? job.threads : 1;
+  sweep_options.budget = &state->budget;
+
+  // Sweep jobs never climb the retry ladder: the backend is the client's
+  // explicit choice, reported in the same field the ladder uses.
+  result.aggregation_used = job.backend == sweep::Backend::kFluid
+                                ? chor::Aggregation::kFluid
+                                : chor::Aggregation::kNone;
+
+  // Per-point cache probe.  Each key pairs the shared structure hash with
+  // the point's rate fingerprint (plus the result-affecting options), so
+  // overlapping sweeps share entries point-by-point however their specs
+  // slice the space.
+  const std::size_t count = job.spec.point_count();
+  std::vector<std::string> keys;
+  std::vector<std::vector<std::pair<std::string, double>>> cached(count);
+  std::vector<char> hit(count, 0);
+  std::size_t hit_count = 0;
+  std::size_t cached_states = 0;
+  std::size_t cached_transitions = 0;
+  if (options.cache != nullptr) {
+    const std::string options_key = sweep_options_key(job, request.options);
+    keys.resize(count);
+    for (std::size_t p = 0; p < count; ++p) {
+      keys[p] = util::msg(
+          "sweep:", hex64(rebinder.structure()), ":",
+          hex64(rebinder.rate_fingerprint(job.spec.point(p))), ":",
+          options_key);
+      std::optional<CachedAnalysis> entry = options.cache->get(keys[p]);
+      if (entry && !entry->report.activity_graphs.empty()) {
+        const chor::ActivityGraphResult& graph =
+            entry->report.activity_graphs.front();
+        cached[p] = graph.throughputs;
+        cached_states = graph.marking_count;
+        cached_transitions = graph.transition_count;
+        hit[p] = 1;
+        ++hit_count;
+      }
+    }
+  }
+
+  sweep::SweepTable table;
+  if (hit_count < count) {
+    // Lazy derivation: only missed points are evaluated.  A partial miss
+    // is re-sliced as a zipped spec over the missing coordinates, so the
+    // state space is still derived at most once per job — and not at all
+    // when every point hits.
+    sweep::SweepSpec eval = job.spec;
+    std::vector<std::size_t> missed;
+    if (hit_count > 0) {
+      missed.reserve(count - hit_count);
+      eval.axes.clear();
+      for (const std::string& name : job.spec.parameter_names()) {
+        eval.axes.push_back(sweep::Axis{name, {}});
+      }
+      eval.combine = sweep::Combine::kZip;
+      for (std::size_t p = 0; p < count; ++p) {
+        if (hit[p]) continue;
+        missed.push_back(p);
+        const std::vector<double> values = job.spec.point(p);
+        for (std::size_t a = 0; a < values.size(); ++a) {
+          eval.axes[a].values.push_back(values[a]);
+        }
+      }
+    }
+    GaugeDelta in_flight_points(
+        sweep_points_in_flight, static_cast<std::int64_t>(count - hit_count));
+    sweep::SweepTable evaluated = sweep::sweep(model, eval, sweep_options);
+    if (hit_count == 0) {
+      table = std::move(evaluated);
+    } else {
+      table.axes = evaluated.axes;
+      table.measures = evaluated.measures;
+      table.structure = evaluated.structure;
+      table.derivations = evaluated.derivations;
+      table.state_count = evaluated.state_count;
+      table.transition_count = evaluated.transition_count;
+      table.derive_stats = evaluated.derive_stats;
+      table.seconds = evaluated.seconds;
+      table.rows.resize(count);
+      for (std::size_t m = 0; m < missed.size(); ++m) {
+        table.rows[missed[m]] = std::move(evaluated.rows[m]);
+      }
+    }
+  } else {
+    // Every point hit: the table is assembled from the cache alone.
+    table.axes = job.spec.parameter_names();
+    for (const auto& [name, value] : cached[0]) table.measures.push_back(name);
+    table.structure = rebinder.structure();
+    table.state_count = cached_states;
+    table.transition_count = cached_transitions;
+    table.rows.resize(count);
+  }
+  for (std::size_t p = 0; p < count; ++p) {
+    if (!hit[p]) continue;
+    sweep::SweepRow& row = table.rows[p];
+    row.values = job.spec.point(p);
+    row.measures.reserve(cached[p].size());
+    for (const auto& [name, value] : cached[p]) row.measures.push_back(value);
+  }
+  table.points_from_cache = hit_count;
+
+  if (options.cache != nullptr) {
+    for (std::size_t p = 0; p < count; ++p) {
+      if (hit[p] || !table.rows[p].ok()) continue;
+      CachedAnalysis entry;
+      chor::ActivityGraphResult graph;
+      graph.graph_name = job.model_path;
+      graph.marking_count = table.state_count;
+      graph.transition_count = table.transition_count;
+      for (std::size_t m = 0; m < table.measures.size(); ++m) {
+        graph.throughputs.emplace_back(table.measures[m],
+                                       table.rows[p].measures[m]);
+      }
+      entry.report.activity_graphs.push_back(std::move(graph));
+      options.cache->put(keys[p], entry);
+    }
+  }
+
+  sweep_points_total.increment(count);
+  sweep_point_cache_hits_total.increment(hit_count);
+  sweep_derivations_total.increment(table.derivations);
+  if (table.derivations > 0) {
+    derive_seconds.observe(table.derive_stats.seconds);
+    explored_states_total.increment(table.derive_stats.dedup_misses);
+    dedup_hits_total.increment(table.derive_stats.dedup_hits);
+    dedup_misses_total.increment(table.derive_stats.dedup_misses);
+    peak_frontier.record_max(
+        static_cast<std::int64_t>(table.derive_stats.peak_frontier));
+    if (table.derive_stats.seconds > 0.0) {
+      explore_rate.observe(
+          static_cast<double>(table.derive_stats.dedup_misses) /
+          table.derive_stats.seconds);
+    }
+  }
+
+  // A one-graph summary so report consumers (the batch table's markings
+  // column, metrics folds) see sweep jobs through the same lens as
+  // pipeline jobs.
+  chor::ActivityGraphResult summary;
+  summary.graph_name = job.model_path;
+  summary.marking_count = table.state_count;
+  summary.transition_count = table.transition_count;
+  summary.timings.derive_stats = table.derive_stats;
+  result.report.activity_graphs.push_back(std::move(summary));
+
+  result.from_cache = hit_count == count;
+  result.attempts = result.from_cache ? 0 : 1;
+  result.status = JobStatus::kDone;
+
+  if (request.output_path) {
+    const std::string rendered = job.format == SweepJobRequest::Format::kJson
+                                     ? table.to_json()
+                                     : table.to_csv();
+    std::ofstream stream(*request.output_path, std::ios::binary);
+    if (!stream || !(stream << rendered) || !stream.flush()) {
+      result.status = JobStatus::kFailed;
+      result.error = util::msg("cannot write sweep table to '",
+                               *request.output_path, "'");
+    }
+  }
+  result.sweep = std::move(table);
+}
+
 void Scheduler::Impl::execute(const std::shared_ptr<JobState>& state,
                               JobResult& result) {
   const JobRequest& request = state->request;
+  if (request.sweep) {
+    execute_sweep(state, result);
+    return;
+  }
   const xml::Document project =
       request.input_path ? xml::parse_file(*request.input_path)
                          : request.project;
@@ -423,7 +685,9 @@ Scheduler::~Scheduler() = default;
 
 JobHandle Scheduler::submit(JobRequest request) {
   if (request.name.empty()) {
-    request.name = request.input_path ? *request.input_path : "<inline>";
+    request.name = request.sweep ? request.sweep->model_path
+                   : request.input_path ? *request.input_path
+                                        : "<inline>";
   }
   auto state = std::make_shared<JobState>();
   state->request = std::move(request);

@@ -1,0 +1,464 @@
+#include "sweep/rebind.hpp"
+
+#include <bit>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace choreo::sweep {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Canonical FNV-1a walk over a model's term DAG.  Shared subterms hash as
+/// back-references so the walk is linear in the DAG size; rate values are
+/// included only when `include_rates` (with swept substitutions applied),
+/// which is the whole difference between the structure and rate
+/// fingerprints.
+class Fingerprinter {
+ public:
+  Fingerprinter(
+      const pepa::ProcessArena& arena, bool include_rates,
+      const std::unordered_map<pepa::ProcessId,
+                               std::pair<std::size_t, double>>* swept,
+      std::span<const double> values)
+      : arena_(arena),
+        include_rates_(include_rates),
+        swept_(swept),
+        values_(values) {}
+
+  std::uint64_t run(pepa::Model& model) {
+    for (pepa::ConstantId id = 0; id < arena_.constant_count(); ++id) {
+      if (!arena_.is_defined(id)) continue;
+      byte('D');
+      str(arena_.constant_name(id));
+      term(arena_.body(id));
+    }
+    byte('S');
+    term(model.system());
+    return hash_;
+  }
+
+ private:
+  void term(pepa::ProcessId id) {
+    auto [it, inserted] = seen_.emplace(id, seen_.size());
+    if (!inserted) {
+      byte('#');
+      u64(it->second);
+      return;
+    }
+    const pepa::ProcessNode& node = arena_.node(id);
+    switch (node.op) {
+      case pepa::Op::kStop:
+        byte('0');
+        break;
+      case pepa::Op::kPrefix: {
+        byte('.');
+        str(arena_.action_name(node.action));
+        byte(node.rate.is_passive() ? 'p' : 'a');
+        if (include_rates_) {
+          double value = node.rate.value();
+          if (swept_ != nullptr) {
+            if (const auto swept = swept_->find(id); swept != swept_->end()) {
+              value = swept->second.second * values_[swept->second.first];
+            }
+          }
+          real(value);
+        }
+        term(node.left);
+        break;
+      }
+      case pepa::Op::kChoice:
+        byte('+');
+        term(node.left);
+        term(node.right);
+        break;
+      case pepa::Op::kCooperation:
+        byte('<');
+        for (const pepa::ActionId action : node.action_set) {
+          str(arena_.action_name(action));
+        }
+        byte('>');
+        term(node.left);
+        term(node.right);
+        break;
+      case pepa::Op::kHiding:
+        byte('/');
+        for (const pepa::ActionId action : node.action_set) {
+          str(arena_.action_name(action));
+        }
+        byte('}');
+        term(node.left);
+        break;
+      case pepa::Op::kConstant:
+        byte('C');
+        str(arena_.constant_name(node.constant));
+        break;
+    }
+  }
+
+  void byte(unsigned char value) { hash_ = (hash_ ^ value) * kFnvPrime; }
+  void u64(std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      byte(static_cast<unsigned char>(value >> shift));
+    }
+  }
+  void real(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
+  void str(const std::string& text) {
+    for (const char c : text) byte(static_cast<unsigned char>(c));
+    byte(0);
+  }
+
+  const pepa::ProcessArena& arena_;
+  bool include_rates_;
+  const std::unordered_map<pepa::ProcessId, std::pair<std::size_t, double>>*
+      swept_;
+  std::span<const double> values_;
+  std::unordered_map<pepa::ProcessId, std::uint64_t> seen_;
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+/// Collects what one constant body contains: a swept prefix (directly) and
+/// references to other constants.
+struct BodyScan {
+  bool swept = false;
+  std::vector<pepa::ConstantId> refs;
+};
+
+void scan_body(const pepa::ProcessArena& arena, pepa::ProcessId id,
+               const std::unordered_map<pepa::ProcessId,
+                                        std::pair<std::size_t, double>>& swept,
+               std::unordered_set<pepa::ProcessId>& visited, BodyScan& out) {
+  if (!visited.insert(id).second) return;
+  const pepa::ProcessNode& node = arena.node(id);
+  switch (node.op) {
+    case pepa::Op::kStop:
+      break;
+    case pepa::Op::kPrefix:
+      if (swept.count(id) != 0) out.swept = true;
+      scan_body(arena, node.left, swept, visited, out);
+      break;
+    case pepa::Op::kChoice:
+    case pepa::Op::kCooperation:
+      scan_body(arena, node.left, swept, visited, out);
+      scan_body(arena, node.right, swept, visited, out);
+      break;
+    case pepa::Op::kHiding:
+      scan_body(arena, node.left, swept, visited, out);
+      break;
+    case pepa::Op::kConstant:
+      out.refs.push_back(node.constant);
+      break;
+  }
+}
+
+}  // namespace
+
+std::uint64_t structure_fingerprint(pepa::Model& model) {
+  return Fingerprinter(model.arena(), /*include_rates=*/false, nullptr, {})
+      .run(model);
+}
+
+RateRebinder::RateRebinder(pepa::Model& model,
+                           std::vector<std::string> parameters)
+    : model_(model), parameters_(std::move(parameters)) {
+  if (parameters_.empty()) {
+    throw util::ModelError("a sweep needs at least one parameter");
+  }
+  base_values_.reserve(parameters_.size());
+  for (const std::string& name : parameters_) {
+    base_values_.push_back(model_.parameter(name));  // throws when unknown
+    if (model_.parameter_is_opaque(name)) {
+      throw util::ModelError(util::msg(
+          "rate parameter '", name,
+          "' cannot be swept: it is used in a compound rate expression, "
+          "feeds a derived parameter, or shares a prefix with a literal "
+          "rate"));
+    }
+  }
+  std::vector<std::size_t> tagged(parameters_.size(), 0);
+  for (const auto& [prefix, tag] : model_.prefix_rate_tags()) {
+    for (std::size_t axis = 0; axis < parameters_.size(); ++axis) {
+      if (tag.parameter == parameters_[axis]) {
+        swept_.emplace(prefix, std::make_pair(axis, tag.scale));
+        ++tagged[axis];
+        break;
+      }
+    }
+  }
+  for (std::size_t axis = 0; axis < parameters_.size(); ++axis) {
+    if (tagged[axis] == 0) {
+      throw util::ModelError(util::msg("rate parameter '", parameters_[axis],
+                                       "' is never used as an activity "
+                                       "rate; sweeping it has no effect"));
+    }
+  }
+  structure_ = structure_fingerprint(model_);
+
+  // Which constants' definitions (transitively) contain a swept prefix:
+  // only those need fresh per-point declarations; everything else is shared
+  // between the base model and every point.
+  const pepa::ProcessArena& arena = model_.arena();
+  const std::size_t constants = arena.constant_count();
+  constant_affected_.assign(constants, 0);
+  std::vector<std::vector<pepa::ConstantId>> refs(constants);
+  for (pepa::ConstantId id = 0; id < constants; ++id) {
+    if (!arena.is_defined(id)) continue;
+    BodyScan scan;
+    std::unordered_set<pepa::ProcessId> visited;
+    scan_body(arena, arena.body(id), swept_, visited, scan);
+    constant_affected_[id] = scan.swept ? 1 : 0;
+    refs[id] = std::move(scan.refs);
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (pepa::ConstantId id = 0; id < constants; ++id) {
+      if (constant_affected_[id] != 0) continue;
+      for (const pepa::ConstantId ref : refs[id]) {
+        if (ref < constants && constant_affected_[ref] != 0) {
+          constant_affected_[id] = 1;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t RateRebinder::rate_fingerprint(
+    std::span<const double> values) const {
+  if (values.size() != parameters_.size()) {
+    throw util::ModelError(util::msg("sweep point has ", values.size(),
+                                     " values for ", parameters_.size(),
+                                     " parameters"));
+  }
+  return Fingerprinter(model_.arena(), /*include_rates=*/true, &swept_, values)
+      .run(model_);
+}
+
+RateRebinder::Point RateRebinder::at(std::span<const double> values) {
+  if (values.size() != parameters_.size()) {
+    throw util::ModelError(util::msg("sweep point has ", values.size(),
+                                     " values for ", parameters_.size(),
+                                     " parameters"));
+  }
+  for (std::size_t axis = 0; axis < values.size(); ++axis) {
+    if (!(values[axis] > 0.0) || !std::isfinite(values[axis])) {
+      throw util::ModelError(util::msg(
+          "sweep value ", util::format_double(values[axis]), " for '",
+          parameters_[axis], "' is not a valid rate"));
+    }
+  }
+  return Point(*this, std::vector<double>(values.begin(), values.end()));
+}
+
+RateRebinder::Point::Point(RateRebinder& owner, std::vector<double> values)
+    : owner_(owner),
+      values_(std::move(values)),
+      identity_(values_ == owner.base_values_),
+      serial_(owner.next_serial_.fetch_add(1, std::memory_order_relaxed)) {}
+
+pepa::Rate RateRebinder::Point::prefix_rate(
+    pepa::ProcessId id, const pepa::ProcessNode& node) const {
+  if (const auto swept = owner_.swept_.find(id); swept != owner_.swept_.end()) {
+    const double value = swept->second.second * values_[swept->second.first];
+    return node.rate.is_passive() ? pepa::Rate::passive(value)
+                                  : pepa::Rate::active(value);
+  }
+  return node.rate;
+}
+
+const std::vector<RatedMove>& RateRebinder::Point::moves(pepa::ProcessId base) {
+  if (const auto it = moves_.find(base); it != moves_.end()) return it->second;
+  std::vector<RatedMove> computed = compute_moves(base);
+  return moves_.emplace(base, std::move(computed)).first->second;
+}
+
+pepa::Rate RateRebinder::Point::apparent(pepa::ProcessId base,
+                                         pepa::ActionId action) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(base) << 32) | action;
+  if (const auto it = apparent_.find(key); it != apparent_.end()) {
+    return it->second;
+  }
+  const pepa::Rate rate = compute_apparent(base, action);
+  apparent_.emplace(key, rate);
+  return rate;
+}
+
+// The two compute_ walks mirror Semantics::compute_derivatives and
+// Semantics::compute_apparent case for case — same recursion, same emission
+// order, same multiplicities — except that no derivative target is ever
+// built and swept prefix rates take this point's values.  Guardedness is
+// not re-checked: the base derivation already walked (and validated) every
+// recursion this walk can reach.
+std::vector<RatedMove> RateRebinder::Point::compute_moves(
+    pepa::ProcessId base) {
+  const pepa::ProcessArena& arena = owner_.model_.arena();
+  const pepa::ProcessNode& node = arena.node(base);  // arena never grows here
+  std::vector<RatedMove> out;
+  switch (node.op) {
+    case pepa::Op::kStop:
+      return out;
+    case pepa::Op::kPrefix:
+      out.push_back({node.action, prefix_rate(base, node)});
+      return out;
+    case pepa::Op::kChoice: {
+      // Copies: computing the right list may rehash the memo under a
+      // reference obtained for the left list.
+      const std::vector<RatedMove> left = moves(node.left);
+      const std::vector<RatedMove> right = moves(node.right);
+      out = left;
+      out.insert(out.end(), right.begin(), right.end());
+      return out;
+    }
+    case pepa::Op::kHiding: {
+      const std::vector<RatedMove> inner = moves(node.left);
+      out.reserve(inner.size());
+      for (const RatedMove& move : inner) {
+        const pepa::ActionId action =
+            pepa::set_contains(node.action_set, move.action) ? pepa::kTau
+                                                             : move.action;
+        out.push_back({action, move.rate});
+      }
+      return out;
+    }
+    case pepa::Op::kCooperation: {
+      const std::vector<RatedMove> left = moves(node.left);
+      const std::vector<RatedMove> right = moves(node.right);
+      for (const RatedMove& move : left) {
+        if (pepa::set_contains(node.action_set, move.action)) continue;
+        out.push_back(move);
+      }
+      for (const RatedMove& move : right) {
+        if (pepa::set_contains(node.action_set, move.action)) continue;
+        out.push_back(move);
+      }
+      for (const pepa::ActionId shared : node.action_set) {
+        const pepa::Rate apparent_left = apparent(node.left, shared);
+        const pepa::Rate apparent_right = apparent(node.right, shared);
+        if (apparent_left.is_zero() || apparent_right.is_zero()) continue;
+        for (const RatedMove& dl : left) {
+          if (dl.action != shared) continue;
+          for (const RatedMove& dr : right) {
+            if (dr.action != shared) continue;
+            out.push_back({shared, pepa::cooperation_rate(
+                                       dl.rate, apparent_left, dr.rate,
+                                       apparent_right,
+                                       arena.action_name(shared))});
+          }
+        }
+      }
+      return out;
+    }
+    case pepa::Op::kConstant:
+      return moves(arena.body(node.constant));
+  }
+  return out;
+}
+
+pepa::Rate RateRebinder::Point::compute_apparent(pepa::ProcessId base,
+                                                 pepa::ActionId action) {
+  const pepa::ProcessArena& arena = owner_.model_.arena();
+  const pepa::ProcessNode& node = arena.node(base);
+  switch (node.op) {
+    case pepa::Op::kStop:
+      return pepa::Rate();
+    case pepa::Op::kPrefix:
+      return node.action == action ? prefix_rate(base, node) : pepa::Rate();
+    case pepa::Op::kChoice:
+      return apparent(node.left, action)
+          .plus(apparent(node.right, action), arena.action_name(action));
+    case pepa::Op::kHiding:
+      if (action == pepa::kTau) {
+        pepa::Rate sum = apparent(node.left, pepa::kTau);
+        for (const pepa::ActionId hidden : node.action_set) {
+          sum = sum.plus(apparent(node.left, hidden), "tau");
+        }
+        return sum;
+      }
+      if (pepa::set_contains(node.action_set, action)) return pepa::Rate();
+      return apparent(node.left, action);
+    case pepa::Op::kCooperation: {
+      const pepa::Rate left = apparent(node.left, action);
+      const pepa::Rate right = apparent(node.right, action);
+      if (action != pepa::kTau &&
+          pepa::set_contains(node.action_set, action)) {
+        return pepa::Rate::min(left, right);
+      }
+      return left.plus(right, arena.action_name(action));
+    }
+    case pepa::Op::kConstant:
+      return apparent(arena.body(node.constant), action);
+  }
+  return pepa::Rate();
+}
+
+pepa::ProcessId RateRebinder::Point::term(pepa::ProcessId base) {
+  if (identity_) return base;
+  if (const auto it = terms_.find(base); it != terms_.end()) {
+    return it->second;
+  }
+  pepa::ProcessArena& arena = owner_.model_.arena();
+  // Copy: interning below may grow the arena and move nothing (ids are
+  // stable), but the reference could alias a node we are about to hash.
+  const pepa::ProcessNode node = arena.node(base);
+  pepa::ProcessId out = base;
+  switch (node.op) {
+    case pepa::Op::kStop:
+      break;
+    case pepa::Op::kPrefix: {
+      pepa::Rate rate = node.rate;
+      if (const auto swept = owner_.swept_.find(base);
+          swept != owner_.swept_.end()) {
+        const double value =
+            swept->second.second * values_[swept->second.first];
+        rate = node.rate.is_passive() ? pepa::Rate::passive(value)
+                                      : pepa::Rate::active(value);
+      }
+      out = arena.prefix(node.action, rate, term(node.left));
+      break;
+    }
+    case pepa::Op::kChoice:
+      out = arena.choice(term(node.left), term(node.right));
+      break;
+    case pepa::Op::kCooperation:
+      out = arena.cooperation(term(node.left), node.action_set,
+                              term(node.right));
+      break;
+    case pepa::Op::kHiding:
+      out = arena.hiding(term(node.left), node.action_set);
+      break;
+    case pepa::Op::kConstant:
+      out = arena.constant(constant(node.constant));
+      break;
+  }
+  terms_.emplace(base, out);
+  return out;
+}
+
+pepa::ConstantId RateRebinder::Point::constant(pepa::ConstantId base) {
+  if (identity_) return base;
+  if (base >= owner_.constant_affected_.size() ||
+      owner_.constant_affected_[base] == 0) {
+    return base;  // definition untouched by the sweep: share it
+  }
+  if (const auto it = constants_.find(base); it != constants_.end()) {
+    return it->second;
+  }
+  pepa::ProcessArena& arena = owner_.model_.arena();
+  const pepa::ConstantId fresh = arena.declare(
+      util::msg(arena.constant_name(base), "@sw", serial_));
+  // Record the mapping before remapping the body so recursive definitions
+  // (Client = (think, r).Client) close back onto the fresh constant instead
+  // of recursing forever.
+  constants_.emplace(base, fresh);
+  arena.define(fresh, term(arena.body(base)));
+  return fresh;
+}
+
+}  // namespace choreo::sweep

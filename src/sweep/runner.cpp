@@ -1,0 +1,356 @@
+#include "sweep/runner.hpp"
+
+#include <chrono>
+#include <exception>
+#include <functional>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace choreo::sweep {
+
+namespace {
+
+/// CSV field quoting (RFC 4180 style) for the error column.
+std::string csv_field(const std::string& text) {
+  if (text.find_first_of(",\"\n") == std::string::npos) return text;
+  std::string quoted = "\"";
+  for (const char c : text) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void json_string(std::ostringstream& out, const std::string& text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+std::string hex_fingerprint(std::uint64_t value) {
+  std::ostringstream out;
+  out << "0x" << std::hex << value;
+  return out.str();
+}
+
+}  // namespace
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kExact:
+      return "exact";
+    case Backend::kFluid:
+      return "fluid";
+  }
+  return "?";
+}
+
+SharedStructure::SharedStructure(pepa::Model& model,
+                                 std::vector<std::string> parameters,
+                                 const pepa::DeriveOptions& options)
+    : rebinder_(model, std::move(parameters)),
+      semantics_(model.arena()),
+      space_(pepa::StateSpace::derive(semantics_, model.system(), options)),
+      allow_top_level_passive_(options.allow_top_level_passive) {}
+
+std::vector<double> SharedStructure::rebind_rates(RateRebinder::Point& point) {
+  const std::vector<pepa::StateTransition>& transitions = space_.transitions();
+  std::vector<double> rates(transitions.size());
+  if (point.is_identity()) {
+    for (std::size_t i = 0; i < transitions.size(); ++i) {
+      rates[i] = transitions[i].rate;
+    }
+    return rates;
+  }
+  const pepa::StateTransition* base = transitions.data();
+  for (std::size_t state = 0; state < space_.state_count(); ++state) {
+    const std::span<const pepa::StateTransition> row = space_.lts().from(state);
+    const std::size_t offset = static_cast<std::size_t>(row.data() - base);
+    // The rate-only SOS walk repeats the recursion that derived this state,
+    // so its moves align index-for-index with the base row; the action
+    // check below is a cheap guard on that invariant.
+    const std::vector<RatedMove>& moves =
+        point.moves(space_.state_term(state));
+    std::size_t j = 0;
+    for (const RatedMove& move : moves) {
+      if (move.rate.is_passive()) {
+        // The base derivation either dropped this move under the same
+        // option or refused to derive at all; mirror the filter so the
+        // remaining moves keep their row positions.
+        if (allow_top_level_passive_) continue;
+        throw util::ModelError(
+            "sweep rebind produced a top-level passive move the base "
+            "derivation did not have");
+      }
+      if (j >= row.size() || row[j].action != move.action) {
+        throw util::ModelError(util::msg(
+            "sweep point does not preserve the model structure at state ",
+            state, "; the derived state space cannot be reused"));
+      }
+      rates[offset + j] = move.rate.value();
+      ++j;
+    }
+    if (j != row.size()) {
+      throw util::ModelError(util::msg(
+          "sweep point does not preserve the model structure at state ",
+          state, "; the derived state space cannot be reused"));
+    }
+  }
+  return rates;
+}
+
+ctmc::Generator SharedStructure::generator(
+    std::span<const double> rates) const {
+  const std::vector<pepa::StateTransition>& transitions = space_.transitions();
+  std::vector<ctmc::RatedTransition> rated(transitions.size());
+  for (std::size_t i = 0; i < transitions.size(); ++i) {
+    rated[i] = {transitions[i].source, transitions[i].target, rates[i]};
+  }
+  return ctmc::Generator::build(space_.state_count(), rated);
+}
+
+std::vector<double> SharedStructure::throughputs(
+    std::span<const double> distribution, std::span<const double> rates) const {
+  const pepa::ProcessArena& arena = semantics_.arena();
+  const std::vector<pepa::StateTransition>& transitions = space_.transitions();
+  std::vector<double> out(arena.action_count() - 1, 0.0);
+  for (pepa::ActionId action = 1; action < arena.action_count(); ++action) {
+    // Same slice, same emission order as TransitionSystem::action_throughput
+    // — bit-identical to the base-space measure at the base point.
+    double sum = 0.0;
+    for (const std::size_t i : space_.lts().action_transitions(action)) {
+      sum += distribution[transitions[i].source] * rates[i];
+    }
+    out[action - 1] = sum;
+  }
+  return out;
+}
+
+std::vector<std::string> SharedStructure::measure_names() const {
+  const pepa::ProcessArena& arena = semantics_.arena();
+  std::vector<std::string> names;
+  names.reserve(arena.action_count() - 1);
+  for (pepa::ActionId action = 1; action < arena.action_count(); ++action) {
+    names.push_back("throughput:" + arena.action_name(action));
+  }
+  return names;
+}
+
+SweepTable sweep(pepa::Model& model, const SweepSpec& spec,
+                 const SweepOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  spec.validate();
+
+  SweepTable table;
+  table.axes = spec.parameter_names();
+  const std::size_t points = spec.point_count();
+  table.rows.resize(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    table.rows[p].values = spec.point(p);
+  }
+
+  // Everything below is shared, read-only state for the point evaluators;
+  // per-point mutable context (the remap memo) lives in each task.
+  std::unique_ptr<SharedStructure> shared;
+  std::unique_ptr<RateRebinder> rebinder;
+  std::unique_ptr<pepa::Semantics> fluid_semantics;
+  std::function<void(std::size_t)> evaluate;
+
+  if (options.backend == Backend::kExact) {
+    pepa::DeriveOptions derive = options.derive;
+    if (derive.budget == nullptr) derive.budget = options.budget;
+    shared = std::make_unique<SharedStructure>(model, table.axes, derive);
+    table.structure = shared->structure();
+    table.derivations = 1;
+    table.derive_stats = shared->space().stats();
+    table.state_count = shared->space().state_count();
+    table.transition_count = shared->space().transitions().size();
+    table.measures = shared->measure_names();
+
+    ctmc::SolveOptions solver = options.solver;
+    solver.budget = options.budget;
+    evaluate = [&table, structure = shared.get(), solver,
+                budget = options.budget](std::size_t p) {
+      SweepRow& row = table.rows[p];
+      try {
+        if (budget != nullptr) budget->check("sweep");
+        RateRebinder::Point point = structure->rebinder().at(row.values);
+        const std::vector<double> rates = structure->rebind_rates(point);
+        const ctmc::Generator generator = structure->generator(rates);
+        const ctmc::SolveResult solved = ctmc::steady_state(generator, solver);
+        row.measures = structure->throughputs(solved.distribution, rates);
+      } catch (const util::InterruptedError&) {
+        throw;  // aborts the sweep: the budget governs the whole run
+      } catch (const util::BudgetError&) {
+        throw;
+      } catch (const util::Error& error) {
+        row.error = error.what();
+      }
+    };
+  } else {
+    rebinder = std::make_unique<RateRebinder>(model, table.axes);
+    table.structure = rebinder->structure();
+    table.derivations = 0;  // the fluid backend never derives a state space
+    fluid_semantics = std::make_unique<pepa::Semantics>(model.arena());
+    const pepa::ProcessArena& arena = model.arena();
+    table.measures.reserve(arena.action_count() - 1);
+    for (pepa::ActionId action = 1; action < arena.action_count(); ++action) {
+      table.measures.push_back("throughput:" + arena.action_name(action));
+    }
+
+    fluid::FluidOptions fluid = options.fluid;
+    fluid.ode.budget = options.budget;
+    const pepa::ProcessId base_system = model.system();
+    const std::size_t columns = arena.action_count() - 1;
+    evaluate = [&table, binder = rebinder.get(),
+                semantics = fluid_semantics.get(), fluid, base_system, columns,
+                budget = options.budget](std::size_t p) {
+      SweepRow& row = table.rows[p];
+      try {
+        if (budget != nullptr) budget->check("sweep");
+        RateRebinder::Point point = binder->at(row.values);
+        const fluid::FluidResult result = fluid::solve_steady(
+            *semantics, point.term(base_system), fluid);
+        row.measures.assign(columns, 0.0);
+        for (const auto& [action, value] : result.throughputs) {
+          if (action != pepa::kTau) row.measures[action - 1] = value;
+        }
+      } catch (const util::InterruptedError&) {
+        throw;
+      } catch (const util::BudgetError&) {
+        throw;
+      } catch (const util::Error& error) {
+        row.error = error.what();
+      }
+    };
+  }
+
+  if (options.threads == 1) {
+    for (std::size_t p = 0; p < points; ++p) evaluate(p);
+  } else {
+    util::ThreadPool& pool =
+        options.pool != nullptr ? *options.pool : util::ThreadPool::shared();
+    std::vector<std::future<void>> futures;
+    futures.reserve(points);
+    for (std::size_t p = 0; p < points; ++p) {
+      futures.push_back(pool.submit([&evaluate, p] { evaluate(p); }));
+    }
+    std::exception_ptr first;
+    for (std::future<void>& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  }
+
+  table.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return table;
+}
+
+std::string SweepTable::to_csv() const {
+  std::ostringstream out;
+  out << "# structure=" << hex_fingerprint(structure)
+      << " derivations=" << derivations << " states=" << state_count
+      << " transitions=" << transition_count
+      << " points_from_cache=" << points_from_cache << '\n';
+  std::vector<std::string> header;
+  header.insert(header.end(), axes.begin(), axes.end());
+  header.insert(header.end(), measures.begin(), measures.end());
+  header.push_back("error");
+  out << util::join(header, ",") << '\n';
+  for (const SweepRow& row : rows) {
+    std::vector<std::string> fields;
+    fields.reserve(row.values.size() + measures.size() + 1);
+    for (const double value : row.values) {
+      fields.push_back(util::format_double(value));
+    }
+    for (std::size_t m = 0; m < measures.size(); ++m) {
+      fields.push_back(m < row.measures.size()
+                           ? util::format_double(row.measures[m])
+                           : "");
+    }
+    fields.push_back(csv_field(row.error));
+    out << util::join(fields, ",") << '\n';
+  }
+  return out.str();
+}
+
+std::string SweepTable::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"structure\": ";
+  json_string(out, hex_fingerprint(structure));
+  out << ",\n  \"derivations\": " << derivations
+      << ",\n  \"states\": " << state_count
+      << ",\n  \"transitions\": " << transition_count
+      << ",\n  \"points_from_cache\": " << points_from_cache
+      << ",\n  \"seconds\": " << util::format_double(seconds)
+      << ",\n  \"axes\": [";
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    if (a != 0) out << ", ";
+    json_string(out, axes[a]);
+  }
+  out << "],\n  \"measures\": [";
+  for (std::size_t m = 0; m < measures.size(); ++m) {
+    if (m != 0) out << ", ";
+    json_string(out, measures[m]);
+  }
+  out << "],\n  \"rows\": [\n";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const SweepRow& row = rows[r];
+    out << "    {\"values\": [";
+    for (std::size_t v = 0; v < row.values.size(); ++v) {
+      if (v != 0) out << ", ";
+      out << util::format_double(row.values[v]);
+    }
+    out << "], \"measures\": [";
+    for (std::size_t m = 0; m < row.measures.size(); ++m) {
+      if (m != 0) out << ", ";
+      out << util::format_double(row.measures[m]);
+    }
+    out << "]";
+    if (!row.error.empty()) {
+      out << ", \"error\": ";
+      json_string(out, row.error);
+    }
+    out << "}" << (r + 1 < rows.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace choreo::sweep

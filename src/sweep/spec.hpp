@@ -1,0 +1,69 @@
+// Design-space sweep specifications: named rate-parameter axes with
+// linear / logarithmic / explicit value ranges, combined either as a
+// Cartesian grid or zipped position-by-position.
+//
+// A specification is pure data — expanding it into concrete points is a
+// deterministic function of the axes, so the same spec always enumerates
+// the same points in the same order (axis 0 outermost, the last axis
+// fastest for Cartesian grids).  The sweep runner, the service's sweep job
+// kind and the CLI tools all share this expansion, which is what makes
+// result tables and per-point cache keys reproducible across entry points.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace choreo::sweep {
+
+/// One sweep axis: a rate parameter and the values it takes.
+struct Axis {
+  std::string parameter;
+  std::vector<double> values;
+
+  /// Explicit value list.
+  static Axis list(std::string parameter, std::vector<double> values);
+  /// `count` evenly spaced values over [from, to] (inclusive).
+  static Axis linear(std::string parameter, double from, double to,
+                     std::size_t count);
+  /// `count` geometrically spaced values over [from, to] (inclusive).
+  static Axis logspace(std::string parameter, double from, double to,
+                       std::size_t count);
+};
+
+/// How multiple axes combine into points.
+enum class Combine {
+  kCartesian,  ///< every combination; last axis varies fastest
+  kZip,        ///< position-by-position; all axes must have equal length
+};
+
+struct SweepSpec {
+  std::vector<Axis> axes;
+  Combine combine = Combine::kCartesian;
+
+  /// Throws util::ModelError on an ill-formed spec: no axes, an empty or
+  /// duplicated axis, a non-positive or non-finite value, or zipped axes of
+  /// different lengths.  Sweep values must be valid active-rate values.
+  void validate() const;
+
+  /// Number of points the spec enumerates (validate() first).
+  std::size_t point_count() const;
+
+  /// The `index`-th point: one value per axis, in axis order.
+  std::vector<double> point(std::size_t index) const;
+
+  /// The axis parameter names, in axis order.
+  std::vector<std::string> parameter_names() const;
+};
+
+/// Parses one axis from manifest / CLI syntax:
+///
+///   name=LO:HI:COUNT        linear range, COUNT values inclusive
+///   name=log:LO:HI:COUNT    logarithmic range
+///   name=V1,V2,...          explicit list (a single value is a 1-list)
+///
+/// Throws util::Error on malformed input.
+Axis parse_axis(std::string_view text);
+
+}  // namespace choreo::sweep

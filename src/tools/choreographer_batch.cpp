@@ -16,12 +16,25 @@
 //             [aggregate=0|1] [fluid-rel-tol=T] [fluid-abs-tol=T]
 //             [fluid-t-end=T] [timeout=SECONDS] [name=LABEL]
 //
+// A line starting with the verb `sweep` submits a design-space sweep over
+// a PEPA file instead of a pipeline run: the model's state space is
+// derived once and every axis point is re-solved against the shared
+// structure (points previously solved against the same structure are
+// served from the cache):
+//
+//   sweep MODEL.pepa axis=NAME=SPEC [axis=...] [zip=1]
+//         [backend=exact|fluid] [out=TABLE] [format=csv|json]
+//         [threads=N] [solver=METHOD] [timeout=SECONDS] [name=LABEL]
+//
+// where each axis SPEC is LO:HI:COUNT (linear), log:LO:HI:COUNT or
+// V1,V2,...; multiple axes form a Cartesian grid unless zip=1.
+//
 // Every manifest pass submits all jobs, waits, and prints a per-job table
-// (status, attempts, cache hit, markings/states, timings).  --repeat N
-// runs the manifest N times against the same warm cache: with N >= 2 the
-// second pass is served entirely from the cache and the annotated XMI
-// bytes are identical to the first pass.  After the last pass the
-// Prometheus-style metrics exposition is printed (suppress with
+// (status, attempts, cache hit, aggregation used, markings/states,
+// timings).  --repeat N runs the manifest N times against the same warm
+// cache: with N >= 2 the second pass is served entirely from the cache and
+// the annotated XMI bytes are identical to the first pass.  After the last
+// pass the Prometheus-style metrics exposition is printed (suppress with
 // --no-metrics).
 #include <fstream>
 #include <iostream>
@@ -34,6 +47,7 @@
 #include "service/job.hpp"
 #include "service/metrics.hpp"
 #include "service/scheduler.hpp"
+#include "sweep/spec.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -52,7 +66,12 @@ int usage(const char* argv0) {
                "                [aggregation=none|exact|fluid]"
                " [aggregate=0|1] [timeout=S] [name=LABEL]\n"
                "                [fluid-rel-tol=T] [fluid-abs-tol=T]"
-               " [fluid-t-end=T]\n";
+               " [fluid-t-end=T]\n"
+               "           or:  sweep MODEL.pepa axis=NAME=SPEC [axis=...]"
+               " [zip=1]\n"
+               "                [backend=exact|fluid] [out=TABLE]"
+               " [format=csv|json] [threads=N]\n"
+               "                [solver=M] [timeout=S] [name=LABEL]\n";
   return 2;
 }
 
@@ -116,8 +135,19 @@ std::vector<cs::JobRequest> parse_manifest(const std::string& path) {
     if (fields.empty()) continue;
 
     cs::JobRequest request;
-    request.input_path = fields[0];
-    for (std::size_t i = 1; i < fields.size(); ++i) {
+    std::size_t first_option = 1;
+    if (fields[0] == "sweep") {
+      if (fields.size() < 2) {
+        throw choreo::util::Error(choreo::util::msg(
+            path, ":", line_number, ": sweep needs a PEPA model path"));
+      }
+      request.sweep.emplace();
+      request.sweep->model_path = fields[1];
+      first_option = 2;
+    } else {
+      request.input_path = fields[0];
+    }
+    for (std::size_t i = first_option; i < fields.size(); ++i) {
       const auto equals = fields[i].find('=');
       if (equals == std::string::npos) {
         throw choreo::util::Error(choreo::util::msg(
@@ -151,12 +181,48 @@ std::vector<cs::JobRequest> parse_manifest(const std::string& path) {
         request.timeout_seconds = parse_double("timeout", value);
       } else if (key == "name") {
         request.name = value;
+      } else if (key == "axis" && request.sweep) {
+        // The value is the full NAME=SPEC form parse_axis understands.
+        request.sweep->spec.axes.push_back(choreo::sweep::parse_axis(value));
+      } else if (key == "zip" && request.sweep) {
+        request.sweep->spec.combine = value != "0"
+                                          ? choreo::sweep::Combine::kZip
+                                          : choreo::sweep::Combine::kCartesian;
+      } else if (key == "backend" && request.sweep) {
+        if (value == "exact") {
+          request.sweep->backend = choreo::sweep::Backend::kExact;
+        } else if (value == "fluid") {
+          request.sweep->backend = choreo::sweep::Backend::kFluid;
+        } else {
+          throw choreo::util::Error(choreo::util::msg(
+              path, ":", line_number, ": unknown sweep backend '", value,
+              "' (expected exact or fluid)"));
+        }
+      } else if (key == "format" && request.sweep) {
+        if (value == "csv") {
+          request.sweep->format = cs::SweepJobRequest::Format::kCsv;
+        } else if (value == "json") {
+          request.sweep->format = cs::SweepJobRequest::Format::kJson;
+        } else {
+          throw choreo::util::Error(choreo::util::msg(
+              path, ":", line_number, ": unknown sweep format '", value,
+              "' (expected csv or json)"));
+        }
+      } else if (key == "threads" && request.sweep) {
+        request.sweep->threads = parse_size("threads", value);
       } else {
         throw choreo::util::Error(choreo::util::msg(
             path, ":", line_number, ": unknown manifest key '", key, "'"));
       }
     }
-    if (request.name.empty()) request.name = *request.input_path;
+    if (request.sweep && request.sweep->spec.axes.empty()) {
+      throw choreo::util::Error(choreo::util::msg(
+          path, ":", line_number, ": sweep needs at least one axis=..."));
+    }
+    if (request.name.empty()) {
+      request.name =
+          request.sweep ? request.sweep->model_path : *request.input_path;
+    }
     requests.push_back(std::move(request));
   }
   return requests;
@@ -251,14 +317,15 @@ int main(int argc, char** argv) {
                 << manifest.size() << " jobs, " << scheduler.worker_count()
                 << " workers)\n";
       choreo::util::TextTable table({"job", "status", "attempts", "cache",
-                                     "markings", "queue (ms)", "run (ms)",
-                                     "derive (ms)"});
+                                     "agg", "markings", "queue (ms)",
+                                     "run (ms)", "derive (ms)"});
       for (std::size_t i = 0; i < handles.size(); ++i) {
         const cs::JobResult& result = handles[i].wait();
         any_failed |= result.status != cs::JobStatus::kDone;
         table.add_row({manifest[i].name, cs::to_string(result.status),
                        std::to_string(result.attempts),
                        result.from_cache ? "hit" : "miss",
+                       choreo::chor::to_string(result.aggregation_used),
                        describe_sizes(result.report),
                        choreo::util::format_double(
                            result.timings.queued_seconds * 1e3),
@@ -268,6 +335,12 @@ int main(int argc, char** argv) {
                            result.timings.stages.derive_seconds() * 1e3)});
         if (!result.error.empty()) {
           std::cerr << manifest[i].name << ": " << result.error << '\n';
+        }
+        if (result.sweep) {
+          std::cout << manifest[i].name << ": " << result.sweep->rows.size()
+                    << " points, " << result.sweep->derivations
+                    << " derivations, " << result.sweep->points_from_cache
+                    << " from cache\n";
         }
       }
       std::cout << table << '\n';

@@ -4,9 +4,19 @@
 //   pepa_workbench MODEL.pepa    [--states] [--solver METHOD] [--prism BASE] [--dot FILE] [--aggregate]
 //                                [--measures FILE] [--passage-to NAME] [--threads N]
 //   pepa_workbench MODEL.pepanet [... same options ...]
+//   pepa_workbench MODEL.pepa    --sweep NAME=SPEC [--sweep NAME=SPEC ...]
+//                                [--sweep-zip] [--sweep-backend exact|fluid]
+//                                [--sweep-json] [--sweep-out FILE] [--threads N]
 //
 // --threads N explores the state/marking space with N parallel lanes (0 =
 // one per core, 1 = sequential); outputs are identical at any N.
+//
+// --sweep runs a design-space sweep over the named rate parameters instead
+// of a single solve: the state space is derived once and every point is
+// re-solved against the shared structure.  SPEC is LO:HI:COUNT (linear),
+// log:LO:HI:COUNT or V1,V2,...; multiple --sweep axes form a Cartesian
+// grid unless --sweep-zip pairs them position-by-position.  The result
+// table goes to stdout (CSV; --sweep-json for JSON) or to --sweep-out.
 //
 // --prism BASE additionally exports the derived CTMC as BASE.tra/.sta/.lab
 // in the PRISM model checker's explicit-state format (the paper connects
@@ -37,6 +47,8 @@
 #include "pepanet/net_printer.hpp"
 #include "pepanet/netsemantics.hpp"
 #include "pepanet/netstatespace.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -48,7 +60,11 @@ int usage(const char* argv0) {
             << " MODEL.pepa|MODEL.pepanet [--states]"
                " [--solver auto|dense-lu|jacobi|gauss-seidel|sor|power]"
                " [--prism BASE] [--dot FILE] [--aggregate] [--measures FILE]"
-               " [--passage-to NAME] [--threads N]\n";
+               " [--passage-to NAME] [--threads N]\n"
+               "       " << argv0
+            << " MODEL.pepa --sweep NAME=SPEC [--sweep ...] [--sweep-zip]"
+               " [--sweep-backend exact|fluid] [--sweep-json]"
+               " [--sweep-out FILE]\n";
   return 2;
 }
 
@@ -67,6 +83,42 @@ bool is_net_source(const std::string& source) {
   // Cheap heuristic matching the net parser's own section finder.
   return source.find("@token") != std::string::npos ||
          source.find("@place") != std::string::npos;
+}
+
+int run_sweep(const std::string& source, const std::string& name,
+              const choreo::ctmc::SolveOptions& options,
+              const choreo::sweep::SweepSpec& spec,
+              choreo::sweep::Backend backend, bool json,
+              const std::string& out_path, std::size_t threads) {
+  using namespace choreo;
+  pepa::Model model = pepa::parse_model(source, name);
+  sweep::SweepOptions sweep_options;
+  sweep_options.backend = backend;
+  sweep_options.solver = options;
+  sweep_options.derive.threads = threads;
+  sweep_options.threads = threads;
+  const sweep::SweepTable table = sweep::sweep(model, spec, sweep_options);
+  std::cerr << "sweep: " << table.rows.size() << " point(s), "
+            << table.derivations << " derivation(s), " << table.state_count
+            << " shared states, "
+            << util::format_double(table.seconds * 1e3) << " ms\n";
+  bool any_failed = false;
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    if (table.rows[r].ok()) continue;
+    any_failed = true;
+    std::cerr << "point " << r << ": " << table.rows[r].error << '\n';
+  }
+  const std::string rendered = json ? table.to_json() : table.to_csv();
+  if (out_path.empty()) {
+    std::cout << rendered;
+  } else {
+    std::ofstream stream(out_path, std::ios::binary);
+    if (!stream || !(stream << rendered) || !stream.flush()) {
+      throw util::Error("cannot write sweep table to '" + out_path + "'");
+    }
+    std::cerr << "sweep table written to " << out_path << '\n';
+  }
+  return any_failed ? 1 : 0;
 }
 
 int solve_pepa(const std::string& source, const std::string& name,
@@ -275,6 +327,10 @@ int main(int argc, char** argv) {
   std::string passage_target;
   std::size_t threads = 1;
   choreo::ctmc::SolveOptions options;
+  choreo::sweep::SweepSpec sweep_spec;
+  choreo::sweep::Backend sweep_backend = choreo::sweep::Backend::kExact;
+  bool sweep_json = false;
+  std::string sweep_out;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -297,6 +353,27 @@ int main(int argc, char** argv) {
       } else if (arg == "--passage-to") {
         if (i + 1 >= argc) return usage(argv[0]);
         passage_target = argv[++i];
+      } else if (arg == "--sweep") {
+        if (i + 1 >= argc) return usage(argv[0]);
+        sweep_spec.axes.push_back(choreo::sweep::parse_axis(argv[++i]));
+      } else if (arg == "--sweep-zip") {
+        sweep_spec.combine = choreo::sweep::Combine::kZip;
+      } else if (arg == "--sweep-backend") {
+        if (i + 1 >= argc) return usage(argv[0]);
+        const std::string value = argv[++i];
+        if (value == "exact") {
+          sweep_backend = choreo::sweep::Backend::kExact;
+        } else if (value == "fluid") {
+          sweep_backend = choreo::sweep::Backend::kFluid;
+        } else {
+          throw choreo::util::Error("unknown sweep backend '" + value +
+                                    "' (expected exact or fluid)");
+        }
+      } else if (arg == "--sweep-json") {
+        sweep_json = true;
+      } else if (arg == "--sweep-out") {
+        if (i + 1 >= argc) return usage(argv[0]);
+        sweep_out = argv[++i];
       } else if (arg == "--threads") {
         if (i + 1 >= argc) return usage(argv[0]);
         const std::string value = argv[++i];
@@ -329,6 +406,14 @@ int main(int argc, char** argv) {
     buffer << stream.rdbuf();
     const std::string source = buffer.str();
 
+    if (!sweep_spec.axes.empty()) {
+      if (is_net_source(source)) {
+        throw choreo::util::Error(
+            "--sweep applies to plain PEPA models, not PEPA nets");
+      }
+      return run_sweep(source, path, options, sweep_spec, sweep_backend,
+                       sweep_json, sweep_out, threads);
+    }
     return is_net_source(source)
                ? solve_net(source, path, show_states, options, prism_base,
                            dot_path, aggregate_first, measures, passage_target,

@@ -1,0 +1,569 @@
+// Tests for the design-space sweep engine: spec expansion, parser rate
+// provenance, structure-sharing rebind correctness against independent
+// re-derivation, derive-once accounting, and thread-count determinism.
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pepa/parser.hpp"
+#include "service/cache.hpp"
+#include "service/metrics.hpp"
+#include "service/scheduler.hpp"
+#include "sweep/rebind.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace choreo;
+
+std::string tomcat_source(double locs) {
+  std::ostringstream out;
+  out << "req = 5.0; offp = 2.0;\n"
+      << "locs = " << util::format_double(locs)
+      << "; exec = 10.0; resp = 25.0;\n"
+      << "GenerateRequest  = (request, req).WaitForResponse;\n"
+      << "WaitForResponse  = (response, infty).ProcessResponse;\n"
+      << "ProcessResponse  = (offlineProcessing, offp).GenerateRequest;\n"
+      << "ServerIdle       = (request, infty).ProcessRequest;\n"
+      << "ProcessRequest   = (locateservlet, locs).CompiledJavaCode;\n"
+      << "CompiledJavaCode = (execute, exec).SendHTTPResponse;\n"
+      << "SendHTTPResponse = (response, resp).ServerIdle;\n"
+      << "System = GenerateRequest <request, response> ServerIdle;\n"
+      << "@system System;\n";
+  return out.str();
+}
+
+// --- sweep specifications -------------------------------------------------
+
+TEST(SweepSpec, LinearAxisIsInclusiveAndEvenlySpaced) {
+  const sweep::Axis axis = sweep::Axis::linear("r", 1.0, 3.0, 5);
+  ASSERT_EQ(axis.values.size(), 5u);
+  EXPECT_DOUBLE_EQ(axis.values.front(), 1.0);
+  EXPECT_DOUBLE_EQ(axis.values[2], 2.0);
+  EXPECT_DOUBLE_EQ(axis.values.back(), 3.0);
+}
+
+TEST(SweepSpec, LogAxisIsGeometric) {
+  const sweep::Axis axis = sweep::Axis::logspace("r", 1.0, 100.0, 3);
+  ASSERT_EQ(axis.values.size(), 3u);
+  EXPECT_NEAR(axis.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(axis.values[1], 10.0, 1e-12);
+  EXPECT_NEAR(axis.values[2], 100.0, 1e-12);
+}
+
+TEST(SweepSpec, CartesianEnumeratesLastAxisFastest) {
+  sweep::SweepSpec spec;
+  spec.axes = {sweep::Axis::list("a", {1.0, 2.0}),
+               sweep::Axis::list("b", {10.0, 20.0, 30.0})};
+  spec.validate();
+  ASSERT_EQ(spec.point_count(), 6u);
+  EXPECT_EQ(spec.point(0), (std::vector<double>{1.0, 10.0}));
+  EXPECT_EQ(spec.point(1), (std::vector<double>{1.0, 20.0}));
+  EXPECT_EQ(spec.point(3), (std::vector<double>{2.0, 10.0}));
+  EXPECT_EQ(spec.point(5), (std::vector<double>{2.0, 30.0}));
+}
+
+TEST(SweepSpec, ZipPairsPositionByPosition) {
+  sweep::SweepSpec spec;
+  spec.combine = sweep::Combine::kZip;
+  spec.axes = {sweep::Axis::list("a", {1.0, 2.0}),
+               sweep::Axis::list("b", {10.0, 20.0})};
+  spec.validate();
+  ASSERT_EQ(spec.point_count(), 2u);
+  EXPECT_EQ(spec.point(1), (std::vector<double>{2.0, 20.0}));
+}
+
+TEST(SweepSpec, ValidateRejectsIllFormedSpecs) {
+  sweep::SweepSpec empty;
+  EXPECT_THROW(empty.validate(), util::ModelError);
+
+  sweep::SweepSpec nonpositive;
+  nonpositive.axes = {sweep::Axis::list("a", {1.0, 0.0})};
+  EXPECT_THROW(nonpositive.validate(), util::ModelError);
+
+  sweep::SweepSpec duplicate;
+  duplicate.axes = {sweep::Axis::list("a", {1.0}),
+                    sweep::Axis::list("a", {2.0})};
+  EXPECT_THROW(duplicate.validate(), util::ModelError);
+
+  sweep::SweepSpec ragged;
+  ragged.combine = sweep::Combine::kZip;
+  ragged.axes = {sweep::Axis::list("a", {1.0, 2.0}),
+                 sweep::Axis::list("b", {1.0})};
+  EXPECT_THROW(ragged.validate(), util::ModelError);
+}
+
+TEST(SweepSpec, ParsesAxisSyntax) {
+  const sweep::Axis linear = sweep::parse_axis("locs=2:80:40");
+  EXPECT_EQ(linear.parameter, "locs");
+  EXPECT_EQ(linear.values.size(), 40u);
+  EXPECT_DOUBLE_EQ(linear.values.front(), 2.0);
+  EXPECT_DOUBLE_EQ(linear.values.back(), 80.0);
+
+  const sweep::Axis log = sweep::parse_axis("r=log:0.1:10:5");
+  EXPECT_EQ(log.values.size(), 5u);
+  EXPECT_NEAR(log.values[2], 1.0, 1e-12);
+
+  const sweep::Axis list = sweep::parse_axis("s=1,2.5,7");
+  EXPECT_EQ(list.values, (std::vector<double>{1.0, 2.5, 7.0}));
+
+  const sweep::Axis single = sweep::parse_axis("s=4.25");
+  EXPECT_EQ(single.values, (std::vector<double>{4.25}));
+
+  EXPECT_THROW(sweep::parse_axis("noequals"), util::Error);
+  EXPECT_THROW(sweep::parse_axis("r=1:2"), util::Error);
+  EXPECT_THROW(sweep::parse_axis("r=1:2:notanumber"), util::Error);
+}
+
+// --- parser provenance ----------------------------------------------------
+
+TEST(RateProvenance, SingleAndScaledParametersAreSweepable) {
+  pepa::Model model = pepa::parse_model(
+      "r = 1.0; s = 2.0;\n"
+      "P = (fast, 2*r).Q;\n"
+      "Q = (slow, s).P;\n"
+      "@system P;\n",
+      "provenance");
+  // Both parameters resolve to clean tags: the rebinder accepts them.
+  sweep::RateRebinder rebinder(model, {"r", "s"});
+  EXPECT_EQ(rebinder.base_values(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(RateProvenance, CompoundExpressionsMakeParametersOpaque) {
+  pepa::Model model = pepa::parse_model(
+      "r = 1.0;\n"
+      "P = (a, r + 1).P;\n"
+      "@system P;\n",
+      "compound");
+  EXPECT_TRUE(model.parameter_is_opaque("r"));
+  EXPECT_THROW(sweep::RateRebinder(model, {"r"}), util::ModelError);
+}
+
+TEST(RateProvenance, DerivedParametersMakeTheirInputsOpaque) {
+  pepa::Model model = pepa::parse_model(
+      "r = 1.0; r2 = r * 2;\n"
+      "P = (a, r).(b, r2).P;\n"
+      "@system P;\n",
+      "derived");
+  // r2 was evaluated from r at parse time; sweeping r would leave r2 stale.
+  EXPECT_TRUE(model.parameter_is_opaque("r"));
+  EXPECT_FALSE(model.parameter_is_opaque("r2"));
+  EXPECT_THROW(sweep::RateRebinder(model, {"r"}), util::ModelError);
+  EXPECT_NO_THROW(sweep::RateRebinder(model, {"r2"}));
+}
+
+TEST(RateProvenance, HashConsingConflictWithLiteralIsDetected) {
+  // Both prefixes intern to the same term (same action, rate value and
+  // continuation) but only one was written through the parameter.
+  pepa::Model model = pepa::parse_model(
+      "r = 2.0;\n"
+      "P = (a, r).Stop + (a, 2.0).Stop;\n"
+      "@system P;\n",
+      "conflict");
+  EXPECT_TRUE(model.parameter_is_opaque("r"));
+  EXPECT_THROW(sweep::RateRebinder(model, {"r"}), util::ModelError);
+}
+
+TEST(RateProvenance, UnusedParameterIsRejected) {
+  pepa::Model model = pepa::parse_model(
+      "r = 1.0; unused = 3.0;\n"
+      "P = (a, r).P;\n"
+      "@system P;\n",
+      "unused");
+  EXPECT_THROW(sweep::RateRebinder(model, {"unused"}), util::ModelError);
+  EXPECT_THROW(sweep::RateRebinder(model, {"nosuch"}), util::ModelError);
+}
+
+// --- fingerprints ---------------------------------------------------------
+
+TEST(Fingerprint, StructureIgnoresRateValuesButNotShape) {
+  pepa::Model base = pepa::parse_model(tomcat_source(40.0), "base");
+  pepa::Model other = pepa::parse_model(tomcat_source(7.5), "other");
+  EXPECT_EQ(sweep::structure_fingerprint(base),
+            sweep::structure_fingerprint(other));
+
+  pepa::Model different = pepa::parse_model(
+      "r_o = 2.0; r_r = 1.8; r_w = 1.2; r_c = 3.0;\n"
+      "File      = (openread, r_o).InStream + (openwrite, r_o).OutStream;\n"
+      "InStream  = (read, r_r).InStream + (close, r_c).File;\n"
+      "OutStream = (write, r_w).OutStream + (close, r_c).File;\n"
+      "@system File;\n",
+      "file");
+  EXPECT_NE(sweep::structure_fingerprint(base),
+            sweep::structure_fingerprint(different));
+}
+
+TEST(Fingerprint, RatePayloadDistinguishesPoints) {
+  pepa::Model model = pepa::parse_model(tomcat_source(40.0), "tomcat");
+  sweep::RateRebinder rebinder(model, {"locs"});
+  const std::vector<double> a{10.0};
+  const std::vector<double> b{20.0};
+  EXPECT_EQ(rebinder.rate_fingerprint(a), rebinder.rate_fingerprint(a));
+  EXPECT_NE(rebinder.rate_fingerprint(a), rebinder.rate_fingerprint(b));
+}
+
+// --- rebind correctness ---------------------------------------------------
+
+TEST(SweepRunner, MatchesIndependentDerivationAtEveryPoint) {
+  pepa::Model model = pepa::parse_model(tomcat_source(40.0), "tomcat");
+  sweep::SweepSpec spec;
+  spec.axes = {sweep::Axis::list("locs", {10.0, 40.0, 80.0})};
+  sweep::SweepOptions options;
+  options.threads = 1;
+  const sweep::SweepTable table = sweep::sweep(model, spec, options);
+
+  ASSERT_EQ(table.rows.size(), 3u);
+  EXPECT_EQ(table.derivations, 1u);
+  for (const sweep::SweepRow& row : table.rows) {
+    ASSERT_TRUE(row.ok()) << row.error;
+
+    // Reference: a completely fresh parse + derivation + solve at this
+    // point's rates.
+    pepa::Model reference =
+        pepa::parse_model(tomcat_source(row.values[0]), "reference");
+    pepa::Semantics semantics(reference.arena());
+    const pepa::StateSpace space =
+        pepa::StateSpace::derive(semantics, reference.system());
+    const ctmc::SolveResult solved = ctmc::steady_state(space.generator());
+    ASSERT_EQ(table.measures.size(),
+              reference.arena().action_count() - 1);
+    for (pepa::ActionId action = 1;
+         action < reference.arena().action_count(); ++action) {
+      const double expected =
+          space.lts().action_throughput(solved.distribution, action);
+      EXPECT_NEAR(row.measures[action - 1], expected, 1e-9)
+          << "action " << reference.arena().action_name(action)
+          << " at locs=" << row.values[0];
+    }
+  }
+}
+
+TEST(SweepRunner, DerivesExactlyOnceForManyPoints) {
+  pepa::Model model = pepa::parse_model(tomcat_source(40.0), "tomcat");
+  sweep::SweepSpec spec;
+  spec.axes = {sweep::Axis::linear("locs", 2.0, 80.0, 25)};
+  sweep::SweepOptions options;
+  options.threads = 1;
+  const sweep::SweepTable table = sweep::sweep(model, spec, options);
+
+  EXPECT_EQ(table.derivations, 1u);
+  EXPECT_GT(table.derive_stats.levels, 0u);
+  EXPECT_GT(table.state_count, 0u);
+  EXPECT_GT(table.transition_count, 0u);
+  for (const sweep::SweepRow& row : table.rows) {
+    EXPECT_TRUE(row.ok()) << row.error;
+  }
+}
+
+TEST(SweepRunner, TableIsIdenticalAtThreadCounts128) {
+  sweep::SweepSpec spec;
+  spec.axes = {sweep::Axis::linear("locs", 5.0, 60.0, 4),
+               sweep::Axis::linear("req", 2.0, 8.0, 3)};
+
+  auto run = [&](std::size_t threads) {
+    pepa::Model model = pepa::parse_model(tomcat_source(40.0), "tomcat");
+    sweep::SweepOptions options;
+    options.threads = threads;
+    util::ThreadPool pool(threads);
+    if (threads > 1) options.pool = &pool;
+    return sweep::sweep(model, spec, options);
+  };
+
+  const sweep::SweepTable one = run(1);
+  const sweep::SweepTable two = run(2);
+  const sweep::SweepTable eight = run(8);
+
+  ASSERT_EQ(one.rows.size(), 12u);
+  ASSERT_EQ(two.rows.size(), one.rows.size());
+  ASSERT_EQ(eight.rows.size(), one.rows.size());
+  for (std::size_t r = 0; r < one.rows.size(); ++r) {
+    EXPECT_EQ(one.rows[r].values, two.rows[r].values);
+    EXPECT_EQ(one.rows[r].values, eight.rows[r].values);
+    ASSERT_TRUE(one.rows[r].ok()) << one.rows[r].error;
+    // Bit-identical, not just close: every per-point computation is
+    // independent of the lane count.
+    ASSERT_EQ(one.rows[r].measures.size(), two.rows[r].measures.size());
+    ASSERT_EQ(one.rows[r].measures.size(), eight.rows[r].measures.size());
+    for (std::size_t m = 0; m < one.rows[r].measures.size(); ++m) {
+      EXPECT_EQ(one.rows[r].measures[m], two.rows[r].measures[m]);
+      EXPECT_EQ(one.rows[r].measures[m], eight.rows[r].measures[m]);
+    }
+  }
+  EXPECT_EQ(one.to_csv(), two.to_csv());
+  EXPECT_EQ(one.to_csv(), eight.to_csv());
+}
+
+TEST(SweepRunner, ScaledTagMatchesAnalyticThroughput) {
+  pepa::Model model = pepa::parse_model(
+      "r = 1.0; s = 3.0;\n"
+      "P = (fast, 2*r).Q;\n"
+      "Q = (slow, s).P;\n"
+      "@system P;\n",
+      "scaled");
+  sweep::SweepSpec spec;
+  spec.axes = {sweep::Axis::list("r", {0.5, 1.0, 4.0})};
+  sweep::SweepOptions options;
+  options.threads = 1;
+  const sweep::SweepTable table = sweep::sweep(model, spec, options);
+  ASSERT_EQ(table.measures.size(), 2u);
+  EXPECT_EQ(table.measures[0], "throughput:fast");
+  for (const sweep::SweepRow& row : table.rows) {
+    ASSERT_TRUE(row.ok()) << row.error;
+    const double r = row.values[0];
+    // Two-state cycle: throughput(fast) = 2r * s / (2r + s).
+    const double expected = 2.0 * r * 3.0 / (2.0 * r + 3.0);
+    EXPECT_NEAR(row.measures[0], expected, 1e-12);
+    EXPECT_NEAR(row.measures[1], expected, 1e-12);  // slow balances fast
+  }
+}
+
+TEST(SweepRunner, FailedPointsDoNotPoisonTheTable) {
+  pepa::Model model = pepa::parse_model(tomcat_source(40.0), "tomcat");
+  sweep::SweepSpec spec;
+  spec.axes = {sweep::Axis::list("locs", {10.0, 40.0})};
+  sweep::SweepOptions options;
+  options.threads = 1;
+  options.solver.method = ctmc::Method::kPower;
+  options.solver.max_iterations = 1;
+  options.solver.tolerance = 1e-300;  // unreachable: every solve fails
+  const sweep::SweepTable table = sweep::sweep(model, spec, options);
+  ASSERT_EQ(table.rows.size(), 2u);
+  for (const sweep::SweepRow& row : table.rows) {
+    EXPECT_FALSE(row.ok());
+    EXPECT_FALSE(row.error.empty());
+  }
+  EXPECT_EQ(table.derivations, 1u);  // the derivation itself succeeded
+}
+
+TEST(SweepRunner, FluidBackendNeverDerives) {
+  pepa::Model model = pepa::parse_model(
+      "r = 1.0; s = 2.0;\n"
+      "Think = (task, r).Wait;\n"
+      "Wait  = (reply, s).Think;\n"
+      "Pop = Think[50];\n"
+      "@system Pop;\n",
+      "fluid");
+  sweep::SweepSpec spec;
+  spec.axes = {sweep::Axis::list("r", {0.5, 1.0, 2.0})};
+  sweep::SweepOptions options;
+  options.threads = 1;
+  options.backend = sweep::Backend::kFluid;
+  const sweep::SweepTable table = sweep::sweep(model, spec, options);
+  EXPECT_EQ(table.derivations, 0u);
+  EXPECT_EQ(table.state_count, 0u);
+  ASSERT_EQ(table.rows.size(), 3u);
+  for (const sweep::SweepRow& row : table.rows) {
+    ASSERT_TRUE(row.ok()) << row.error;
+    for (const double measure : row.measures) {
+      EXPECT_TRUE(std::isfinite(measure));
+      EXPECT_GT(measure, 0.0);
+    }
+  }
+  // More thinkers per unit time as r grows: throughput is monotone.
+  EXPECT_LT(table.rows[0].measures[0], table.rows[1].measures[0]);
+  EXPECT_LT(table.rows[1].measures[0], table.rows[2].measures[0]);
+}
+
+TEST(SweepTable, CsvAndJsonAreWellFormed) {
+  pepa::Model model = pepa::parse_model(tomcat_source(40.0), "tomcat");
+  sweep::SweepSpec spec;
+  spec.axes = {sweep::Axis::list("locs", {10.0, 40.0})};
+  sweep::SweepOptions options;
+  options.threads = 1;
+  const sweep::SweepTable table = sweep::sweep(model, spec, options);
+
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("# structure=0x"), std::string::npos);
+  EXPECT_NE(csv.find("locs,throughput:"), std::string::npos);
+  // Header comment + column header + one line per point.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+
+  const std::string json = table.to_json();
+  EXPECT_NE(json.find("\"derivations\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rows\""), std::string::npos);
+}
+
+// --- the service's sweep job kind -----------------------------------------
+
+std::string write_temp_model(const std::string& name,
+                             const std::string& source) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary);
+  out << source;
+  EXPECT_TRUE(out.flush().good());
+  return path;
+}
+
+TEST(SweepService, SchedulerDerivesOnceAndServesRepeatsFromCache) {
+  const std::string path =
+      write_temp_model("sweep_service_tomcat.pepa", tomcat_source(40.0));
+
+  service::Registry registry;
+  service::ResultCache cache({.registry = &registry});
+  service::SchedulerOptions scheduler_options;
+  scheduler_options.workers = 2;
+  scheduler_options.cache = &cache;
+  scheduler_options.registry = &registry;
+  service::Scheduler scheduler(scheduler_options);
+
+  service::JobRequest request;
+  request.sweep.emplace();
+  request.sweep->model_path = path;
+  request.sweep->spec.axes = {sweep::Axis::linear("locs", 5.0, 100.0, 10)};
+
+  const service::JobResult first = scheduler.submit(request).wait();
+  ASSERT_EQ(first.status, service::JobStatus::kDone) << first.error;
+  ASSERT_TRUE(first.sweep.has_value());
+  EXPECT_EQ(first.sweep->rows.size(), 10u);
+  EXPECT_EQ(first.sweep->derivations, 1u);
+  EXPECT_EQ(first.sweep->points_from_cache, 0u);
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_EQ(first.aggregation_used, chor::Aggregation::kNone);
+  for (const sweep::SweepRow& row : first.sweep->rows) {
+    ASSERT_TRUE(row.ok()) << row.error;
+  }
+
+  // A K-point sweep performs exactly one derivation, visible both on the
+  // table and on the service metrics.
+  EXPECT_EQ(registry.counter("choreo_sweep_derivations_total", "").value(),
+            1u);
+  EXPECT_EQ(registry.counter("choreo_sweep_points_total", "").value(), 10u);
+  EXPECT_EQ(
+      registry.counter("choreo_sweep_point_cache_hits_total", "").value(),
+      0u);
+
+  // The same sweep again: every point hits the per-point cache, no
+  // derivation happens, and the table is identical.
+  const service::JobResult second = scheduler.submit(request).wait();
+  ASSERT_EQ(second.status, service::JobStatus::kDone) << second.error;
+  ASSERT_TRUE(second.sweep.has_value());
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.attempts, 0u);
+  EXPECT_EQ(second.sweep->derivations, 0u);
+  EXPECT_EQ(second.sweep->points_from_cache, 10u);
+  EXPECT_EQ(registry.counter("choreo_sweep_derivations_total", "").value(),
+            1u);
+  EXPECT_EQ(
+      registry.counter("choreo_sweep_point_cache_hits_total", "").value(),
+      10u);
+  ASSERT_EQ(second.sweep->rows.size(), first.sweep->rows.size());
+  for (std::size_t r = 0; r < first.sweep->rows.size(); ++r) {
+    EXPECT_EQ(second.sweep->rows[r].values, first.sweep->rows[r].values);
+    EXPECT_EQ(second.sweep->rows[r].measures, first.sweep->rows[r].measures);
+  }
+  // The CSV bodies match exactly; only the metadata header line differs
+  // (derivations=0, points_from_cache=10 on the cached run).
+  const std::string first_csv = first.sweep->to_csv();
+  const std::string second_csv = second.sweep->to_csv();
+  EXPECT_EQ(second_csv.substr(second_csv.find('\n')),
+            first_csv.substr(first_csv.find('\n')));
+}
+
+TEST(SweepService, OverlappingSweepsSharePointsThroughTheCache) {
+  const std::string path =
+      write_temp_model("sweep_service_overlap.pepa", tomcat_source(40.0));
+
+  service::Registry registry;
+  service::ResultCache cache({.registry = &registry});
+  service::SchedulerOptions scheduler_options;
+  scheduler_options.workers = 1;
+  scheduler_options.cache = &cache;
+  scheduler_options.registry = &registry;
+  service::Scheduler scheduler(scheduler_options);
+
+  service::JobRequest first_request;
+  first_request.sweep.emplace();
+  first_request.sweep->model_path = path;
+  first_request.sweep->spec.axes = {
+      sweep::Axis::list("locs", {10.0, 20.0, 30.0})};
+  const service::JobResult first = scheduler.submit(first_request).wait();
+  ASSERT_EQ(first.status, service::JobStatus::kDone) << first.error;
+
+  // A different slice of the same design space: the two shared points hit,
+  // only the two new ones are evaluated (against one fresh derivation).
+  service::JobRequest second_request;
+  second_request.sweep.emplace();
+  second_request.sweep->model_path = path;
+  second_request.sweep->spec.axes = {
+      sweep::Axis::list("locs", {20.0, 30.0, 40.0, 50.0})};
+  const service::JobResult second = scheduler.submit(second_request).wait();
+  ASSERT_EQ(second.status, service::JobStatus::kDone) << second.error;
+  ASSERT_TRUE(second.sweep.has_value());
+  EXPECT_EQ(second.sweep->points_from_cache, 2u);
+  EXPECT_FALSE(second.from_cache);
+  EXPECT_EQ(registry.counter("choreo_sweep_derivations_total", "").value(),
+            2u);
+
+  // Cached and freshly evaluated rows agree with the first sweep.
+  EXPECT_EQ(second.sweep->rows[0].measures, first.sweep->rows[1].measures);
+  EXPECT_EQ(second.sweep->rows[1].measures, first.sweep->rows[2].measures);
+  for (const sweep::SweepRow& row : second.sweep->rows) {
+    ASSERT_TRUE(row.ok()) << row.error;
+    EXPECT_EQ(row.measures.size(), second.sweep->measures.size());
+  }
+}
+
+TEST(SweepService, FluidSweepJobReportsFluidAggregation) {
+  const std::string path = write_temp_model(
+      "sweep_service_fluid.pepa",
+      "r = 1.0; s = 2.0;\n"
+      "Think  = (work, r).Wait;\n"
+      "Wait   = (reply, infty).Think;\n"
+      "Server = (work, infty).Busy;\n"
+      "Busy   = (reply, s).Server;\n"
+      "System = Think[20] <work, reply> Server[2];\n"
+      "@system System;\n");
+
+  service::Registry registry;
+  service::SchedulerOptions scheduler_options;
+  scheduler_options.workers = 1;
+  scheduler_options.registry = &registry;
+  service::Scheduler scheduler(scheduler_options);
+
+  service::JobRequest request;
+  request.sweep.emplace();
+  request.sweep->model_path = path;
+  request.sweep->backend = sweep::Backend::kFluid;
+  request.sweep->spec.axes = {sweep::Axis::list("r", {0.5, 1.0, 2.0})};
+  const service::JobResult result = scheduler.submit(request).wait();
+  ASSERT_EQ(result.status, service::JobStatus::kDone) << result.error;
+  EXPECT_EQ(result.aggregation_used, chor::Aggregation::kFluid);
+  ASSERT_TRUE(result.sweep.has_value());
+  EXPECT_EQ(result.sweep->derivations, 0u);
+  EXPECT_EQ(registry.counter("choreo_sweep_derivations_total", "").value(),
+            0u);
+  for (const sweep::SweepRow& row : result.sweep->rows) {
+    ASSERT_TRUE(row.ok()) << row.error;
+  }
+}
+
+TEST(SweepService, SweepJobWritesTheTableToTheOutputPath) {
+  const std::string model_path =
+      write_temp_model("sweep_service_out.pepa", tomcat_source(40.0));
+  const std::string table_path = ::testing::TempDir() + "sweep_table.csv";
+
+  service::Scheduler scheduler({.workers = 1});
+  service::JobRequest request;
+  request.output_path = table_path;
+  request.sweep.emplace();
+  request.sweep->model_path = model_path;
+  request.sweep->spec.axes = {sweep::Axis::list("locs", {10.0, 40.0})};
+  const service::JobResult result = scheduler.submit(request).wait();
+  ASSERT_EQ(result.status, service::JobStatus::kDone) << result.error;
+
+  std::ifstream stream(table_path, std::ios::binary);
+  ASSERT_TRUE(stream.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(stream, line));
+  EXPECT_EQ(line.find("# structure=0x"), 0u);
+}
+
+}  // namespace
