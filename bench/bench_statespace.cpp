@@ -14,12 +14,14 @@
 #include "choreographer/extract_activity.hpp"
 #include "choreographer/extract_statechart.hpp"
 #include "choreographer/paper_models.hpp"
+#include "pepa/families.hpp"
 #include "pepa/parser.hpp"
 #include "pepa/semantics.hpp"
 #include "pepa/statespace.hpp"
 #include "pepanet/net_parser.hpp"
 #include "pepanet/netsemantics.hpp"
 #include "pepanet/netstatespace.hpp"
+#include "util/error.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -191,6 +193,72 @@ void report() {
   }
   std::cout << "exploration lanes (identical graphs at every lane count):\n"
             << lanes << '\n';
+
+  // 5. Lanes × size over the parametric families (pepa::families): three
+  // decades of state count per family, the largest honestly reaching 10^6+
+  // states — each derived count is checked against the family's closed-form
+  // reachable-state formula, not eyeballed.  The 10^6 points run at lanes
+  // {1, 8} only to bound the report's wall clock; the smaller sizes sweep
+  // the full lane set.
+  struct SweepPoint {
+    std::string label;
+    std::size_t expected_states;
+    std::function<pepa::Model()> build;
+    std::vector<std::size_t> lane_counts;
+  };
+  const std::vector<std::size_t> all_lanes{1, 2, 4, 8};
+  const std::vector<std::size_t> big_lanes{1, 8};
+  const SweepPoint sweep_points[] = {
+      {"client_server[8cl,8sv]", pepa::client_server_states(8, 8),
+       [] { return pepa::client_server(8, {.servers = 8}); }, all_lanes},
+      {"client_server[10cl,10sv]", pepa::client_server_states(10, 10),
+       [] { return pepa::client_server(10, {.servers = 10}); }, all_lanes},
+      {"client_server[11cl,11sv]", pepa::client_server_states(11, 11),
+       [] { return pepa::client_server(11, {.servers = 11}); }, big_lanes},
+      {"pda_handover[10pda,4tx]", pepa::pda_handover_states(10, 4),
+       [] { return pepa::pda_handover(10, {.transmitters = 4}); }, all_lanes},
+      {"pda_handover[14pda,4tx]", pepa::pda_handover_states(14, 4),
+       [] { return pepa::pda_handover(14, {.transmitters = 4}); }, all_lanes},
+      {"pda_handover[16pda,4tx]", pepa::pda_handover_states(16, 4),
+       [] { return pepa::pda_handover(16, {.transmitters = 4}); }, big_lanes},
+      {"ring[14st]", pepa::ring_states(14),
+       [] { return pepa::ring(14); }, all_lanes},
+      {"ring[17st]", pepa::ring_states(17),
+       [] { return pepa::ring(17); }, all_lanes},
+      {"ring[20st]", pepa::ring_states(20),
+       [] { return pepa::ring(20); }, big_lanes},
+  };
+  util::ThreadPool sweep_pool(7);  // 8 lanes = 7 workers + the caller
+  util::TextTable sweep({"model", "lanes", "states", "derive ms", "states/s"});
+  for (const SweepPoint& point : sweep_points) {
+    for (const std::size_t threads : point.lane_counts) {
+      pepa::Model model = point.build();
+      pepa::Semantics semantics(model.arena());
+      pepa::DeriveOptions options;
+      options.threads = threads;
+      options.pool = threads > 1 ? &sweep_pool : nullptr;
+      util::Stopwatch timer;
+      const auto space =
+          pepa::StateSpace::derive(semantics, model.system(), options);
+      const double seconds = timer.seconds();
+      CHOREO_ASSERT(space.state_count() == point.expected_states);
+      const double rate = static_cast<double>(space.state_count()) / seconds;
+      sweep.add_row_values(point.label + " x" + std::to_string(threads),
+                           {static_cast<double>(threads),
+                            static_cast<double>(space.state_count()),
+                            seconds * 1e3, rate});
+      bench::json_record(bench::JsonObject()
+                             .field("model", point.label)
+                             .field("threads", threads)
+                             .field("states", space.state_count())
+                             .field("transitions", space.transitions().size())
+                             .field("seconds", seconds)
+                             .field("states_per_second", rate));
+    }
+  }
+  std::cout << "lanes x size over the parametric families (counts verified"
+               " against the closed forms):\n"
+            << sweep << '\n';
 }
 
 void BM_DeriveRing(benchmark::State& state) {

@@ -2,7 +2,9 @@
 # Regenerates the committed machine-readable benchmark artefacts:
 #
 #   BENCH_statespace.json  -- state-space exploration (model, states,
-#                             seconds, states/sec, lane-count sweep)
+#                             seconds, states/sec, lane-count sweep, and the
+#                             lanes x size sweep over the pepa::families
+#                             parametric models up to 10^6+ states)
 #   BENCH_service.json     -- service scheduler throughput (workers,
 #                             cold/warm cache, jobs/sec, p50/p99 latency)
 #   BENCH_measures.json    -- per-action measure lookup cost on the

@@ -19,7 +19,9 @@ cmake --build build-tsan --target test_parallel_statespace test_service \
 ./build-tsan/tests/test_parallel_statespace 2>&1 | tee tsan_output.txt
 ./build-tsan/tests/test_service 2>&1 | tee -a tsan_output.txt
 ./build-tsan/tests/test_metrics 2>&1 | tee -a tsan_output.txt
-./build-tsan/tests/test_util --gtest_filter='ThreadPool.*' 2>&1 | tee -a tsan_output.txt
+./build-tsan/tests/test_util \
+  --gtest_filter='ThreadPool.*:StripedMap.*:SegmentedVector.*' \
+  2>&1 | tee -a tsan_output.txt
 
 # Machine-readable bench artefacts (BENCH_statespace.json, BENCH_service.json).
 scripts/bench_report.sh

@@ -8,6 +8,28 @@
 // single implementation of that loop; pepa::StateSpace::derive and
 // pepanet::NetStateSpace::derive_from are thin policies over it.
 //
+// The parallel phase is built to make extra lanes actually pay:
+//
+//   - work-stealing chunks: lanes pull dynamic chunks of the frontier from
+//     an atomic cursor (util::ThreadPool::parallel_for_dynamic), so a lane
+//     that draws cheap states immediately steals the next chunk instead of
+//     idling at a static split until the slowest lane finishes;
+//   - batched pre-resolution: each chunk resolves all of its transition
+//     targets against the interning index with one StripedMap::find_batch
+//     call, which locks each touched stripe once per chunk instead of once
+//     per move;
+//   - a latch instead of a future join: the calling thread is itself a
+//     lane and, once the cursor runs dry, helps drain the pool's task
+//     queue while the remaining lanes finish — no per-level sleep on a
+//     vector of futures.
+//
+// The serial phase stays the ordering authority.  It numbers discoveries
+// against a level-local set (the shared index is immutable during a level,
+// so any unresolved target is either new or a duplicate within the level)
+// and publishes the whole level to the index with one
+// StripedMap::try_emplace_batch call — again one stripe visit per level,
+// not one per state.
+//
 // The engine is parameterised over the state type, the interning map, the
 // successor function and the move-commit callback, and preserves the
 // guarantees the two former copies established:
@@ -24,7 +46,10 @@
 //   - once-per-level budget checks: the resource governor is consulted
 //     once per frontier level, after the level is recorded in the
 //     accounting, so uninterrupted runs never observe the check and
-//     interrupted runs stop within one level of the request.
+//     interrupted runs stop within one level of the request.  States are
+//     charged per level, including — through an unwind path — the states
+//     appended by a level the serial phase abandons mid-way, so partial
+//     DeriveStats and JobHandle::progress() never under-report.
 //
 // Requirements on the policy types:
 //
@@ -42,9 +67,9 @@
 
 #include <algorithm>
 #include <exception>
-#include <future>
 #include <limits>
 #include <string_view>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -83,6 +108,10 @@ struct EngineOptions {
   /// path, 0 sizes to the pool (worker count + the calling thread).  The
   /// explored space is identical for every setting.
   std::size_t threads = 0;
+  /// States per work-stealing expansion chunk; 0 sizes automatically from
+  /// the level and lane count.  A pure throughput knob — chunk boundaries
+  /// never affect the explored space.
+  std::size_t chunk_grain = 0;
   /// Pool expansion chunks run on; nullptr means util::ThreadPool::shared().
   util::ThreadPool* pool = nullptr;
   /// Resource governor: cancellation, deadline and state/byte accounting.
@@ -136,29 +165,52 @@ DeriveStats run(std::vector<State>& states,
   // The states of the level being expanded, in canonical (index) order.
   std::vector<std::size_t> frontier;
 
-  auto intern = [&](State state) {
-    if (const std::size_t* known = index.find(state)) {
-      ++stats.dedup_hits;
-      return *known;
-    }
-    if (states.size() >= options.max_states) {
-      throw util::BudgetError(util::msg(
-          options.space_noun, " exceeds the configured bound of ",
-          options.max_states, " ", options.state_noun,
-          " (state-space explosion)"));
-    }
-    const std::size_t state_index = states.size();
-    states.push_back(std::move(state));
-    index.try_emplace(states[state_index], state_index);
-    ++stats.dedup_misses;
-    frontier.push_back(state_index);
-    return state_index;
-  };
-
-  intern(std::move(initial));
+  states.push_back(std::move(initial));
+  index.try_emplace(states[0], 0);
+  ++stats.dedup_misses;
+  frontier.push_back(0);
   if (options.budget != nullptr) {
     options.budget->charge_states(1, options.bytes_per_state);
   }
+
+  using Move = typename std::decay_t<
+      decltype(successors(std::declval<const State&>()))>::value_type;
+
+  // The level-local dedup set for the serial phase: keys are indices into
+  // `states`, and lookups against a not-yet-numbered candidate go through a
+  // transparent wrapper so the candidate is never copied before it wins a
+  // number (the wrapper also keeps the overloads unambiguous when State is
+  // itself an integer type).  The shared index is never consulted here — it
+  // is immutable while a level runs, so a target the expansion phase left
+  // unresolved is either genuinely new or a duplicate within the level, and
+  // this set holds exactly those.
+  struct Candidate {
+    const State* state;
+  };
+  struct FreshHash {
+    using is_transparent = void;
+    const std::vector<State>* states;
+    std::size_t operator()(std::size_t idx) const {
+      return Hash{}((*states)[idx]);
+    }
+    std::size_t operator()(Candidate c) const { return Hash{}(*c.state); }
+  };
+  struct FreshEq {
+    using is_transparent = void;
+    const std::vector<State>* states;
+    bool operator()(std::size_t a, std::size_t b) const {
+      return (*states)[a] == (*states)[b];
+    }
+    bool operator()(std::size_t a, Candidate c) const {
+      return (*states)[a] == *c.state;
+    }
+    bool operator()(Candidate c, std::size_t a) const {
+      return *c.state == (*states)[a];
+    }
+  };
+  std::unordered_set<std::size_t, FreshHash, FreshEq> fresh(
+      16, FreshHash{&states}, FreshEq{&states});
+
   while (!frontier.empty()) {
     ++stats.levels;
     stats.peak_frontier = std::max(stats.peak_frontier, frontier.size());
@@ -175,11 +227,10 @@ DeriveStats run(std::vector<State>& states,
 
     // Parallel phase: expand every level state into its move buffer.  The
     // workers call the successor function concurrently (the policy must be
-    // thread-safe) and pre-resolve targets against the index, which only
-    // the serial phase below mutates.  Errors are captured per state so the
-    // canonically-first one can be rethrown deterministically.
-    using Move = typename std::decay_t<
-        decltype(successors(std::declval<const State&>()))>::value_type;
+    // thread-safe) and pre-resolve targets against the index — one batched
+    // lookup per chunk — which only the serial phase below mutates, between
+    // levels.  Errors are captured per state so the canonically-first one
+    // can be rethrown deterministically.
     std::vector<std::vector<PendingMove<Move>>> moves(level.size());
     std::vector<std::exception_ptr> errors(level.size());
     auto expand = [&](std::size_t begin, std::size_t end) {
@@ -188,59 +239,111 @@ DeriveStats run(std::vector<State>& states,
           std::vector<Move> found = successors(states[level[i]]);
           moves[i].reserve(found.size());
           for (Move& move : found) {
-            const std::size_t* known = index.find(move.target);
-            moves[i].push_back(
-                {std::move(move), known != nullptr ? *known : kUnresolved});
+            moves[i].push_back({std::move(move), kUnresolved});
           }
         } catch (...) {
           errors[i] = std::current_exception();
         }
       }
+      // Batched pre-resolution over the whole chunk: one stripe visit per
+      // touched stripe instead of one lock round-trip per move.
+      std::vector<const State*> keys;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (errors[i]) continue;
+        for (const PendingMove<Move>& pending : moves[i]) {
+          keys.push_back(&pending.move.target);
+        }
+      }
+      if (keys.empty()) return;
+      std::vector<const std::size_t*> found(keys.size());
+      index.find_batch(keys, found);
+      std::size_t k = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (errors[i]) continue;
+        for (PendingMove<Move>& pending : moves[i]) {
+          const std::size_t* known = found[k++];
+          if (known != nullptr) pending.resolved = *known;
+        }
+      }
     };
-    const std::size_t chunks = std::min(lanes, level.size());
-    if (chunks <= 1) {
+    if (lanes <= 1 || level.size() <= 1) {
       expand(0, level.size());
     } else {
-      std::vector<std::future<void>> pending;
-      pending.reserve(chunks - 1);
-      for (std::size_t c = 1; c < chunks; ++c) {
-        const std::size_t begin = level.size() * c / chunks;
-        const std::size_t end = level.size() * (c + 1) / chunks;
-        pending.push_back(pool.submit([&, begin, end] { expand(begin, end); }));
-      }
-      expand(0, level.size() / chunks);
-      for (std::future<void>& f : pending) f.get();
+      const std::size_t grain =
+          options.chunk_grain != 0
+              ? options.chunk_grain
+              : std::clamp<std::size_t>(level.size() / (lanes * 8), 1, 128);
+      pool.parallel_for_dynamic(level.size(), grain, lanes, expand);
     }
 
     // Serial phase: number the discovered states and commit transitions in
     // canonical order — source index, then move order — which is the order
     // the sequential FIFO exploration produces.
     const std::size_t known_before = states.size();
-    for (std::size_t i = 0; i < level.size(); ++i) {
-      if (errors[i]) std::rethrow_exception(errors[i]);
-      const std::size_t source = level[i];
-      for (PendingMove<Move>& pending_move : moves[i]) {
-        Move& move = pending_move.move;
-        if (move.rate.is_passive()) {
-          if (options.allow_top_level_passive) continue;
-          throw util::ModelError(util::msg("activity '", action_name(move),
-                                           options.passive_suffix));
-        }
-        std::size_t target;
-        if (pending_move.resolved != kUnresolved) {
-          target = pending_move.resolved;
-          ++stats.dedup_hits;
-        } else {
-          target = intern(std::move(move.target));
-        }
-        commit(source, move, target);
+    auto charge_level = [&] {
+      if (options.budget != nullptr) {
+        options.budget->charge_states(
+            states.size() - known_before,
+            (states.size() - known_before) * options.bytes_per_state);
       }
+    };
+    try {
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        if (errors[i]) std::rethrow_exception(errors[i]);
+        const std::size_t source = level[i];
+        for (PendingMove<Move>& pending_move : moves[i]) {
+          Move& move = pending_move.move;
+          if (move.rate.is_passive()) {
+            if (options.allow_top_level_passive) continue;
+            throw util::ModelError(util::msg("activity '", action_name(move),
+                                             options.passive_suffix));
+          }
+          std::size_t target = pending_move.resolved;
+          if (target != kUnresolved) {
+            ++stats.dedup_hits;
+          } else if (const auto it = fresh.find(Candidate{&move.target});
+                     it != fresh.end()) {
+            target = *it;
+            ++stats.dedup_hits;
+          } else {
+            if (states.size() >= options.max_states) {
+              throw util::BudgetError(util::msg(
+                  options.space_noun, " exceeds the configured bound of ",
+                  options.max_states, " ", options.state_noun,
+                  " (state-space explosion)"));
+            }
+            target = states.size();
+            states.push_back(std::move(move.target));
+            fresh.insert(target);
+            ++stats.dedup_misses;
+            frontier.push_back(target);
+          }
+          commit(source, move, target);
+        }
+      }
+    } catch (...) {
+      // Unwind accounting: states already appended by this level must be
+      // charged even though the level is being abandoned, or partial
+      // DeriveStats and JobHandle::progress() under-report.
+      charge_level();
+      throw;
     }
-    if (options.budget != nullptr) {
-      options.budget->charge_states(
-          states.size() - known_before,
-          (states.size() - known_before) * options.bytes_per_state);
+    // Bulk-intern the level: publish every state this serial pass numbered
+    // with a single batched insert (each touched stripe locked once), then
+    // charge the budget for them.
+    if (states.size() > known_before) {
+      std::vector<const State*> keys;
+      std::vector<std::size_t> values;
+      keys.reserve(states.size() - known_before);
+      values.reserve(states.size() - known_before);
+      for (std::size_t s = known_before; s < states.size(); ++s) {
+        keys.push_back(&states[s]);
+        values.push_back(s);
+      }
+      index.try_emplace_batch(keys, values);
     }
+    fresh.clear();
+    charge_level();
   }
   stats.seconds = timer.seconds();
   return stats;

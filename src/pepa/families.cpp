@@ -162,4 +162,23 @@ Model ring(std::size_t stations, const RingParams& params) {
   return model;
 }
 
+std::size_t client_server_states(std::size_t clients, std::size_t servers) {
+  // C(clients + servers, clients), multiplied/divided incrementally so the
+  // intermediate product stays exact: after each step the accumulator is
+  // C(clients + i, i), always an integer.
+  std::size_t count = 1;
+  for (std::size_t i = 1; i <= servers; ++i) {
+    count = count * (clients + i) / i;
+  }
+  return count;
+}
+
+std::size_t pda_handover_states(std::size_t pdas, std::size_t transmitters) {
+  return std::size_t{1} << (pdas + transmitters);
+}
+
+std::size_t ring_states(std::size_t stations) {
+  return std::size_t{1} << stations;
+}
+
 }  // namespace choreo::pepa

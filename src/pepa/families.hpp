@@ -55,4 +55,20 @@ struct RingParams {
 /// the state space is an exponential reachable subset of 2^N.
 Model ring(std::size_t stations, const RingParams& params = {});
 
+/// Exact reachable-state counts of the families above, in closed form, so
+/// benchmark sweeps can be sized honestly (pick parameters that really
+/// reach 10^5 or 10^6 states) and the derived counts verified against the
+/// formula rather than eyeballed.
+///
+/// client_server: request and response are both in the cooperation set, so
+/// the number of waiting clients always equals the number of busy servers —
+/// with distinguishable replicas that leaves sum_k C(N,k)·C(S,k) = C(N+S,N)
+/// reachable states.  pda_handover: detect and reset are individual
+/// actions, so every of the 2^(pdas+transmitters) component combinations is
+/// reachable.  ring: stations switch on in chain order but off freely, so
+/// all 2^stations configurations are eventually reachable.
+std::size_t client_server_states(std::size_t clients, std::size_t servers);
+std::size_t pda_handover_states(std::size_t pdas, std::size_t transmitters);
+std::size_t ring_states(std::size_t stations);
+
 }  // namespace choreo::pepa

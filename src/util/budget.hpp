@@ -78,8 +78,11 @@ class Budget {
   }
 
   bool deadline_passed() const {
-    return Clock::now().time_since_epoch().count() >
-           deadline_ns_.load(std::memory_order_relaxed);
+    // Load the deadline first and short-circuit when none is set: this runs
+    // every solver check stride and every BFS level, and most jobs have no
+    // deadline — skipping Clock::now() keeps the common case a single load.
+    const std::int64_t ns = deadline_ns_.load(std::memory_order_relaxed);
+    return ns != kNoDeadline && Clock::now().time_since_epoch().count() > ns;
   }
 
   /// The cooperative checkpoint: throws InterruptedError(kCancelled) when

@@ -1,9 +1,58 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
 namespace choreo::util {
+
+namespace {
+
+/// Per-invocation completion latch for the parallel loops.  The pending
+/// count is decremented — and the waiter notified — under the mutex, and
+/// the waiter only ever reads the count under the same mutex, so a task
+/// finishing last cannot touch the latch after the waiter has observed
+/// zero and destroyed it.
+struct CompletionLatch {
+  std::size_t pending;
+  std::mutex mutex;
+  std::condition_variable done;
+
+  explicit CompletionLatch(std::size_t count) : pending(count) {}
+
+  void count_down() {
+    std::lock_guard lock(mutex);
+    --pending;
+    done.notify_one();  // notify while holding: see the struct comment
+  }
+
+  bool drained() {
+    std::lock_guard lock(mutex);
+    return pending == 0;
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex);
+    done.wait(lock, [this] { return pending == 0; });
+  }
+};
+
+/// First-exception capture shared by the chunks of one parallel loop.
+struct FailureSlot {
+  std::exception_ptr failure;
+  std::mutex mutex;
+
+  void capture() {
+    std::lock_guard lock(mutex);
+    if (!failure) failure = std::current_exception();
+  }
+
+  void rethrow_if_set() {
+    if (failure) std::rethrow_exception(failure);
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t worker_count) {
   if (worker_count == 0) {
@@ -51,6 +100,18 @@ void ThreadPool::enqueue(std::function<void()> task) {
   wake_.notify_one();
 }
 
+bool ThreadPool::run_one_queued_task() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  return true;
+}
+
 void ThreadPool::parallel_for(
     std::size_t count, const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
@@ -63,18 +124,13 @@ void ThreadPool::parallel_for(
   const std::size_t base = count / chunks;
   const std::size_t extra = count % chunks;
 
-  std::atomic<std::size_t> remaining{chunks - 1};
-  std::exception_ptr failure;
-  std::mutex failure_mutex;
-  std::condition_variable done;
-  std::mutex done_mutex;
-
+  CompletionLatch latch(chunks - 1);
+  FailureSlot failure;
   auto run_chunk = [&](std::size_t begin, std::size_t end) {
     try {
       body(begin, end);
     } catch (...) {
-      std::lock_guard lock(failure_mutex);
-      if (!failure) failure = std::current_exception();
+      failure.capture();
     }
   };
 
@@ -86,10 +142,7 @@ void ThreadPool::parallel_for(
       std::lock_guard lock(mutex_);
       tasks_.push([&, begin, end] {
         run_chunk(begin, end);
-        if (remaining.fetch_sub(1) == 1) {
-          std::lock_guard done_lock(done_mutex);
-          done.notify_one();
-        }
+        latch.count_down();
       });
     }
     wake_.notify_one();
@@ -97,9 +150,71 @@ void ThreadPool::parallel_for(
   }
   run_chunk(begin, count);  // the calling thread takes the final chunk
 
-  std::unique_lock lock(done_mutex);
-  done.wait(lock, [&] { return remaining.load() == 0; });
-  if (failure) std::rethrow_exception(failure);
+  // Help drain while waiting: a queued chunk of this loop — or of a nested
+  // parallel loop issued from inside one of our chunks — may sit behind
+  // tasks whose own waiters are blocked.  Sleeping here would starve them
+  // (the nested-parallel_for deadlock); running queued tasks instead
+  // guarantees progress.  Once the queue is empty every chunk of this loop
+  // has been claimed by some thread and will complete, so the final latch
+  // wait cannot hang.
+  while (!latch.drained()) {
+    if (run_one_queued_task()) continue;
+    latch.wait();
+    break;
+  }
+  failure.rethrow_if_set();
+}
+
+void ThreadPool::parallel_for_dynamic(
+    std::size_t count, std::size_t grain, std::size_t max_lanes,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunk_count = (count + grain - 1) / grain;
+  const std::size_t lanes =
+      std::min(max_lanes == 0 ? workers_.size() + 1 : max_lanes, chunk_count);
+  if (lanes <= 1) {
+    body(0, count);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  CompletionLatch latch(lanes - 1);
+  FailureSlot failure;
+  auto drain_cursor = [&] {
+    for (;;) {
+      const std::size_t begin = cursor.fetch_add(grain);
+      if (begin >= count) return;
+      try {
+        body(begin, std::min(begin + grain, count));
+      } catch (...) {
+        failure.capture();
+      }
+    }
+  };
+
+  // One helper task per extra lane; each pulls chunks from the shared
+  // cursor until it runs dry, so lanes that draw cheap chunks immediately
+  // steal the next one instead of idling at a static split.  On a
+  // workerless pool enqueue() runs the helper inline, which simply drains
+  // everything before the calling thread gets its turn — still correct.
+  for (std::size_t lane = 1; lane < lanes; ++lane) {
+    enqueue([&] {
+      drain_cursor();
+      latch.count_down();
+    });
+  }
+  drain_cursor();  // the calling thread is a lane too
+
+  // The latch wait: helpers may still be queued behind unrelated tasks (or
+  // behind each other on a busy pool), so the calling thread executes
+  // queued work while it waits — the only wait that guarantees progress.
+  while (!latch.drained()) {
+    if (run_one_queued_task()) continue;
+    latch.wait();
+    break;
+  }
+  failure.rethrow_if_set();
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -1,12 +1,18 @@
-// A small fixed-size thread pool with a parallel_for convenience wrapper
-// and a submit() entry point for irregular, long-lived tasks.
+// A small fixed-size thread pool with two loop-parallelism entry points and
+// a submit() entry point for irregular, long-lived tasks.
 //
-// parallel_for is used by the sparse CTMC kernels and the simulation
-// engine's independent replications.  Work is partitioned into contiguous
-// chunks, one per worker, which suits the regular, memory-bound loops in
-// this codebase better than work stealing would.  submit() serves the
-// analysis service's scheduler, whose jobs are neither regular nor
-// short-lived and need an individually waitable completion handle.
+// parallel_for partitions work into contiguous chunks, one per worker,
+// which suits regular, memory-bound loops (the sparse CTMC kernels, the
+// simulation engine's independent replications).  parallel_for_dynamic
+// hands out chunks from an atomic cursor instead, so lanes that finish
+// early steal the remainder — the right shape for irregular per-item cost
+// like state-space frontier expansion.  Both are drain-safe: a thread that
+// waits for chunks to finish helps execute queued tasks instead of
+// sleeping, so nested invocations (a parallel_for inside a parallel_for
+// chunk, or inside a sweep point running on the same pool) cannot
+// deadlock the pool.  submit() serves the analysis service's scheduler,
+// whose jobs are neither regular nor short-lived and need an individually
+// waitable completion handle.
 #pragma once
 
 #include <condition_variable>
@@ -38,9 +44,25 @@ class ThreadPool {
 
   /// Runs body(begin, end) over contiguous chunks of [0, count) across the
   /// pool (and the calling thread), returning once every chunk completed.
-  /// Exceptions from chunks are rethrown (first one wins).
+  /// Exceptions from chunks are rethrown (first one wins).  While waiting
+  /// for its chunks the calling thread executes other queued tasks, so
+  /// nesting parallel_for inside a chunk body is deadlock-free.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Work-stealing variant: [0, count) is split into chunks of `grain`
+  /// items handed out by an atomic cursor, so up to `max_lanes` lanes (the
+  /// calling thread plus pool workers; 0 sizes to the pool) pull the next
+  /// chunk as they finish the last — no lane waits on a static split when
+  /// per-item cost is irregular.  The chunk boundaries depend only on
+  /// (count, grain), never on the interleaving, so a body that writes
+  /// item-indexed slots produces identical output at every lane count.
+  /// The calling thread participates and, once the cursor is exhausted,
+  /// helps drain the task queue until the remaining lanes finish.
+  /// Exceptions from chunks are rethrown (first one wins).
+  void parallel_for_dynamic(
+      std::size_t count, std::size_t grain, std::size_t max_lanes,
+      const std::function<void(std::size_t, std::size_t)>& body);
 
   /// Enqueues one task for asynchronous execution and returns a future that
   /// becomes ready when it completes (exceptions propagate through the
@@ -78,6 +100,10 @@ class ThreadPool {
   /// Pushes a type-erased task and wakes a worker (runs inline when the
   /// pool has no workers).
   void enqueue(std::function<void()> task);
+  /// Pops and runs one queued task if any is available; returns whether it
+  /// did.  Used by waiting threads to help drain the queue — the queued
+  /// task may belong to any caller, including a nested parallel loop.
+  bool run_one_queued_task();
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

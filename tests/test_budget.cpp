@@ -203,6 +203,22 @@ TEST(BudgetDerive, ByteBudgetTripsMidDeriveAsBudgetError) {
   EXPECT_GT(budget.usage().peak_state_bytes, 200u);
 }
 
+TEST(BudgetDerive, MaxStatesAbortChargesEveryAppendedState) {
+  // Regression: when the max_states bound trips mid-serial-phase, states
+  // already appended in the abandoned level used to go uncharged, so
+  // JobHandle::progress() and partial stats under-reported.  The unwind
+  // path must charge exactly the states that exist when the error leaves.
+  util::Budget budget;
+  pepa::DeriveOptions options;
+  options.budget = &budget;
+  options.max_states = 5;  // the tomcat(3) space has 68 states
+  chor::StatechartExtraction extraction;
+  EXPECT_THROW(derive_tomcat(3, options, extraction), util::BudgetError);
+  const util::BudgetUsage usage = budget.usage();
+  EXPECT_EQ(usage.states, 5u);
+  EXPECT_GT(usage.state_bytes, 0u);
+}
+
 TEST(BudgetDerive, UninterruptedDeriveMirrorsStatsIntoTheBudget) {
   util::Budget budget;
   pepa::DeriveOptions options;

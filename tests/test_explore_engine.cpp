@@ -200,4 +200,29 @@ TEST(ExploreEngine, CommitSequenceIsIdenticalAtEveryLaneCount) {
   }
 }
 
+TEST(ExploreEngine, ChunkGrainNeverChangesTheExploredSpace) {
+  choreo::util::ThreadPool pool(4);
+  // Same shared/cyclic graph as the lane-count test: chunk_grain moves the
+  // work-stealing chunk boundaries, which must be invisible in the output.
+  const auto graph = [](const std::size_t& state) {
+    std::vector<Move> moves;
+    moves.push_back({Rate::active(1.0 + static_cast<double>(state)),
+                     (state + 1) % 97});
+    moves.push_back({Rate::active(2.0), (state * 2) % 97});
+    moves.push_back({Rate::active(3.0), state / 2});
+    return moves;
+  };
+  const auto baseline = run_engine(graph, 1, pool);
+  for (const std::size_t grain : {1u, 3u, 1024u}) {
+    EngineOptions options;
+    options.chunk_grain = grain;
+    const auto run = run_engine(graph, 8, pool, options);
+    EXPECT_EQ(run.states, baseline.states);
+    EXPECT_EQ(run.transitions, baseline.transitions);
+    EXPECT_EQ(run.stats.dedup_misses, baseline.stats.dedup_misses);
+    EXPECT_EQ(run.stats.dedup_hits, baseline.stats.dedup_hits);
+    EXPECT_EQ(run.stats.levels, baseline.stats.levels);
+  }
+}
+
 }  // namespace

@@ -1,16 +1,22 @@
-// Unit tests for choreo_util: strings, RNG, statistics, thread pool, tables.
+// Unit tests for choreo_util: strings, RNG, statistics, thread pool,
+// striped map, segmented vector, tables.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
 #include <future>
+#include <mutex>
 #include <numeric>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/segmented_vector.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
+#include "util/striped_map.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -262,6 +268,238 @@ TEST(ThreadPool, DestructorDrainsQueuedTasks) {
   }
   EXPECT_EQ(ran.load(), 32);
   for (auto& f : futures) f.get();
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Regression: the waiter used to sleep on its completion latch while its
+  // queued chunks sat behind blocked tasks.  With one worker and two outer
+  // lanes, both threads used to reach the inner loops' waits while both
+  // inner chunks still sat in the queue — progress requires the waiters to
+  // help drain the queue.
+  cu::ThreadPool pool(1);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(2, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      pool.parallel_for(16, [&](std::size_t b, std::size_t e) {
+        inner_total.fetch_add(static_cast<int>(e - b));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPool, NestedParallelForDynamicDoesNotDeadlock) {
+  cu::ThreadPool pool(1);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for_dynamic(4, 1, 0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      pool.parallel_for_dynamic(8, 2, 0, [&](std::size_t b, std::size_t e) {
+        inner_total.fetch_add(static_cast<int>(e - b));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForDynamicCoversRangeExactlyOnce) {
+  cu::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_dynamic(1000, 7, 0,
+                            [&](std::size_t begin, std::size_t end) {
+                              for (std::size_t i = begin; i < end; ++i) {
+                                hits[i].fetch_add(1);
+                              }
+                            });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForDynamicChunksAreGrainSized) {
+  cu::ThreadPool pool(2);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_dynamic(100, 8, 0, [&](std::size_t begin, std::size_t end) {
+    std::lock_guard lock(mutex);
+    chunks.emplace_back(begin, end);
+  });
+  ASSERT_EQ(chunks.size(), 13u);  // ceil(100 / 8)
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin % 8, 0u);  // boundaries depend only on (count, grain)
+    EXPECT_EQ(end, std::min<std::size_t>(begin + 8, 100));
+  }
+}
+
+TEST(ThreadPool, ParallelForDynamicSingleLaneRunsOnCallingThread) {
+  cu::ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int> hits(10, 0);  // unsynchronised: single-lane must be inline
+  // grain > count collapses to one chunk, hence one (inline) lane.
+  pool.parallel_for_dynamic(10, 100, 0, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  pool.parallel_for_dynamic(10, 2, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 20);
+}
+
+TEST(ThreadPool, ParallelForDynamicZeroWorkerPoolRunsInline) {
+  cu::ThreadPool pool(0);
+  std::vector<int> hits(10, 0);
+  pool.parallel_for_dynamic(10, 3, 0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(ThreadPool, ParallelForDynamicPropagatesExceptions) {
+  cu::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_dynamic(100, 5, 0,
+                                         [](std::size_t begin, std::size_t) {
+                                           if (begin == 45) {
+                                             throw cu::Error("boom");
+                                           }
+                                         }),
+               cu::Error);
+}
+
+TEST(StripedMap, MoveConstructionTransfersAndLeavesSourceUsable) {
+  cu::StripedMap<int, int> source;
+  source.try_emplace(1, 10);
+  source.try_emplace(2, 20);
+
+  cu::StripedMap<int, int> moved(std::move(source));
+  ASSERT_NE(moved.find(1), nullptr);
+  EXPECT_EQ(*moved.find(1), 10);
+  EXPECT_EQ(moved.size(), 2u);
+
+  EXPECT_EQ(source.size(), 0u);
+  EXPECT_EQ(source.find(1), nullptr);
+  source.try_emplace(3, 30);  // the moved-from map must stay usable
+  ASSERT_NE(source.find(3), nullptr);
+  EXPECT_EQ(*source.find(3), 30);
+}
+
+TEST(StripedMap, MoveAssignmentTransfersAndLeavesSourceUsable) {
+  cu::StripedMap<int, int> source;
+  source.try_emplace(1, 10);
+  cu::StripedMap<int, int> target;
+  target.try_emplace(9, 90);  // overwritten by the assignment
+
+  target = std::move(source);
+  EXPECT_EQ(target.size(), 1u);
+  ASSERT_NE(target.find(1), nullptr);
+  EXPECT_EQ(*target.find(1), 10);
+  EXPECT_EQ(target.find(9), nullptr);
+
+  EXPECT_EQ(source.size(), 0u);
+  source.try_emplace(2, 20);
+  ASSERT_NE(source.find(2), nullptr);
+  EXPECT_EQ(*source.find(2), 20);
+}
+
+TEST(StripedMap, FindBatchMatchesScalarFind) {
+  cu::StripedMap<int, std::size_t> map;
+  for (int k = 0; k < 200; k += 2) {
+    map.try_emplace(k, static_cast<std::size_t>(k) * 10);
+  }
+  // Both sides of the grouping threshold: a large batch (counting sort,
+  // one lock per touched stripe) and a small one (scalar fallback).
+  for (const std::size_t batch : {std::size_t{256}, std::size_t{4}}) {
+    std::vector<int> queries(batch);
+    std::vector<const int*> keys(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      queries[i] = static_cast<int>(i);
+      keys[i] = &queries[i];
+    }
+    std::vector<const std::size_t*> found(batch);
+    map.find_batch(keys, found);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::size_t* scalar = map.find(queries[i]);
+      ASSERT_EQ(found[i], scalar) << "key " << queries[i];
+      if (queries[i] % 2 == 0 && queries[i] < 200) {
+        ASSERT_NE(found[i], nullptr);
+        EXPECT_EQ(*found[i], static_cast<std::size_t>(queries[i]) * 10);
+      } else {
+        EXPECT_EQ(found[i], nullptr);
+      }
+    }
+  }
+}
+
+TEST(StripedMap, TryEmplaceBatchKeepsStoredAndFirstBatchValues) {
+  cu::StripedMap<int, std::size_t> map;
+  for (int k = 0; k < 10; ++k) {
+    map.try_emplace(k, 1000 + static_cast<std::size_t>(k));
+  }
+  std::vector<int> batch_keys;
+  std::vector<std::size_t> batch_values;
+  for (int k = 0; k < 64; ++k) {
+    batch_keys.push_back(k);
+    batch_values.push_back(static_cast<std::size_t>(k));
+  }
+  batch_keys.push_back(70);  // within-batch duplicate: first wins
+  batch_values.push_back(7000);
+  batch_keys.push_back(70);
+  batch_values.push_back(7001);
+  std::vector<const int*> keys;
+  for (const int& k : batch_keys) keys.push_back(&k);
+
+  map.try_emplace_batch(keys, batch_values);
+  EXPECT_EQ(map.size(), 65u);
+  for (int k = 0; k < 64; ++k) {
+    ASSERT_NE(map.find(k), nullptr);
+    const std::size_t expected = k < 10 ? 1000 + static_cast<std::size_t>(k)
+                                        : static_cast<std::size_t>(k);
+    EXPECT_EQ(*map.find(k), expected) << "key " << k;
+  }
+  ASSERT_NE(map.find(70), nullptr);
+  EXPECT_EQ(*map.find(70), 7000u);
+}
+
+namespace {
+
+struct DtorCounted {
+  static std::atomic<int> live;
+  std::string payload;  // non-trivially-destructible on purpose
+
+  explicit DtorCounted(std::string p) : payload(std::move(p)) {
+    live.fetch_add(1);
+  }
+  DtorCounted(const DtorCounted& other) : payload(other.payload) {
+    live.fetch_add(1);
+  }
+  DtorCounted(DtorCounted&& other) noexcept
+      : payload(std::move(other.payload)) {
+    live.fetch_add(1);
+  }
+  ~DtorCounted() { live.fetch_sub(1); }
+};
+
+std::atomic<int> DtorCounted::live{0};
+
+}  // namespace
+
+TEST(SegmentedVector, DestroysElementsSpanningASegmentBoundary) {
+  // 1524 elements straddle the first segment boundary (segment 0 holds
+  // 2^kFirstSegmentLog2 = 1024 elements), so the destructor must run
+  // element destructors in two segments — the second only partially full.
+  constexpr std::size_t kCount = 1524;
+  static_assert(kCount > std::size_t{1}
+                             << cu::SegmentedVector<DtorCounted>::kFirstSegmentLog2);
+  {
+    cu::SegmentedVector<DtorCounted> vec;
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(vec.push_back(DtorCounted(std::to_string(i))), i);
+    }
+    EXPECT_EQ(vec.size(), kCount);
+    EXPECT_EQ(DtorCounted::live.load(), static_cast<int>(kCount));
+    EXPECT_EQ(vec[0].payload, "0");
+    EXPECT_EQ(vec[1023].payload, "1023");  // last slot of segment 0
+    EXPECT_EQ(vec[1024].payload, "1024");  // first slot of segment 1
+    EXPECT_EQ(vec[kCount - 1].payload, std::to_string(kCount - 1));
+  }
+  EXPECT_EQ(DtorCounted::live.load(), 0);
 }
 
 namespace {
