@@ -259,6 +259,66 @@ void report() {
   std::cout << "lanes x size over the parametric families (counts verified"
                " against the closed forms):\n"
             << sweep << '\n';
+
+  // 6. Quotient-direct derivation (DeriveOptions::aggregate): populations
+  // whose full chains sit at or far beyond 10^6 states but whose
+  // strong-equivalence quotients are tiny.  The full counts come from the
+  // closed forms — the whole point is that the full chains need never be
+  // derived (client_server[1000cl,4sv]'s 4.2e10 states could not be) —
+  // and each quotient count is checked against its closed form.  The
+  // "reduction" column is states-of-full / states-of-quotient, which is
+  // also the peak-memory ratio: the engine's budget accounting charges
+  // only interned (canonical) states.
+  struct QuotientPoint {
+    std::string label;
+    std::size_t full_states;
+    std::size_t quotient_states;
+    std::function<pepa::Model()> build;
+  };
+  const QuotientPoint quotient_points[] = {
+      {"client_server[1500cl,2sv]", pepa::client_server_states(1500, 2),
+       pepa::client_server_quotient_states(1500, 2),
+       [] { return pepa::client_server(1500, {.servers = 2}); }},
+      {"client_server[1000cl,4sv]", pepa::client_server_states(1000, 4),
+       pepa::client_server_quotient_states(1000, 4),
+       [] { return pepa::client_server(1000, {.servers = 4}); }},
+      {"pda_handover[18pda,2tx]", pepa::pda_handover_states(18, 2),
+       pepa::pda_handover_quotient_states(18, 2),
+       [] { return pepa::pda_handover(18, {.transmitters = 2}); }},
+  };
+  util::TextTable quotient_table({"model", "full states", "quotient",
+                                  "reduction", "derive ms"});
+  for (const QuotientPoint& point : quotient_points) {
+    pepa::Model model = point.build();
+    pepa::Semantics semantics(model.arena());
+    pepa::DeriveOptions options;
+    options.aggregate = true;
+    util::Stopwatch timer;
+    const auto space =
+        pepa::StateSpace::derive(semantics, model.system(), options);
+    const double seconds = timer.seconds();
+    CHOREO_ASSERT(space.state_count() == point.quotient_states);
+    const double reduction = static_cast<double>(point.full_states) /
+                             static_cast<double>(point.quotient_states);
+    quotient_table.add_row_values(
+        point.label, {static_cast<double>(point.full_states),
+                      static_cast<double>(space.state_count()), reduction,
+                      seconds * 1e3});
+    bench::json_record(bench::JsonObject()
+                           .field("model", point.label + " quotient")
+                           .field("threads", std::size_t{1})
+                           .field("states", space.state_count())
+                           .field("transitions", space.transitions().size())
+                           .field("full_states", point.full_states)
+                           .field("memory_reduction", reduction)
+                           .field("seconds", seconds)
+                           .field("states_per_second",
+                                  static_cast<double>(space.state_count()) /
+                                      seconds));
+  }
+  std::cout << "quotient-direct derivation (full counts from the closed"
+               " forms; reduction = full/quotient = the memory ratio):\n"
+            << quotient_table << '\n';
 }
 
 void BM_DeriveRing(benchmark::State& state) {

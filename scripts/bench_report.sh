@@ -2,9 +2,13 @@
 # Regenerates the committed machine-readable benchmark artefacts:
 #
 #   BENCH_statespace.json  -- state-space exploration (model, states,
-#                             seconds, states/sec, lane-count sweep, and the
+#                             seconds, states/sec, lane-count sweep, the
 #                             lanes x size sweep over the pepa::families
-#                             parametric models up to 10^6+ states)
+#                             parametric models up to 10^6+ states, and the
+#                             quotient-direct lane: full chains of 10^6 to
+#                             4e10 states derived as their tiny
+#                             strong-equivalence quotients, with a
+#                             memory_reduction = full/quotient column)
 #   BENCH_service.json     -- service scheduler throughput (workers,
 #                             cold/warm cache, jobs/sec, p50/p99 latency)
 #   BENCH_measures.json    -- per-action measure lookup cost on the

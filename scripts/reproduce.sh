@@ -15,13 +15,25 @@ for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
 # service jobs each deriving with multiple lanes.
 cmake -B build-tsan -G Ninja -DCHOREO_SANITIZE=thread
 cmake --build build-tsan --target test_parallel_statespace test_service \
-  test_metrics test_util
+  test_metrics test_util test_quotient
 ./build-tsan/tests/test_parallel_statespace 2>&1 | tee tsan_output.txt
 ./build-tsan/tests/test_service 2>&1 | tee -a tsan_output.txt
 ./build-tsan/tests/test_metrics 2>&1 | tee -a tsan_output.txt
 ./build-tsan/tests/test_util \
   --gtest_filter='ThreadPool.*:StripedMap.*:SegmentedVector.*' \
   2>&1 | tee -a tsan_output.txt
+# Quotient-direct derivation shares one canonicalizer memo across the
+# expansion lanes; the lane-count determinism checks run under TSan too.
+./build-tsan/tests/test_quotient 2>&1 | tee -a tsan_output.txt
+
+# Memory-safety check: one quotient-direct derivation (the canonical
+# rewrite path: spine flattening, sibling sorting, balanced rebuild and
+# the memo) end to end under ASan+UBSan.
+cmake -B build-asan -G Ninja -DCHOREO_SANITIZE=address,undefined
+cmake --build build-asan --target pepa_workbench test_quotient
+./build-asan/src/tools/pepa_workbench models/file.pepa --quotient --aggregate \
+  --states 2>&1 | tee asan_output.txt
+./build-asan/tests/test_quotient 2>&1 | tee -a asan_output.txt
 
 # Machine-readable bench artefacts (BENCH_statespace.json, BENCH_service.json).
 scripts/bench_report.sh

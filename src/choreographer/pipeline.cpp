@@ -11,7 +11,6 @@
 #include "pepa/semantics.hpp"
 #include "pepa/statespace.hpp"
 #include "pepanet/netsemantics.hpp"
-#include "pepanet/netaggregate.hpp"
 #include "pepanet/netstatespace.hpp"
 #include "uml/layout.hpp"
 #include "uml/xmi.hpp"
@@ -41,6 +40,7 @@ StageTimings& StageTimings::operator+=(const StageTimings& other) {
   derive_stats.dedup_misses += other.derive_stats.dedup_misses;
   derive_stats.peak_frontier =
       std::max(derive_stats.peak_frontier, other.derive_stats.peak_frontier);
+  derive_stats.canonical_rewrites += other.derive_stats.canonical_rewrites;
   fluid_steps += other.fluid_steps;
   fluid_rejected_steps += other.fluid_rejected_steps;
   return *this;
@@ -137,6 +137,12 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
   derive_options.threads = options.derive_threads;
   derive_options.pool = options.derive_pool;
   derive_options.budget = options.budget;
+  // Exact aggregation derives the strong-equivalence quotient directly:
+  // symmetric markings collapse at discovery time, so the interned graph,
+  // max_states and the budget's peak bytes all cover the quotient only.
+  // Every per-action throughput survives the quotient, so the solve and
+  // measure legs below are shared with the unaggregated path.
+  derive_options.aggregate = options.aggregation == Aggregation::kExact;
   const auto space = pepanet::NetStateSpace::derive(semantics, derive_options);
 
   result.marking_count = space.marking_count();
@@ -146,26 +152,6 @@ ActivityGraphResult analyse_activity_graph(uml::ActivityGraph& graph,
   checkpoint(options);
   timer.restart();
   Throughputs throughputs;
-  if (options.aggregation == Aggregation::kExact) {
-    // Exact aggregation: throughput of every action survives the quotient.
-    const auto lumping = pepanet::aggregate(space);
-    const auto solved =
-        ctmc::steady_state(lumping.quotient_generator(), governed_solver(options));
-    result.timings.solve_seconds = timer.seconds();
-    checkpoint(options);
-    timer.restart();
-    for (const auto& action_name : extraction.action_names) {
-      if (!action_name) continue;
-      const auto action = extraction.net.arena().find_action(*action_name);
-      CHOREO_ASSERT(action.has_value());
-      throughputs.emplace_back(
-          *action_name, lumping.throughput(solved.distribution, *action));
-    }
-    result.throughputs = throughputs;
-    reflect_throughputs(graph, throughputs);
-    result.timings.reflect_seconds = timer.seconds();
-    return result;
-  }
   const auto solved =
       ctmc::steady_state(space.generator(), governed_solver(options));
   result.timings.solve_seconds = timer.seconds();
@@ -238,6 +224,12 @@ StateMachineResult analyse_state_machines(uml::Model& model,
   derive_options.threads = options.derive_threads;
   derive_options.pool = options.derive_pool;
   derive_options.budget = options.budget;
+  // Exact aggregation: quotient-direct derivation.  The state-probability
+  // and throughput measures below scan states for the presence of each
+  // machine's constants, which is invariant under the replica reordering
+  // the quotient collapses, so state-diagram analyses aggregate exactly
+  // too (the full chain is never built).
+  derive_options.aggregate = options.aggregation == Aggregation::kExact;
   const auto space = pepa::StateSpace::derive(
       semantics, extraction.model.system(), derive_options);
 

@@ -28,9 +28,14 @@ namespace choreo::chor {
 enum class Aggregation : std::uint8_t {
   /// Solve the full chain.
   kNone,
-  /// Solve on the strong-equivalence quotient (exact; activity graphs
-  /// only — state-diagram analyses keep the full chain because per-state
-  /// probabilities need the full states).
+  /// Derive and solve the strong-equivalence quotient directly: successor
+  /// states/markings are rewritten to canonical representatives inside the
+  /// exploration engine (pepa/canonical.hpp, pepanet/netcanonical.hpp), so
+  /// the full chain is never built and peak memory is the quotient's size.
+  /// Exact for both activity graphs and state diagrams — throughputs and
+  /// the per-state presence probabilities are invariant under the replica
+  /// reordering the quotient collapses.  Reported marking/state counts are
+  /// quotient block counts.
   kExact,
   /// Mean-field fluid approximation: integrate the population-level ODE
   /// of the numerical vector form instead of expanding any state space.

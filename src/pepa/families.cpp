@@ -1,5 +1,6 @@
 #include "pepa/families.hpp"
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
 
@@ -179,6 +180,16 @@ std::size_t pda_handover_states(std::size_t pdas, std::size_t transmitters) {
 
 std::size_t ring_states(std::size_t stations) {
   return std::size_t{1} << stations;
+}
+
+std::size_t client_server_quotient_states(std::size_t clients,
+                                          std::size_t servers) {
+  return std::min(clients, servers) + 1;
+}
+
+std::size_t pda_handover_quotient_states(std::size_t pdas,
+                                         std::size_t transmitters) {
+  return (pdas + 1) * (transmitters + 1);
 }
 
 }  // namespace choreo::pepa

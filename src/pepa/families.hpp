@@ -71,4 +71,22 @@ std::size_t client_server_states(std::size_t clients, std::size_t servers);
 std::size_t pda_handover_states(std::size_t pdas, std::size_t transmitters);
 std::size_t ring_states(std::size_t stations);
 
+/// Block counts of the strong-equivalence (population-vector) quotients the
+/// sort-canonical derivation (DeriveOptions::aggregate) explores, in closed
+/// form.  Replicated siblings are indistinguishable there, so a state is a
+/// population vector rather than an interleaving:
+///
+/// client_server: waiting clients always equal busy servers, so the only
+/// degree of freedom is that shared count — min(clients, servers) + 1
+/// states, versus C(clients+servers, clients) for the full chain.
+/// pda_handover: (searching PDAs, cooling transmitters) counts —
+/// (pdas + 1) * (transmitters + 1) states versus 2^(pdas+transmitters).
+/// ring: stations carry distinct per-station action types, so nothing is
+/// exchangeable and the quotient equals the full space (the honest
+/// no-collapse control; ring_states covers it).
+std::size_t client_server_quotient_states(std::size_t clients,
+                                          std::size_t servers);
+std::size_t pda_handover_quotient_states(std::size_t pdas,
+                                         std::size_t transmitters);
+
 }  // namespace choreo::pepa

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "pepa/canonical.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
@@ -27,19 +28,36 @@ StateSpace StateSpace::derive(Semantics& semantics, ProcessId initial,
       "' occurs passively at the top level of the model: it would never"
       " be performed; synchronise it with an active partner";
 
-  space.stats_ = explore::run(
-      space.states_, space.index_, expand_static(semantics.arena(), initial),
-      [&semantics](const ProcessId& term) {
-        // Copy: concurrent workers may grow the cache under the ref.
-        return std::vector<Derivative>(semantics.derivatives(term));
-      },
-      [&semantics](const Derivative& move) {
-        return semantics.arena().action_name(move.action);
-      },
-      [&space](std::size_t source, const Derivative& move, std::size_t target) {
-        space.lts_.push_back({source, target, move.action, move.rate.value()});
-      },
-      engine);
+  auto run_with = [&](auto&& canonicalize) {
+    return explore::run(
+        space.states_, space.index_, expand_static(semantics.arena(), initial),
+        [&semantics](const ProcessId& term) {
+          // Copy: concurrent workers may grow the cache under the ref.
+          return std::vector<Derivative>(semantics.derivatives(term));
+        },
+        std::forward<decltype(canonicalize)>(canonicalize),
+        [&semantics](const Derivative& move) {
+          return semantics.arena().action_name(move.action);
+        },
+        [&space](std::size_t source, const Derivative& move,
+                 std::size_t target) {
+          space.lts_.push_back(
+              {source, target, move.action, move.rate.value()});
+        },
+        engine);
+  };
+  if (options.aggregate) {
+    // Quotient-direct derivation: successors collapse to sort-canonical
+    // representatives before interning; parallel moves into one block are
+    // committed separately and summed by the generator build, which is
+    // exactly the lumped rate.  The memo lives for this derivation only.
+    space.aggregated_ = true;
+    Canonicalizer canonicalizer(semantics.arena());
+    space.stats_ = run_with(
+        [&canonicalizer](ProcessId& term) { return canonicalizer(term); });
+  } else {
+    space.stats_ = run_with(explore::NoCanonicalize{});
+  }
   space.lts_.finalize(space.states_.size());
   space.stats_.seconds = timer.seconds();
   return space;

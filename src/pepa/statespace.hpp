@@ -51,6 +51,18 @@ struct DeriveOptions {
   /// derivation stops within one frontier level of the request) and charged
   /// with every discovered state.  nullptr disables governance.
   util::Budget* budget = nullptr;
+  /// Derive the strong-equivalence quotient directly: every successor is
+  /// rewritten to its sort-canonical representative (replicated siblings of
+  /// same-set cooperation spines reordered, see pepa/canonical.hpp) before
+  /// interning, so permutation-equivalent states collapse at discovery time
+  /// and the explored space — and therefore max_states, the budget's
+  /// state/byte accounting and peak memory — is the quotient, not the full
+  /// interleaved chain.  Throughputs and the presence/count measures
+  /// (state_probability, mean_population) are permutation-invariant and
+  /// stay exact; the state terms exposed by state_term() are canonical
+  /// representatives.  The quotient is byte-identical at every lane count,
+  /// like the full space.
+  bool aggregate = false;
 };
 
 /// Counters describing one derivation run, for perf reports and the
@@ -88,6 +100,11 @@ class StateSpace {
   /// Counters from the derivation that produced this space.
   const DeriveStats& stats() const noexcept { return stats_; }
 
+  /// True when this space was derived quotient-direct (DeriveOptions::
+  /// aggregate): states are canonical representatives of strong-equivalence
+  /// blocks, not raw interleavings.
+  bool aggregated() const noexcept { return aggregated_; }
+
   /// The CTMC generator (parallel transitions summed), built directly from
   /// the transition-system payload without an intermediate copy.
   ctmc::Generator generator() const;
@@ -108,6 +125,7 @@ class StateSpace {
   util::StripedMap<ProcessId, std::size_t> index_;
   explore::TransitionSystem<StateTransition> lts_;
   DeriveStats stats_;
+  bool aggregated_ = false;
 };
 
 }  // namespace choreo::pepa

@@ -1,0 +1,76 @@
+#include "pepanet/netcanonical.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace choreo::pepanet {
+
+MarkingCanonicalizer::MarkingCanonicalizer(PepaNet& net)
+    : net_(net), terms_(net.arena()) {
+  for (PlaceId p = 0; p < net.place_count(); ++p) {
+    const Place& place = net.place(p);
+    const std::size_t slot_count = place.slots.size();
+    std::size_t a = 0;
+    while (a < slot_count) {
+      // Maximal run of equal cooperation sets starting at slot `a`:
+      // coop_sets[a..r-1] all equal, and either r is the last slot (the
+      // fold's tail, itself a spine sibling) or coop_sets[r] differs.
+      std::size_t r = a;
+      while (r + 1 < slot_count && place.coop_sets[r] == place.coop_sets[a]) {
+        ++r;
+      }
+      const bool tail_joins = (r + 1 == slot_count);
+      const std::size_t group_end = tail_joins ? slot_count : r;
+      // Partition the spine's slots into interchangeable storage classes:
+      // same kind, and for cells the same token type.
+      std::map<std::pair<int, TokenTypeId>, std::vector<std::size_t>> classes;
+      for (std::size_t slot = a; slot < group_end; ++slot) {
+        const Slot& s = place.slots[slot];
+        const auto key = std::make_pair(
+            static_cast<int>(s.kind),
+            s.kind == Slot::Kind::kCell ? s.cell_type : TokenTypeId{0});
+        classes[key].push_back(net.slot_offset(p, slot));
+      }
+      for (auto& [key, offsets] : classes) {
+        if (offsets.size() >= 2) groups_.push_back({std::move(offsets)});
+      }
+      a = tail_joins ? slot_count : std::max(r, a + 1);
+    }
+  }
+}
+
+bool MarkingCanonicalizer::operator()(Marking& marking) {
+  bool changed = false;
+  // Tokens and statics can hold populations of their own; canonicalize
+  // every occupied slot's term first so the slot sort below compares
+  // canonical forms.
+  for (pepa::ProcessId& slot : marking) {
+    if (slot == kVacant) continue;
+    if (terms_(slot)) changed = true;
+  }
+  const pepa::ProcessArena& arena = net_.arena();
+  std::vector<pepa::ProcessId> contents;
+  for (const Group& group : groups_) {
+    contents.clear();
+    for (const std::size_t offset : group.offsets) {
+      contents.push_back(marking[offset]);
+    }
+    // Structural order with vacant cells last, so "which cells are full"
+    // collapses to "how many cells are full".
+    std::sort(contents.begin(), contents.end(),
+              [&arena](pepa::ProcessId x, pepa::ProcessId y) {
+                if (x == kVacant || y == kVacant) return y == kVacant && x != kVacant;
+                return pepa::structural_less(arena, x, y);
+              });
+    for (std::size_t i = 0; i < group.offsets.size(); ++i) {
+      if (marking[group.offsets[i]] != contents[i]) {
+        marking[group.offsets[i]] = contents[i];
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace choreo::pepanet

@@ -1,0 +1,60 @@
+// Canonical representatives of PEPA-net markings: the marking-level
+// counterpart of pepa::Canonicalizer, used as explore::run's
+// canonicalization stage by NetStateSpace::derive_from.
+//
+// A place's context is the right fold of its slots under cooperation,
+//
+//   slot0 <L0> (slot1 <L1> (... slot_{k-1})),
+//
+// so a maximal run of *equal* cooperation sets is a same-set spine whose
+// sibling slots may be reordered up to strong equivalence — exactly the
+// term-level argument in pepa/canonical.hpp, read at the marking level.
+// Within such a spine the contents of two slots are interchangeable only
+// when the slots are interchangeable as storage: same slot kind, and for
+// cells the same token type (so a permuted marking is still a well-typed
+// marking of the same net and every firing of the original has an
+// equal-rate image).  The canonicalizer precomputes those sortable offset
+// classes per place once, then canonicalizing a marking is: canonicalize
+// each slot's term (tokens/statics can themselves hold populations), then
+// sort each class structurally with vacant cells last.
+//
+// Measures stay exact on the quotient: occupancy, token counts and
+// derivative probabilities scan slots uniformly within a place, so every
+// member of a permutation class reports the same value.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pepa/canonical.hpp"
+#include "pepanet/net.hpp"
+
+namespace choreo::pepanet {
+
+/// Rewrites markings of one net to canonical representatives.  Thread-safe
+/// for concurrent expansion lanes (the per-term memo and the arena are
+/// concurrent; the group table is immutable after construction).
+class MarkingCanonicalizer {
+ public:
+  /// `net` must outlive the canonicalizer; its structure (places, slots,
+  /// cooperation sets) is read at construction time only.
+  explicit MarkingCanonicalizer(PepaNet& net);
+
+  /// explore::run hook: rewrite the marking in place, report a change.
+  bool operator()(Marking& marking);
+
+  /// The sortable slot groups found (size >= 2), for tests and reports.
+  std::size_t group_count() const noexcept { return groups_.size(); }
+
+ private:
+  /// Offsets (into the marking vector) of interchangeable slots.
+  struct Group {
+    std::vector<std::size_t> offsets;
+  };
+
+  PepaNet& net_;
+  pepa::Canonicalizer terms_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace choreo::pepanet

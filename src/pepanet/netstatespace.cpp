@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "explore/engine.hpp"
+#include "pepanet/netcanonical.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
@@ -35,26 +36,43 @@ NetStateSpace NetStateSpace::derive_from(NetSemantics& semantics, Marking initia
   engine.passive_suffix =
       "' occurs passively at the net level: no active partner sets its rate";
 
-  space.stats_ = explore::run(
-      space.markings_, space.index_, std::move(initial),
-      // NetSemantics is stateless over the thread-safe arena/semantics
-      // caches, so expansion workers may call moves() concurrently.
-      [&semantics](const Marking& marking) { return semantics.moves(marking); },
-      [&semantics](const NetMove& move) {
-        return semantics.net().arena().action_name(move.action);
-      },
-      [&space](std::size_t source, const NetMove& move, std::size_t target) {
-        MarkingTransition t;
-        t.source = source;
-        t.target = target;
-        t.action = move.action;
-        t.rate = move.rate.value();
-        t.is_firing = move.kind == NetMove::Kind::kFiring;
-        t.net_transition = move.transition;
-        t.place = move.place;
-        space.lts_.push_back(t);
-      },
-      engine);
+  auto run_with = [&](Marking start, auto&& canonicalize) {
+    return explore::run(
+        space.markings_, space.index_, std::move(start),
+        // NetSemantics is stateless over the thread-safe arena/semantics
+        // caches, so expansion workers may call moves() concurrently.
+        [&semantics](const Marking& marking) {
+          return semantics.moves(marking);
+        },
+        std::forward<decltype(canonicalize)>(canonicalize),
+        [&semantics](const NetMove& move) {
+          return semantics.net().arena().action_name(move.action);
+        },
+        [&space](std::size_t source, const NetMove& move, std::size_t target) {
+          MarkingTransition t;
+          t.source = source;
+          t.target = target;
+          t.action = move.action;
+          t.rate = move.rate.value();
+          t.is_firing = move.kind == NetMove::Kind::kFiring;
+          t.net_transition = move.transition;
+          t.place = move.place;
+          space.lts_.push_back(t);
+        },
+        engine);
+  };
+  if (options.aggregate) {
+    // Quotient-direct derivation over canonical markings; parallel moves
+    // into one block are summed by the generator build (the lumped rate).
+    space.aggregated_ = true;
+    MarkingCanonicalizer canonicalizer(semantics.net());
+    space.stats_ = run_with(std::move(initial),
+                            [&canonicalizer](Marking& marking) {
+                              return canonicalizer(marking);
+                            });
+  } else {
+    space.stats_ = run_with(std::move(initial), explore::NoCanonicalize{});
+  }
   space.lts_.finalize(space.markings_.size());
   space.stats_.seconds = timer.seconds();
   return space;

@@ -46,6 +46,15 @@ struct NetDeriveOptions {
   /// Resource governor: cancellation, deadline and marking/byte accounting,
   /// checked once per breadth-first level (see pepa::DeriveOptions::budget).
   util::Budget* budget = nullptr;
+  /// Derive the marking-graph quotient directly: markings are rewritten to
+  /// canonical representatives (interchangeable slots of same-cooperation
+  /// spines sorted, slot terms sort-canonicalized — see
+  /// pepanet/netcanonical.hpp) before interning, so symmetric markings
+  /// collapse at discovery time and max_markings, the budget accounting and
+  /// peak memory cover the quotient only.  Throughputs and the place/token
+  /// measures are permutation-invariant and stay exact; the quotient is
+  /// byte-identical at every lane count.
+  bool aggregate = false;
 };
 
 struct MarkingTransition {
@@ -84,6 +93,9 @@ class NetStateSpace {
   /// Counters from the derivation that produced this graph.
   const DeriveStats& stats() const noexcept { return stats_; }
 
+  /// True when derived quotient-direct (NetDeriveOptions::aggregate).
+  bool aggregated() const noexcept { return aggregated_; }
+
   ctmc::Generator generator() const;
 
   /// Transitions carrying `action` (both kinds), for throughput rewards.
@@ -99,6 +111,7 @@ class NetStateSpace {
   util::StripedMap<Marking, std::size_t, MarkingHash> index_;
   explore::TransitionSystem<MarkingTransition> lts_;
   DeriveStats stats_;
+  bool aggregated_ = false;
 };
 
 /// Steady-state throughput of an action over the marking graph.

@@ -31,6 +31,9 @@ std::string cache_key_for_model(const xml::Document& model,
       << " dense_cutoff=" << options.solver.dense_cutoff
       << " default_rate=" << util::format_double(options.default_rate)
       << " max_states=" << options.max_states
+      // Keying the aggregation level keeps quotient-direct artifacts
+      // (exact: quotient-sized counts, canonical representatives) from
+      // ever colliding with full-chain or fluid results.
       << " aggregation=" << static_cast<int>(options.aggregation);
   // The fluid knobs shape results only at the fluid level; keying them
   // unconditionally would split identical exact analyses apart.

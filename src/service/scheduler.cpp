@@ -191,6 +191,14 @@ struct Scheduler::Impl {
         budget_peak_state_bytes(registry.gauge(
             "choreo_budget_peak_state_bytes",
             "Largest state-storage footprint any job's budget recorded")),
+        aggregate_blocks(registry.gauge(
+            "choreo_aggregate_blocks",
+            "Largest strong-equivalence quotient (block count) any "
+            "exact-aggregation job derived")),
+        aggregate_rewrites_total(registry.counter(
+            "choreo_aggregate_rewrites_total",
+            "Successor states rewritten to canonical representatives by "
+            "quotient-direct derivations")),
         fluid_fallbacks_total(registry.counter(
             "choreo_fluid_fallbacks_total",
             "Retries that downgraded a job to the fluid (ODE) backend")),
@@ -257,6 +265,8 @@ struct Scheduler::Impl {
   Gauge& peak_frontier;
   Counter& interrupted_in_stage_total;
   Gauge& budget_peak_state_bytes;
+  Gauge& aggregate_blocks;
+  Counter& aggregate_rewrites_total;
   Counter& fluid_fallbacks_total;
   Counter& fluid_steps_total;
   Counter& fluid_rejected_steps_total;
@@ -569,6 +579,15 @@ void Scheduler::Impl::execute(const std::shared_ptr<JobState>& state,
     dedup_misses_total.increment(stages.derive_stats.dedup_misses);
     peak_frontier.record_max(
         static_cast<std::int64_t>(stages.derive_stats.peak_frontier));
+    if (result.aggregation_used == chor::Aggregation::kExact) {
+      // Quotient-direct derivation: dedup_misses IS the block count, and
+      // the rewrite counter evidences on-the-fly collapsing (dividing the
+      // two out of a dashboard gives the reduction pressure per job).
+      aggregate_blocks.record_max(
+          static_cast<std::int64_t>(stages.derive_stats.dedup_misses));
+      aggregate_rewrites_total.increment(
+          stages.derive_stats.canonical_rewrites);
+    }
     if (stages.fluid_steps > 0 || stages.fluid_rejected_steps > 0) {
       fluid_steps_total.increment(stages.fluid_steps);
       fluid_rejected_steps_total.increment(stages.fluid_rejected_steps);

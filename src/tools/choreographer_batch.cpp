@@ -29,6 +29,11 @@
 // where each axis SPEC is LO:HI:COUNT (linear), log:LO:HI:COUNT or
 // V1,V2,...; multiple axes form a Cartesian grid unless zip=1.
 //
+// aggregation=exact derives the strong-equivalence quotient directly
+// (states collapse during exploration, so reported counts and peak memory
+// are quotient-sized); the scheduler's retry ladder steps none -> exact ->
+// fluid on state-bound failures either way.
+//
 // Every manifest pass submits all jobs, waits, and prints a per-job table
 // (status, attempts, cache hit, aggregation used, markings/states,
 // timings).  --repeat N runs the manifest N times against the same warm

@@ -12,7 +12,9 @@
 // core); the derived chain and every output byte are identical at any N.
 //
 // --aggregation picks the state-space taming level: none (full chain),
-// exact (strong-equivalence quotient) or fluid (population-level
+// exact (the strong-equivalence quotient, derived directly — symmetric
+// states collapse inside the exploration engine, so peak memory and the
+// reported counts are the quotient's) or fluid (population-level
 // mean-field ODE — no state space at all; the --fluid-* knobs set the
 // integrator's error tolerances and horizon).
 //

@@ -2,7 +2,7 @@
 // .pepanet nets for their steady state and prints measures.
 //
 //   pepa_workbench MODEL.pepa    [--states] [--solver METHOD] [--prism BASE] [--dot FILE] [--aggregate]
-//                                [--measures FILE] [--passage-to NAME] [--threads N]
+//                                [--quotient] [--measures FILE] [--passage-to NAME] [--threads N]
 //   pepa_workbench MODEL.pepanet [... same options ...]
 //   pepa_workbench MODEL.pepa    --sweep NAME=SPEC [--sweep NAME=SPEC ...]
 //                                [--sweep-zip] [--sweep-backend exact|fluid]
@@ -17,6 +17,11 @@
 // log:LO:HI:COUNT or V1,V2,...; multiple --sweep axes form a Cartesian
 // grid unless --sweep-zip pairs them position-by-position.  The result
 // table goes to stdout (CSV; --sweep-json for JSON) or to --sweep-out.
+//
+// --aggregate lumps *after* a full derivation (post-hoc strong-equivalence
+// aggregation, the correctness oracle); --quotient derives the quotient
+// *directly* — successors collapse to canonical representatives inside the
+// exploration engine, so the full space is never held in memory.
 //
 // --prism BASE additionally exports the derived CTMC as BASE.tra/.sta/.lab
 // in the PRISM model checker's explicit-state format (the paper connects
@@ -59,7 +64,8 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " MODEL.pepa|MODEL.pepanet [--states]"
                " [--solver auto|dense-lu|jacobi|gauss-seidel|sor|power]"
-               " [--prism BASE] [--dot FILE] [--aggregate] [--measures FILE]"
+               " [--prism BASE] [--dot FILE] [--aggregate] [--quotient]"
+               " [--measures FILE]"
                " [--passage-to NAME] [--threads N]\n"
                "       " << argv0
             << " MODEL.pepa --sweep NAME=SPEC [--sweep ...] [--sweep-zip]"
@@ -124,7 +130,7 @@ int run_sweep(const std::string& source, const std::string& name,
 int solve_pepa(const std::string& source, const std::string& name,
                bool show_states, const choreo::ctmc::SolveOptions& options,
                const std::string& prism_base, const std::string& dot_path,
-               bool aggregate_first,
+               bool aggregate_first, bool quotient,
                const std::vector<choreo::chor::MeasureSpec>& measures,
                const std::string& passage_target, std::size_t threads) {
   using namespace choreo;
@@ -132,11 +138,18 @@ int solve_pepa(const std::string& source, const std::string& name,
   pepa::Semantics semantics(model.arena());
   pepa::DeriveOptions derive_options;
   derive_options.threads = threads;
+  derive_options.aggregate = quotient;
   const auto space =
       pepa::StateSpace::derive(semantics, model.system(), derive_options);
-  std::cout << "state space: " << space.state_count() << " states, "
+  std::cout << (quotient ? "quotient state space: " : "state space: ")
+            << space.state_count() << " states, "
             << space.transitions().size() << " transitions (derived in "
             << space.stats().seconds * 1e3 << " ms)\n";
+  if (quotient) {
+    std::cout << "quotient-direct derivation: "
+              << space.stats().canonical_rewrites
+              << " successor(s) rewritten to canonical representatives\n";
+  }
   const auto deadlocks = space.deadlock_states();
   if (!deadlocks.empty()) {
     std::cout << "warning: " << deadlocks.size() << " deadlock state(s), e.g. "
@@ -226,7 +239,7 @@ int solve_pepa(const std::string& source, const std::string& name,
 int solve_net(const std::string& source, const std::string& name,
               bool show_states, const choreo::ctmc::SolveOptions& options,
               const std::string& prism_base, const std::string& dot_path,
-              bool aggregate_first,
+              bool aggregate_first, bool quotient,
               const std::vector<choreo::chor::MeasureSpec>& measures,
               const std::string& passage_target, std::size_t threads) {
   using namespace choreo;
@@ -234,10 +247,17 @@ int solve_net(const std::string& source, const std::string& name,
   pepanet::NetSemantics semantics(parsed.net);
   pepanet::NetDeriveOptions derive_options;
   derive_options.threads = threads;
+  derive_options.aggregate = quotient;
   const auto space = pepanet::NetStateSpace::derive(semantics, derive_options);
-  std::cout << "marking graph: " << space.marking_count() << " markings, "
+  std::cout << (quotient ? "quotient marking graph: " : "marking graph: ")
+            << space.marking_count() << " markings, "
             << space.transitions().size() << " transitions (derived in "
             << space.stats().seconds * 1e3 << " ms)\n";
+  if (quotient) {
+    std::cout << "quotient-direct derivation: "
+              << space.stats().canonical_rewrites
+              << " successor(s) rewritten to canonical representatives\n";
+  }
   const auto deadlocks = space.deadlock_markings();
   if (!deadlocks.empty()) {
     std::cout << "warning: " << deadlocks.size() << " deadlock marking(s), e.g. "
@@ -323,6 +343,7 @@ int main(int argc, char** argv) {
   std::string dot_path;
   bool show_states = false;
   bool aggregate_first = false;
+  bool quotient = false;
   std::vector<choreo::chor::MeasureSpec> measures;
   std::string passage_target;
   std::size_t threads = 1;
@@ -347,6 +368,8 @@ int main(int argc, char** argv) {
         dot_path = argv[++i];
       } else if (arg == "--aggregate") {
         aggregate_first = true;
+      } else if (arg == "--quotient") {
+        quotient = true;
       } else if (arg == "--measures") {
         if (i + 1 >= argc) return usage(argv[0]);
         measures = choreo::chor::parse_measures_file(argv[++i]);
@@ -416,10 +439,10 @@ int main(int argc, char** argv) {
     }
     return is_net_source(source)
                ? solve_net(source, path, show_states, options, prism_base,
-                           dot_path, aggregate_first, measures, passage_target,
-                           threads)
+                           dot_path, aggregate_first, quotient, measures,
+                           passage_target, threads)
                : solve_pepa(source, path, show_states, options, prism_base,
-                            dot_path, aggregate_first, measures,
+                            dot_path, aggregate_first, quotient, measures,
                             passage_target, threads);
   } catch (const choreo::util::Error& error) {
     std::cerr << "pepa_workbench: " << error.what() << '\n';

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <fstream>
 
+#include "ctmc/labelled_lumping.hpp"
 #include "ctmc/lumping.hpp"
 #include "ctmc/passage.hpp"
 #include "ctmc/prism_export.hpp"
@@ -253,4 +254,90 @@ TEST(Passage, ErlangPdfPeaksAfterZero) {
   EXPECT_NEAR(pdf[0], 0.0, 1e-9);
   EXPECT_GT(pdf[2], pdf[0]);
   EXPECT_GT(pdf[2], pdf[3]);
+}
+
+// --- lumping edge cases ----------------------------------------------------
+// The boundary inputs the quotient-direct derivation leans on: empty and
+// one-state chains, self-loop-only chains (the generator drops diagonal
+// mass, the labelled quotient keeps it), idempotence on an already-lumped
+// quotient, and the exact witness text of check_lumpable.
+
+TEST(Lumping, EmptyGeneratorLumpsToNothing) {
+  const auto g = cc::Generator::build(0, {});
+  const auto lumping = cc::compute_lumping(g);
+  EXPECT_EQ(lumping.block_count, 0u);
+  EXPECT_TRUE(lumping.block_of.empty());
+  EXPECT_TRUE(lumping.representatives.empty());
+  cc::check_lumpable(g, lumping);  // vacuously lumpable, must not throw
+
+  const auto labelled = cc::compute_labelled_lumping(0, {});
+  EXPECT_EQ(labelled.block_count, 0u);
+  EXPECT_TRUE(labelled.quotient_transitions.empty());
+}
+
+TEST(Lumping, SingleStateIsItsOwnBlock) {
+  const auto g = cc::Generator::build(1, {});
+  const auto lumping = cc::compute_lumping(g);
+  EXPECT_EQ(lumping.block_count, 1u);
+  ASSERT_EQ(lumping.block_of.size(), 1u);
+  EXPECT_EQ(lumping.block_of[0], 0u);
+  ASSERT_EQ(lumping.representatives.size(), 1u);
+  EXPECT_EQ(lumping.representatives[0], 0u);
+  cc::check_lumpable(g, lumping);
+
+  const auto labelled = cc::compute_labelled_lumping(1, {});
+  EXPECT_EQ(labelled.block_count, 1u);
+}
+
+TEST(Lumping, SelfLoopOnlyChainCollapsesAndKeepsLabelledLoops) {
+  // Two states whose only activity is a self-loop: the bare generator
+  // drops the diagonal, so both states have empty signatures and merge.
+  const auto g = cc::Generator::build(2, {{0, 0, 2.0}, {1, 1, 2.0}});
+  const auto lumping = cc::compute_lumping(g);
+  EXPECT_EQ(lumping.block_count, 1u);
+  cc::check_lumpable(g, lumping);
+
+  // The labelled quotient must keep the self-loop: it carries throughput
+  // even though it never moves the chain.
+  const auto labelled = cc::compute_labelled_lumping(
+      2, {{0, 0, /*label=*/7, 2.0}, {1, 1, /*label=*/7, 2.0}});
+  EXPECT_EQ(labelled.block_count, 1u);
+  ASSERT_EQ(labelled.quotient_transitions.size(), 1u);
+  EXPECT_EQ(labelled.quotient_transitions[0].source,
+            labelled.quotient_transitions[0].target);
+  EXPECT_EQ(labelled.quotient_transitions[0].label, 7u);
+  EXPECT_NEAR(labelled.quotient_transitions[0].rate, 2.0, 1e-12);
+}
+
+TEST(Lumping, IdempotentOnAnAlreadyLumpedQuotient) {
+  // Re-lumping the quotient of the coarsest lumping must find nothing
+  // further to merge — the coarsest partition is a fixed point.
+  const auto g = two_toggles(3.0, 2.0);
+  const auto lumping = cc::compute_lumping(g);
+  ASSERT_EQ(lumping.block_count, 3u);
+  const auto quotient = lumping.quotient(g);
+  const auto again = cc::compute_lumping(quotient);
+  EXPECT_EQ(again.block_count, lumping.block_count);
+  for (std::size_t b = 0; b < again.block_of.size(); ++b) {
+    EXPECT_EQ(again.block_of[b], b);  // identity partition on the quotient
+  }
+}
+
+TEST(Lumping, CheckLumpableNamesTheWitness) {
+  // 0 and 1 leave at different rates into {2}; merging them must produce
+  // a witness that names the offending state and both rates.
+  const auto g = cc::Generator::build(3, {{0, 2, 1.0}, {1, 2, 2.0}});
+  cc::Lumping bad;
+  bad.block_of = {0, 0, 1};
+  bad.block_count = 2;
+  bad.representatives = {0, 2};
+  try {
+    cc::check_lumpable(g, bad);
+    FAIL() << "non-lumpable partition accepted";
+  } catch (const cu::NumericError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("partition not lumpable: state 1"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("representative has"), std::string::npos) << what;
+  }
 }

@@ -136,6 +136,11 @@ TEST(Pipeline, AggregatedAnalysisMatchesFull) {
   aggregate_options.aggregation = chor::Aggregation::kExact;
   const auto full = chor::analyse(full_model);
   const auto aggregated = chor::analyse(aggregated_model, aggregate_options);
+  // kExact derives the quotient directly: the reported marking count is
+  // the block count, never larger than the raw marking graph.
+  EXPECT_LE(aggregated.activity_graphs[0].marking_count,
+            full.activity_graphs[0].marking_count);
+  EXPECT_GT(aggregated.activity_graphs[0].marking_count, 0u);
   ASSERT_EQ(full.activity_graphs[0].throughputs.size(),
             aggregated.activity_graphs[0].throughputs.size());
   for (std::size_t i = 0; i < full.activity_graphs[0].throughputs.size(); ++i) {

@@ -342,12 +342,25 @@ TEST(Service, RetryAtLowerAggregationSettingRecovers) {
   cs::JobRequest request =
       inline_request(cm::to_xmi(chor::pda_handover_model()));
   request.options.max_states = 4;  // the PDA model has 10 markings
-  const cs::JobResult& result = scheduler.submit(std::move(request)).wait();
+  cs::JobHandle handle = scheduler.submit(std::move(request));
+  const cs::JobResult& result = handle.wait();
   ASSERT_EQ(result.status, cs::JobStatus::kDone) << result.error;
   EXPECT_EQ(result.attempts, 2u);
   EXPECT_EQ(result.aggregation_used, chor::Aggregation::kExact);
   EXPECT_EQ(registry.counter("choreo_job_retries_total", "").value(), 1u);
   EXPECT_FALSE(result.report.activity_graphs.empty());
+
+  // The successful rung derived the quotient directly, so the progress
+  // counters and peak-byte metrics describe the quotient — bounded by the
+  // model's 10 raw markings — and the aggregation gauges record the block
+  // count of the largest quotient derived.
+  const choreo::util::BudgetUsage progress = handle.progress();
+  EXPECT_GT(progress.states, 0u);
+  EXPECT_GT(progress.peak_state_bytes, 0u);
+  const auto blocks = registry.gauge("choreo_aggregate_blocks", "").value();
+  EXPECT_GT(blocks, 0);
+  EXPECT_EQ(static_cast<std::size_t>(blocks),
+            result.report.activity_graphs[0].marking_count);
 
   // Without the scaled budget the retry fails too, and the error surfaces.
   cs::SchedulerOptions no_headroom = options;
@@ -364,9 +377,10 @@ TEST(Service, RetryAtLowerAggregationSettingRecovers) {
 
 TEST(Service, RetryLadderLandsOnFluidBackend) {
   // A state-machine model whose chain grows exponentially in the client
-  // count: the full solve trips max_states, the exact-quotient rung does
-  // too (state machines keep the full chain), and the job finally
-  // succeeds on the fluid rung — which expands no state space at all.
+  // count: the full solve trips max_states, the exact rung's quotient is
+  // still far larger than the bound (C(6+2,2) population vectors x server
+  // phases >> 16), and the job finally succeeds on the fluid rung — which
+  // expands no state space at all.
   cs::Registry registry;
   cs::SchedulerOptions options;
   options.workers = 1;
